@@ -1,0 +1,91 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every fig*_ binary regenerates one of the paper's figures: it sweeps the
+// figure's x-axis, runs the testbed for a warmup + measurement window, and
+// prints the same series the paper plots (plus a CSV block for plotting).
+#ifndef FASTSAFE_BENCH_FIGURE_COMMON_H_
+#define FASTSAFE_BENCH_FIGURE_COMMON_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/apps/iperf.h"
+#include "src/core/testbed.h"
+#include "src/stats/table.h"
+
+namespace fsio {
+namespace bench {
+
+inline constexpr TimeNs kWarmupNs = 20 * kNsPerMs;
+inline constexpr TimeNs kWindowNs = 40 * kNsPerMs;
+
+// Locality summary of the Rx host's IOVA allocation trace (Figs 2e/3e/7e/8e).
+struct LocalitySummary {
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  double miss_fraction_64 = 0.0;
+  double miss_fraction_128 = 0.0;
+};
+
+inline LocalitySummary SummarizeLocality(const ReuseDistanceTracker& tracker) {
+  LocalitySummary out;
+  std::vector<std::uint64_t> d = tracker.distances();
+  if (d.empty()) {
+    return out;
+  }
+  std::sort(d.begin(), d.end());
+  out.p50 = d[d.size() / 2];
+  out.p90 = d[d.size() * 9 / 10];
+  out.p99 = d[d.size() * 99 / 100];
+  out.miss_fraction_64 = tracker.MissFraction(64);
+  out.miss_fraction_128 = tracker.MissFraction(128);
+  return out;
+}
+
+// Runs an iperf workload and reports the receive-side window metrics.
+struct IperfRun {
+  WindowResult window;
+  LocalitySummary locality;
+};
+
+inline IperfRun RunIperf(TestbedConfig config, std::uint32_t flows,
+                         TimeNs warmup = kWarmupNs, TimeNs window = kWindowNs) {
+  config.track_l3_locality = true;
+  Testbed testbed(config);
+  StartIperf(&testbed, flows);
+  IperfRun run;
+  run.window = testbed.RunWindow(warmup, window);
+  run.locality = SummarizeLocality(testbed.receiver_host().l3_tracker());
+  return run;
+}
+
+inline void AddIperfRow(Table* table, const std::string& mode, const std::string& x,
+                        const IperfRun& run) {
+  table->BeginRow();
+  table->AddCell(mode);
+  table->AddCell(x);
+  table->AddNumber(run.window.goodput_gbps, 1);
+  table->AddNumber(run.window.drop_rate * 100.0, 2);
+  table->AddNumber(run.window.iotlb_miss_per_page, 2);
+  table->AddNumber(run.window.l1_miss_per_page, 3);
+  table->AddNumber(run.window.l2_miss_per_page, 3);
+  table->AddNumber(run.window.l3_miss_per_page, 3);
+  table->AddNumber(run.window.mem_reads_per_page, 2);
+  table->AddNumber(run.window.tx_packets_per_page, 2);
+  table->AddInteger(static_cast<long long>(run.locality.p50));
+  table->AddInteger(static_cast<long long>(run.locality.p99));
+}
+
+inline std::vector<std::string> IperfHeaders(const std::string& x_name) {
+  return {"mode",        x_name,       "gbps",        "drop_%",     "iotlb/pg", "l1/pg",
+          "l2/pg",       "l3/pg",      "reads/pg",    "tx_pkt/pg",  "loc_p50",  "loc_p99"};
+}
+
+}  // namespace bench
+}  // namespace fsio
+
+#endif  // FASTSAFE_BENCH_FIGURE_COMMON_H_

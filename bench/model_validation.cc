@@ -1,0 +1,73 @@
+// §2.2 analytical model validation:  T = p / (l0 + M * lm).
+//
+// The paper fits l0 = 65 ns and lm = 197 ns from its 5- and 10-flow strict
+// runs and then predicts measured throughput within ~10% across experiments.
+// This bench repeats the exercise on the simulator: fit (l0, lm) from two
+// strict configurations, then compare the model's predictions against the
+// measured throughput of every other configuration.
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "src/stats/linear_fit.h"
+
+int main() {
+  using namespace fsio;
+
+  struct Observation {
+    std::string label;
+    double reads_per_page = 0;
+    double gbps = 0;
+  };
+  std::vector<Observation> observations;
+
+  auto run = [&](ProtectionMode mode, std::uint32_t flows, std::uint32_t ring,
+                 const std::string& label) {
+    TestbedConfig config;
+    config.mode = mode;
+    config.cores = 5;
+    config.ring_size_pkts = ring;
+    const auto result = bench::RunIperf(config, flows);
+    observations.push_back(
+        Observation{label, result.window.mem_reads_per_page, result.window.goodput_gbps});
+  };
+
+  run(ProtectionMode::kStrict, 5, 256, "strict-5f");
+  run(ProtectionMode::kStrict, 10, 256, "strict-10f");
+  run(ProtectionMode::kStrict, 20, 256, "strict-20f");
+  run(ProtectionMode::kStrict, 40, 256, "strict-40f");
+  run(ProtectionMode::kStrict, 5, 1024, "strict-ring1024");
+  run(ProtectionMode::kStrict, 5, 2048, "strict-ring2048");
+  run(ProtectionMode::kFastSafe, 5, 256, "fs-5f");
+  run(ProtectionMode::kFastSafe, 40, 256, "fs-40f");
+
+  // Fit from the first two strict points, as the paper does.
+  const double p = 4096.0;
+  const ThroughputModel model = FitThroughputModel(
+      p, {observations[0].reads_per_page, observations[3].reads_per_page},
+      {observations[0].gbps / 8.0, observations[3].gbps / 8.0});
+
+  std::cout << "Model T = p / (l0 + M*lm), fitted from strict 5- and 40-flow runs:\n";
+  std::cout << "  l0 = " << model.l0_ns << " ns   (paper: 65 ns)\n";
+  std::cout << "  lm = " << model.lm_ns << " ns   (paper: 197 ns)\n\n";
+
+  Table table({"config", "M(reads/pg)", "measured_gbps", "predicted_gbps", "error_%"});
+  double worst = 0;
+  for (const auto& obs : observations) {
+    const double predicted =
+        std::min(model.PredictBytesPerNs(p, obs.reads_per_page) * 8.0, 98.6);
+    const double err = obs.gbps > 0 ? 100.0 * (predicted - obs.gbps) / obs.gbps : 0.0;
+    worst = std::max(worst, std::abs(err));
+    table.BeginRow();
+    table.AddCell(obs.label);
+    table.AddNumber(obs.reads_per_page, 2);
+    table.AddNumber(obs.gbps, 1);
+    table.AddNumber(predicted, 1);
+    table.AddNumber(err, 1);
+  }
+  table.Print(std::cout);
+  std::cout << "\nworst |error| = " << worst << "% (paper: within ~10%)\n";
+  return 0;
+}

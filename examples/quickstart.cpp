@@ -1,0 +1,46 @@
+// Quickstart: measure iperf throughput and IOMMU cache behaviour under the
+// three headline protection modes (off, Linux strict, Fast & Safe).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "src/apps/iperf.h"
+#include "src/core/testbed.h"
+#include "src/stats/table.h"
+
+int main() {
+  fsio::Table table({"mode", "goodput_gbps", "drop_rate", "iotlb_miss/page",
+                     "ptcache_l3_miss/page", "mem_reads/page", "safety_violations"});
+
+  for (fsio::ProtectionMode mode :
+       {fsio::ProtectionMode::kOff, fsio::ProtectionMode::kStrict,
+        fsio::ProtectionMode::kFastSafe}) {
+    fsio::TestbedConfig config;
+    config.mode = mode;
+    config.cores = 5;
+
+    fsio::Testbed testbed(config);
+    fsio::StartIperf(&testbed, /*flows=*/5);
+
+    // 20 ms of warmup, then a 30 ms measurement window on the receiver.
+    const fsio::WindowResult r =
+        testbed.RunWindow(20 * fsio::kNsPerMs, 30 * fsio::kNsPerMs);
+
+    table.BeginRow();
+    table.AddCell(fsio::ProtectionModeName(mode));
+    table.AddNumber(r.goodput_gbps, 1);
+    table.AddNumber(r.drop_rate, 4);
+    table.AddNumber(r.iotlb_miss_per_page, 2);
+    table.AddNumber(r.l3_miss_per_page, 3);
+    table.AddNumber(r.mem_reads_per_page, 2);
+    table.AddInteger(static_cast<long long>(r.safety_violations));
+  }
+
+  std::cout << "iperf, 5 flows, 4 KB MTU, 100 Gbps NIC, two hosts:\n\n";
+  table.Print(std::cout);
+  std::cout << "\nFast & Safe matches IOMMU-off throughput while keeping the\n"
+               "strict safety property (zero stale-translation uses).\n";
+  return 0;
+}

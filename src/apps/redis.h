@@ -1,0 +1,30 @@
+// Redis SET workload (paper §4.2, Fig. 11a).
+//
+// One server instance per core on the server host; client threads pipeline
+// 32 SET requests with 4 B keys and 4-128 KB values. The Rx datapath under
+// test is the server host receiving the values; the tiny +OK replies are the
+// Tx interference that inflates IOTLB misses at small value sizes (§4.4).
+#ifndef FASTSAFE_SRC_APPS_REDIS_H_
+#define FASTSAFE_SRC_APPS_REDIS_H_
+
+#include <cstdint>
+
+#include "src/apps/request_response.h"
+
+namespace fsio {
+
+// Request = RESP SET header + key + value; response = "+OK\r\n".
+inline RequestResponseConfig RedisSetConfig(std::uint64_t value_bytes) {
+  RequestResponseConfig config;
+  config.request_bytes = value_bytes + 32;  // value + RESP framing + 4 B key
+  config.response_bytes = 5;
+  config.pipeline = 32;
+  config.server_cpu_per_request_ns = 2000;  // dict insert + allocation
+  config.server_cpu_per_byte_ns = 0.03;     // value copy into the store
+  config.client_cpu_per_response_ns = 200;
+  return config;
+}
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_APPS_REDIS_H_

@@ -1,0 +1,31 @@
+// netperf-style latency-sensitive RPC workload (paper Fig. 9).
+//
+// Symmetric request/response RPCs of 128 B - 32 KB running on a core
+// *separate* from colocated throughput-bound iperf flows, measuring tail
+// latency inflation caused by memory-protection-induced NIC queueing and
+// retransmissions.
+#ifndef FASTSAFE_SRC_APPS_RPC_H_
+#define FASTSAFE_SRC_APPS_RPC_H_
+
+#include <cstdint>
+
+#include "src/apps/request_response.h"
+
+namespace fsio {
+
+inline RequestResponseConfig NetperfRpcConfig(std::uint64_t rpc_bytes,
+                                              std::uint32_t rpc_core) {
+  RequestResponseConfig config;
+  config.request_bytes = rpc_bytes;
+  config.response_bytes = rpc_bytes;
+  config.pipeline = 1;  // classic TCP_RR closed loop
+  config.server_cpu_per_request_ns = 500;
+  config.client_cpu_per_response_ns = 300;
+  config.client_core = rpc_core;
+  config.server_core = rpc_core;
+  return config;
+}
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_APPS_RPC_H_

@@ -1,0 +1,34 @@
+// SPDK remote-storage read workload (paper §4.2, Fig. 11c).
+//
+// Client threads issue block-read requests of 32-256 KB with an IO depth of
+// 8; the server (storage target) returns the blocks over the Linux TCP
+// stack. The measured host is the *client* receiving the read responses (Rx
+// datapath); its small per-read request packets are the Tx interference that
+// grows at small block sizes.
+#ifndef FASTSAFE_SRC_APPS_SPDK_H_
+#define FASTSAFE_SRC_APPS_SPDK_H_
+
+#include <cstdint>
+
+#include "src/apps/request_response.h"
+
+namespace fsio {
+
+inline RequestResponseConfig SpdkReadConfig(std::uint64_t block_bytes) {
+  RequestResponseConfig config;
+  config.request_bytes = 128;  // NVMe-oF-style read command capsule
+  config.response_bytes = block_bytes;
+  config.pipeline = 8;  // IO depth (the paper's best-throughput setting)
+  config.server_cpu_per_request_ns = 1500;  // bdev lookup + completion path
+  config.server_cpu_per_byte_ns = 0.01;     // zero-copy-ish data path
+  config.client_cpu_per_response_ns = 800;
+  // Measured host is the client: make the client live on host 1 (the host
+  // whose Rx datapath the experiment instruments).
+  config.client_host = 1;
+  config.server_host = 0;
+  return config;
+}
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_APPS_SPDK_H_

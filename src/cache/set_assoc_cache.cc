@@ -1,0 +1,169 @@
+#include "src/cache/set_assoc_cache.h"
+
+namespace fsio {
+
+namespace {
+// Mixes the tag before set selection so that strided tags (consecutive page
+// numbers) spread across sets the way physical indexing does.
+std::uint64_t MixTag(std::uint64_t tag) {
+  tag ^= tag >> 33;
+  tag *= 0xff51afd7ed558ccdULL;
+  tag ^= tag >> 33;
+  return tag;
+}
+}  // namespace
+
+SetAssocCache::SetAssocCache(std::uint32_t num_sets, std::uint32_t ways)
+    : num_sets_(num_sets == 0 ? 1 : num_sets), ways_(ways == 0 ? 1 : ways) {
+  entries_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+std::size_t SetAssocCache::SetIndexFor(std::uint64_t tag) const {
+  return static_cast<std::size_t>(MixTag(tag) & (num_sets_ - 1));
+}
+
+SetAssocCache::Entry* SetAssocCache::FindEntry(std::uint64_t tag) {
+  const std::size_t base = SetIndexFor(tag) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = entries_[base + w];
+    if (e.valid && e.tag == tag) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Entry* SetAssocCache::FindEntry(std::uint64_t tag) const {
+  const std::size_t base = SetIndexFor(tag) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const Entry& e = entries_[base + w];
+    if (e.valid && e.tag == tag) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> SetAssocCache::Lookup(std::uint64_t tag) {
+  Entry* e = FindEntry(tag);
+  if (e == nullptr) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  e->lru = ++tick_;
+  return e->payload;
+}
+
+std::optional<std::uint64_t> SetAssocCache::Peek(std::uint64_t tag) const {
+  const Entry* e = FindEntry(tag);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  return e->payload;
+}
+
+std::optional<std::uint64_t> SetAssocCache::Insert(std::uint64_t tag, std::uint64_t payload) {
+  if (Entry* existing = FindEntry(tag); existing != nullptr) {
+    existing->payload = payload;
+    existing->lru = ++tick_;
+    return std::nullopt;
+  }
+  const std::size_t base = SetIndexFor(tag) * ways_;
+  Entry* victim = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = entries_[base + w];
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (victim == nullptr || e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  std::optional<std::uint64_t> evicted;
+  if (victim->valid) {
+    evicted = victim->tag;
+    ++evictions_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->payload = payload;
+  victim->lru = ++tick_;
+  return evicted;
+}
+
+bool SetAssocCache::Invalidate(std::uint64_t tag) {
+  Entry* e = FindEntry(tag);
+  if (e == nullptr) {
+    return false;
+  }
+  e->valid = false;
+  ++invalidations_;
+  return true;
+}
+
+std::uint64_t SetAssocCache::InvalidateRange(std::uint64_t first, std::uint64_t last) {
+  // Small ranges (a descriptor's worth of pages) probe per tag; large ranges
+  // scan the arrays once.
+  std::uint64_t removed = 0;
+  if (last >= first && last - first < capacity()) {
+    for (std::uint64_t tag = first;; ++tag) {
+      if (Invalidate(tag)) {
+        ++removed;
+      }
+      if (tag == last) {
+        break;
+      }
+    }
+    return removed;
+  }
+  for (Entry& e : entries_) {
+    if (e.valid && e.tag >= first && e.tag <= last) {
+      e.valid = false;
+      ++removed;
+      ++invalidations_;
+    }
+  }
+  return removed;
+}
+
+std::uint64_t SetAssocCache::InvalidateByPayload(std::uint64_t payload) {
+  std::uint64_t removed = 0;
+  for (Entry& e : entries_) {
+    if (e.valid && e.payload == payload) {
+      e.valid = false;
+      ++removed;
+      ++invalidations_;
+    }
+  }
+  return removed;
+}
+
+void SetAssocCache::InvalidateAll() {
+  for (Entry& e : entries_) {
+    if (e.valid) {
+      e.valid = false;
+      ++invalidations_;
+    }
+  }
+}
+
+std::uint64_t SetAssocCache::size() const {
+  std::uint64_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.valid) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void SetAssocCache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+  invalidations_ = 0;
+}
+
+}  // namespace fsio

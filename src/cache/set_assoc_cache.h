@@ -1,0 +1,86 @@
+// Generic set-associative cache with per-set LRU replacement.
+//
+// Models the IOMMU's IOTLB and the per-level IO page table caches
+// (PTcache-L1/L2/L3). Keys are opaque 64-bit tags (for the IOTLB, the IOVA
+// page number; for PTcache-Li, the IOVA prefix indexing that level). Each
+// entry may carry a 64-bit payload (we store the backing page-table page's
+// generation so the simulator can detect stale-entry use — a safety
+// violation).
+#ifndef FASTSAFE_SRC_CACHE_SET_ASSOC_CACHE_H_
+#define FASTSAFE_SRC_CACHE_SET_ASSOC_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+class SetAssocCache {
+ public:
+  // `num_sets` must be a power of two; `ways` >= 1. A fully-associative cache
+  // of N entries is (num_sets=1, ways=N).
+  SetAssocCache(std::uint32_t num_sets, std::uint32_t ways);
+
+  // Looks up `tag`; on hit, refreshes LRU order and returns the payload.
+  std::optional<std::uint64_t> Lookup(std::uint64_t tag);
+
+  // Looks up without disturbing LRU order or counters (for tests/debug).
+  std::optional<std::uint64_t> Peek(std::uint64_t tag) const;
+
+  // Inserts (or updates) `tag` with `payload`, evicting the set's LRU entry
+  // if the set is full. Returns the evicted tag, if any.
+  std::optional<std::uint64_t> Insert(std::uint64_t tag, std::uint64_t payload);
+
+  // Removes `tag` if present. Returns true if an entry was removed.
+  bool Invalidate(std::uint64_t tag);
+
+  // Removes every entry whose tag is in [first, last]. Returns the number of
+  // entries removed. (Tags are page numbers / prefixes, so contiguous IOVA
+  // ranges map to contiguous tag ranges.)
+  std::uint64_t InvalidateRange(std::uint64_t first, std::uint64_t last);
+
+  // Removes every entry whose payload equals `payload` (used when a page
+  // table page is reclaimed: all cached pointers to it become stale).
+  std::uint64_t InvalidateByPayload(std::uint64_t payload);
+
+  void InvalidateAll();
+
+  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t ways() const { return ways_; }
+  std::uint64_t size() const;  // number of valid entries (O(capacity))
+  std::uint64_t capacity() const { return static_cast<std::uint64_t>(num_sets_) * ways_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+  void ResetStats();
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t payload = 0;
+    std::uint64_t lru = 0;  // last-touch tick, larger = more recent
+  };
+
+  std::size_t SetIndexFor(std::uint64_t tag) const;
+  Entry* FindEntry(std::uint64_t tag);
+  const Entry* FindEntry(std::uint64_t tag) const;
+
+  std::uint32_t num_sets_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Entry> entries_;  // num_sets_ * ways_, set-major
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_CACHE_SET_ASSOC_CACHE_H_

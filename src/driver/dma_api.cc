@@ -1,0 +1,379 @@
+#include "src/driver/dma_api.h"
+
+namespace fsio {
+
+DmaApi::DmaApi(const DmaApiConfig& config, IovaAllocator* iova, IoPageTable* page_table,
+               Iommu* iommu, StatsRegistry* stats)
+    : config_(config),
+      iova_(iova),
+      page_table_(page_table),
+      iommu_(iommu),
+      map_ops_(stats->Get("dma.map_ops")),
+      unmap_ops_(stats->Get("dma.unmap_ops")),
+      inv_requests_submitted_(stats->Get("dma.inv_requests")),
+      reclaim_invalidations_(stats->Get("dma.reclaim_invalidations")),
+      deferred_flushes_(stats->Get("dma.deferred_flushes")),
+      cpu_ns_total_(stats->Get("dma.cpu_ns")),
+      spin_ns_(stats->Get("dma.spin_ns")),
+      map_cpu_ns_(stats->Get("dma.map_cpu_ns")) {}
+
+void DmaApi::TrackAllocation(Iova iova) {
+  if (l3_tracker_ != nullptr) {
+    l3_tracker_->Access(LevelTag(iova, 3));
+  }
+}
+
+std::uint32_t DmaApi::FreeTarget(std::uint32_t core) {
+  if (config_.free_migration_fraction <= 0.0 || config_.num_cores <= 1) {
+    return core;
+  }
+  if (!rng_.NextBool(config_.free_migration_fraction)) {
+    return core;
+  }
+  return static_cast<std::uint32_t>(rng_.NextBelow(config_.num_cores));
+}
+
+DmaMapping DmaApi::MapStandalone(std::uint32_t core, PhysAddr frame, TimeNs* cpu_ns) {
+  DmaMapping m;
+  m.iova = iova_->Alloc(core, 1);
+  m.phys = frame;
+  m.chunk_id = 0;
+  *cpu_ns += config_.iova_alloc_cpu_ns + config_.map_page_cpu_ns;
+  page_table_->Map(m.iova, frame);
+  TrackAllocation(m.iova);
+  map_ops_->Add();
+  return m;
+}
+
+DmaMapping DmaApi::MapIntoChunk(std::uint32_t core, PhysAddr frame, TimeNs* cpu_ns) {
+  std::uint64_t chunk_id = 0;
+  if (auto it = tx_cursor_chunk_.find(core); it != tx_cursor_chunk_.end()) {
+    chunk_id = it->second;
+  }
+  Chunk* chunk = nullptr;
+  if (chunk_id != 0) {
+    chunk = &chunks_[chunk_id];
+    if (chunk->mapped == chunk->pages) {
+      chunk = nullptr;  // cursor chunk exhausted
+    }
+  }
+  if (chunk == nullptr) {
+    // Allocate a fresh descriptor-sized contiguous IOVA chunk.
+    const Iova base = iova_->Alloc(core, config_.pages_per_chunk);
+    *cpu_ns += config_.iova_alloc_cpu_ns;
+    chunk_id = next_chunk_id_++;
+    Chunk fresh;
+    fresh.base = base;
+    fresh.pages = config_.pages_per_chunk;
+    fresh.core = core;
+    chunks_[chunk_id] = fresh;
+    tx_cursor_chunk_[core] = chunk_id;
+    chunk = &chunks_[chunk_id];
+  }
+  DmaMapping m;
+  m.iova = chunk->base + static_cast<Iova>(chunk->mapped) * kPageSize;
+  m.phys = frame;
+  m.chunk_id = chunk_id;
+  ++chunk->mapped;
+  *cpu_ns += config_.map_page_cpu_ns;
+  page_table_->Map(m.iova, frame);
+  TrackAllocation(m.iova);
+  map_ops_->Add();
+  return m;
+}
+
+DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAddr>& frames) {
+  MapResult out;
+  out.mappings.reserve(frames.size());
+  if (config_.mode == ProtectionMode::kOff) {
+    for (PhysAddr frame : frames) {
+      out.mappings.push_back(DmaMapping{frame, frame, 0});
+    }
+    return out;
+  }
+  if (UsesContiguousIovas(config_.mode)) {
+    // One fresh chunk per Rx descriptor (Fig. 4b): the descriptor's pages
+    // occupy consecutive 4 KB slices of one contiguous IOVA range.
+    const Iova base = iova_->Alloc(core, config_.pages_per_chunk);
+    out.cpu_ns += config_.iova_alloc_cpu_ns;
+    const std::uint64_t chunk_id = next_chunk_id_++;
+    Chunk chunk;
+    chunk.base = base;
+    chunk.pages = config_.pages_per_chunk;
+    chunk.core = core;
+    if (config_.use_hugepages && IsHugeBacked(frames)) {
+      // F&S + hugepages (§5 future work): one PT-L3 leaf entry maps the
+      // whole descriptor; one map call, one unmap, one IOTLB entry.
+      page_table_->MapHuge(base, frames[0]);
+      out.cpu_ns += config_.map_page_cpu_ns;
+      TrackAllocation(base);
+      map_ops_->Add();
+      huge_chunks_.insert(chunk_id);
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        DmaMapping m;
+        m.iova = base + static_cast<Iova>(i) * kPageSize;
+        m.phys = frames[i];
+        m.chunk_id = chunk_id;
+        out.mappings.push_back(m);
+        ++chunk.mapped;
+      }
+      chunks_[chunk_id] = chunk;
+      cpu_ns_total_->Add(out.cpu_ns);
+      map_cpu_ns_->Add(out.cpu_ns);
+      return out;
+    }
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      DmaMapping m;
+      m.iova = base + static_cast<Iova>(i) * kPageSize;
+      m.phys = frames[i];
+      m.chunk_id = chunk_id;
+      page_table_->Map(m.iova, frames[i]);
+      TrackAllocation(m.iova);
+      map_ops_->Add();
+      out.cpu_ns += config_.map_page_cpu_ns;
+      out.mappings.push_back(m);
+      ++chunk.mapped;
+    }
+    chunks_[chunk_id] = chunk;
+  } else {
+    for (PhysAddr frame : frames) {
+      out.mappings.push_back(MapStandalone(core, frame, &out.cpu_ns));
+    }
+  }
+  cpu_ns_total_->Add(out.cpu_ns);
+  map_cpu_ns_->Add(out.cpu_ns);
+  return out;
+}
+
+DmaApi::MapResult DmaApi::MapPage(std::uint32_t core, PhysAddr frame) {
+  MapResult out;
+  if (config_.mode == ProtectionMode::kOff) {
+    out.mappings.push_back(DmaMapping{frame, frame, 0});
+    return out;
+  }
+  if (config_.mode == ProtectionMode::kHugepagePersistent) {
+    // Tx pages also come from a permanently-mapped pool: the IOVA keeps
+    // pointing at the recycled buffer page forever (weaker safety).
+    auto& pool = persistent_tx_pool_[core];
+    if (!pool.empty()) {
+      DmaMapping m = pool.front();
+      pool.pop_front();
+      m.phys = frame;  // the buffer page is recycled behind the same IOVA
+      out.mappings.push_back(m);
+      return out;
+    }
+    DmaMapping m = MapStandalone(core, frame, &out.cpu_ns);
+    out.mappings.push_back(m);
+    cpu_ns_total_->Add(out.cpu_ns);
+    return out;
+  }
+  if (UsesContiguousIovas(config_.mode)) {
+    out.mappings.push_back(MapIntoChunk(core, frame, &out.cpu_ns));
+  } else {
+    out.mappings.push_back(MapStandalone(core, frame, &out.cpu_ns));
+  }
+  cpu_ns_total_->Add(out.cpu_ns);
+  return out;
+}
+
+Iova DmaApi::MapPersistent(std::uint32_t core, const std::vector<PhysAddr>& frames) {
+  if (config_.mode == ProtectionMode::kOff) {
+    return frames.empty() ? 0 : frames.front();
+  }
+  const Iova base = iova_->Alloc(core, frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    page_table_->Map(base + static_cast<Iova>(i) * kPageSize, frames[i]);
+  }
+  return base;
+}
+
+bool DmaApi::IsHugeBacked(const std::vector<PhysAddr>& frames) {
+  constexpr std::uint64_t kHugeSpan = 2ull << 20;
+  if (frames.size() != kHugeSpan / kPageSize || (frames[0] & (kHugeSpan - 1)) != 0) {
+    return false;
+  }
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i] != frames[0] + static_cast<PhysAddr>(i) * kPageSize) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DmaApi::MapResult DmaApi::AcquirePersistentDescriptor(
+    std::uint32_t core, const std::function<PhysAddr()>& alloc_huge) {
+  MapResult out;
+  auto& pool = persistent_pool_[core];
+  if (!pool.empty()) {
+    out.mappings = std::move(pool.front());
+    pool.pop_front();
+    // Pool hit: no mapping work at all — the entire point of the scheme.
+    return out;
+  }
+  const PhysAddr huge = alloc_huge();
+  const std::uint64_t pages = (2ull << 20) / kPageSize;
+  const Iova base = iova_->Alloc(core, pages);
+  out.cpu_ns += config_.iova_alloc_cpu_ns + config_.map_page_cpu_ns;
+  page_table_->MapHuge(base, huge);
+  TrackAllocation(base);
+  map_ops_->Add();
+  out.mappings.reserve(pages);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    out.mappings.push_back(DmaMapping{base + i * kPageSize, huge + i * kPageSize, 0});
+  }
+  cpu_ns_total_->Add(out.cpu_ns);
+  map_cpu_ns_->Add(out.cpu_ns);
+  return out;
+}
+
+void DmaApi::ReleasePersistentDescriptor(std::uint32_t core,
+                                         const std::vector<DmaMapping>& mappings) {
+  // Deliberately no unmap and no invalidation: the device keeps access.
+  persistent_pool_[core].push_back(mappings);
+}
+
+void DmaApi::HandleReclamation(const UnmapResult& result) {
+  if (!result.reclaimed_any() || iommu_ == nullptr) {
+    return;
+  }
+  if (config_.inject_skip_reclaim_invalidation) {
+    return;  // injected bug: stale PTcache pointers survive (tests catch it)
+  }
+  for (const ReclaimedTablePage& page : result.reclaimed) {
+    iommu_->OnTablePageReclaimed(page);
+    reclaim_invalidations_->Add();
+  }
+}
+
+void DmaApi::AccountChunkUnmap(std::uint32_t core, std::uint64_t chunk_id, std::uint32_t pages) {
+  auto it = chunks_.find(chunk_id);
+  if (it == chunks_.end()) {
+    return;
+  }
+  Chunk& chunk = it->second;
+  chunk.unmapped += pages;
+  const bool is_tx_cursor =
+      tx_cursor_chunk_.contains(chunk.core) && tx_cursor_chunk_[chunk.core] == chunk_id;
+  const bool fully_mapped = chunk.mapped == chunk.pages || !is_tx_cursor;
+  if (fully_mapped && chunk.unmapped >= chunk.mapped) {
+    iova_->Free(FreeTarget(core), chunk.base, chunk.pages);
+    if (is_tx_cursor) {
+      tx_cursor_chunk_.erase(chunk.core);
+    }
+    huge_chunks_.erase(chunk_id);
+    chunks_.erase(it);
+  }
+}
+
+DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
+                                                const std::vector<DmaMapping>& mappings,
+                                                TimeNs at) {
+  UnmapResultInfo out;
+  if (config_.mode == ProtectionMode::kOff || mappings.empty()) {
+    return out;
+  }
+  if (config_.mode == ProtectionMode::kHugepagePersistent) {
+    // Nothing is unmapped or invalidated; buffers return to the pool still
+    // device-accessible.
+    auto& pool = persistent_tx_pool_[core];
+    for (const DmaMapping& m : mappings) {
+      pool.push_back(m);
+    }
+    out.cpu_ns = 20 * mappings.size();
+    cpu_ns_total_->Add(out.cpu_ns);
+    return out;
+  }
+  TimeNs t = at;
+
+  if (config_.mode == ProtectionMode::kDeferred) {
+    for (const DmaMapping& m : mappings) {
+      const UnmapResult r = page_table_->Unmap(m.iova, kPageSize);
+      HandleReclamation(r);
+      unmap_ops_->Add();
+      t += config_.unmap_page_cpu_ns;
+      deferred_queue_.push_back(DeferredIova{m.iova, 1, core});
+    }
+    if (deferred_queue_.size() >= config_.deferred_flush_threshold) {
+      const TimeNs hw = iommu_->InvalidateAll(t);
+      inv_requests_submitted_->Add();
+      ++out.invalidation_requests;
+      t += config_.inv_submit_cpu_ns;
+      if (hw > t) {
+        t = hw;
+      }
+      out.hw_done = hw;
+      while (!deferred_queue_.empty()) {
+        const DeferredIova& d = deferred_queue_.front();
+        iova_->Free(FreeTarget(d.core), d.iova, d.pages);
+        deferred_queue_.pop_front();
+      }
+      deferred_flushes_->Add();
+    }
+    out.cpu_ns = t - at;
+    cpu_ns_total_->Add(out.cpu_ns);
+    return out;
+  }
+
+  const bool preserve = PreservesPtCaches(config_.mode);
+  const bool batch = UsesContiguousIovas(config_.mode);
+
+  // Group the descriptor's mappings into maximal contiguous runs. Only
+  // chunk-allocated IOVAs are known-contiguous; standalone IOVAs always form
+  // single-page runs (Fig. 6a vs 6b).
+  std::size_t i = 0;
+  while (i < mappings.size()) {
+    std::size_t j = i + 1;
+    if (batch && mappings[i].chunk_id != 0) {
+      while (j < mappings.size() && mappings[j].chunk_id == mappings[i].chunk_id &&
+             mappings[j].iova == mappings[j - 1].iova + kPageSize) {
+        ++j;
+      }
+    }
+    const Iova run_base = mappings[i].iova;
+    const std::uint64_t run_pages = j - i;
+
+    // One unmap call for the whole run (Linux unmaps per page; the run is a
+    // single page there, so the semantics coincide).
+    const bool huge_run =
+        mappings[i].chunk_id != 0 && huge_chunks_.contains(mappings[i].chunk_id);
+    const UnmapResult r = page_table_->Unmap(run_base, run_pages * kPageSize);
+    HandleReclamation(r);
+    unmap_ops_->Add();
+    // A huge mapping clears one PT-L3 leaf entry; 4 KB runs clear one PTE
+    // per page.
+    t += huge_run ? config_.unmap_page_cpu_ns : config_.unmap_page_cpu_ns * run_pages;
+
+    // One invalidation-queue request per run; strict Linux issues one per
+    // page because its IOVAs are not contiguous.
+    const bool leaf_only =
+        preserve && (!r.reclaimed_any() || config_.inject_skip_reclaim_invalidation);
+    const TimeNs hw = iommu_->InvalidateRange(run_base, run_pages * kPageSize, leaf_only,
+                                              t + config_.inv_submit_cpu_ns);
+    inv_requests_submitted_->Add();
+    ++out.invalidation_requests;
+    t += config_.inv_submit_cpu_ns;
+    if (hw > t) {
+      spin_ns_->Add(hw - t);
+      t = hw;  // the CPU spins until the IOMMU acknowledges the invalidation
+    }
+    if (hw > out.hw_done) {
+      out.hw_done = hw;
+    }
+
+    // Release the IOVAs.
+    if (mappings[i].chunk_id != 0) {
+      AccountChunkUnmap(core, mappings[i].chunk_id,
+                        static_cast<std::uint32_t>(run_pages));
+    } else {
+      for (std::size_t k = i; k < j; ++k) {
+        iova_->Free(FreeTarget(core), mappings[k].iova, 1);
+      }
+    }
+    i = j;
+  }
+  out.cpu_ns = t - at;
+  cpu_ns_total_->Add(out.cpu_ns);
+  return out;
+}
+
+}  // namespace fsio

@@ -1,0 +1,178 @@
+// DMA-API layer: the IOMMU driver's map/unmap datapaths for every
+// protection mode, including the F&S datapath (the paper's ~630-LOC kernel
+// change, reproduced here as a policy object).
+//
+// The NIC driver calls MapPages() when preparing an Rx descriptor (64 pages
+// at once), MapPage() per Tx buffer page, and UnmapDescriptor() when the NIC
+// signals descriptor completion. Every call returns the CPU time it consumed
+// on the calling core — strict-mode invalidation waits are the dominant term
+// and what F&S's batched invalidations amortize.
+#ifndef FASTSAFE_SRC_DRIVER_DMA_API_H_
+#define FASTSAFE_SRC_DRIVER_DMA_API_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/driver/protection.h"
+#include "src/iommu/iommu.h"
+#include "src/iova/iova_allocator.h"
+#include "src/mem/address.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+#include "src/stats/reuse_distance.h"
+
+namespace fsio {
+
+struct DmaApiConfig {
+  ProtectionMode mode = ProtectionMode::kStrict;
+  std::uint32_t pages_per_chunk = 64;  // descriptor-sized IOVA chunk (256 KB)
+  // CPU cost model (per operation, on the calling core).
+  TimeNs map_page_cpu_ns = 120;
+  TimeNs unmap_page_cpu_ns = 100;
+  TimeNs iova_alloc_cpu_ns = 60;
+  TimeNs inv_submit_cpu_ns = 200;  // submit one invalidation request + spin setup
+  // Deferred mode: flush after this many unmapped IOVAs (Linux flush queue).
+  std::uint32_t deferred_flush_threshold = 256;
+  // Fraction of IOVA frees landing in a different core's cache, modeling the
+  // softirq/workqueue/flow migration that scrambles Linux's per-core IOVA
+  // caches over time (§2.2: "allocation and free calls by different cores
+  // ... result in degradation of locality within the caches over time").
+  double free_migration_fraction = 0.15;
+  std::uint32_t num_cores = 8;  // migration target space
+  // Hugepage-backed descriptors: when a descriptor's frames form one
+  // physically contiguous, 2 MB-aligned huge frame with 512 pages, map it
+  // with a single PT-L3 leaf entry (F&S-with-hugepages, the paper's §5
+  // future-work direction). Applies to contiguous-IOVA modes only.
+  bool use_hugepages = false;
+  // Fault injection for safety tests: when true, F&S "forgets" to invalidate
+  // PTcaches on page-table-page reclamation — the bug the paper's design
+  // explicitly guards against. Tests prove the safety oracle catches it.
+  bool inject_skip_reclaim_invalidation = false;
+};
+
+// One mapped DMA page handed to the NIC.
+struct DmaMapping {
+  Iova iova = 0;
+  PhysAddr phys = 0;
+  std::uint64_t chunk_id = 0;  // 0 = standalone per-page IOVA
+};
+
+class DmaApi {
+ public:
+  DmaApi(const DmaApiConfig& config, IovaAllocator* iova, IoPageTable* page_table, Iommu* iommu,
+         StatsRegistry* stats);
+
+  struct MapResult {
+    std::vector<DmaMapping> mappings;
+    TimeNs cpu_ns = 0;
+  };
+  struct UnmapResultInfo {
+    TimeNs cpu_ns = 0;        // CPU time consumed (incl. invalidation waits)
+    TimeNs hw_done = 0;       // invalidation-hardware completion time
+    std::uint32_t invalidation_requests = 0;
+  };
+
+  // Maps `frames` (an Rx descriptor's buffer pages) for `core`.
+  MapResult MapPages(std::uint32_t core, const std::vector<PhysAddr>& frames);
+
+  // Maps a single page (Tx datapath). In contiguous modes the page is placed
+  // at the per-core chunk cursor, packing Tx pages across descriptors.
+  MapResult MapPage(std::uint32_t core, PhysAddr frame);
+
+  // Unmaps one descriptor's worth of mappings at time `at` and performs the
+  // mode's invalidation policy. Mappings must come from this DmaApi.
+  UnmapResultInfo UnmapDescriptor(std::uint32_t core, const std::vector<DmaMapping>& mappings,
+                                  TimeNs at);
+
+  // Maps `pages` persistently (descriptor rings): mapped once, never
+  // unmapped, one contiguous IOVA range. Returns the base IOVA.
+  Iova MapPersistent(std::uint32_t core, const std::vector<PhysAddr>& frames);
+
+  // kHugepagePersistent mode: hands out a descriptor backed by a
+  // permanently mapped hugepage. Reuses a pooled descriptor when available;
+  // otherwise calls `alloc_huge` for a fresh 2 MB frame and maps it once.
+  MapResult AcquirePersistentDescriptor(std::uint32_t core,
+                                        const std::function<PhysAddr()>& alloc_huge);
+
+  // Returns a persistent descriptor to the pool. No unmap, no invalidation:
+  // this is exactly the weaker-safety trade the related work makes.
+  void ReleasePersistentDescriptor(std::uint32_t core,
+                                   const std::vector<DmaMapping>& mappings);
+
+  // Attaches a tracker recording the PTcache-L3 tag of every page mapped on
+  // the Rx/Tx datapaths, in allocation order (Figures 2e/3e/7e/8e).
+  void SetL3Tracker(ReuseDistanceTracker* tracker) { l3_tracker_ = tracker; }
+
+  ProtectionMode mode() const { return config_.mode; }
+  const DmaApiConfig& config() const { return config_; }
+
+  // Number of IOVAs currently sitting in the deferred-flush queue (deferred
+  // mode only): each is a window in which a device may still use freed pages.
+  std::size_t deferred_pending() const { return deferred_queue_.size(); }
+
+ private:
+  struct Chunk {
+    Iova base = 0;
+    std::uint32_t pages = 0;
+    std::uint32_t mapped = 0;    // cursor for Tx packing
+    std::uint32_t unmapped = 0;
+    std::uint32_t core = 0;
+  };
+
+  DmaMapping MapIntoChunk(std::uint32_t core, PhysAddr frame, TimeNs* cpu_ns);
+  // True if `frames` is one 2 MB-aligned physically contiguous huge frame.
+  static bool IsHugeBacked(const std::vector<PhysAddr>& frames);
+  DmaMapping MapStandalone(std::uint32_t core, PhysAddr frame, TimeNs* cpu_ns);
+  // The core whose IOVA cache receives a free issued on `core` (applies the
+  // migration fraction).
+  std::uint32_t FreeTarget(std::uint32_t core);
+  void TrackAllocation(Iova iova);
+  void HandleReclamation(const UnmapResult& result);
+  // Releases chunk bookkeeping; frees the chunk IOVA once fully unmapped.
+  void AccountChunkUnmap(std::uint32_t core, std::uint64_t chunk_id, std::uint32_t pages);
+
+  DmaApiConfig config_;
+  Rng rng_{0xfa57'5afeULL};
+  IovaAllocator* iova_;
+  IoPageTable* page_table_;
+  Iommu* iommu_;
+  ReuseDistanceTracker* l3_tracker_ = nullptr;
+
+  std::uint64_t next_chunk_id_ = 1;
+  std::unordered_map<std::uint64_t, Chunk> chunks_;
+  // Per-core cursor chunk for Tx packing (contiguous modes).
+  std::unordered_map<std::uint32_t, std::uint64_t> tx_cursor_chunk_;
+
+  struct DeferredIova {
+    Iova iova = 0;
+    std::uint64_t pages = 0;
+    std::uint32_t core = 0;
+  };
+  std::deque<DeferredIova> deferred_queue_;
+
+  // kHugepagePersistent: pooled, permanently-mapped descriptors per core.
+  std::unordered_map<std::uint32_t, std::deque<std::vector<DmaMapping>>> persistent_pool_;
+  // kHugepagePersistent Tx side: pooled, permanently-mapped single pages.
+  std::unordered_map<std::uint32_t, std::deque<DmaMapping>> persistent_tx_pool_;
+  // Chunks backed by a single huge mapping (F&S + hugepages).
+  std::unordered_set<std::uint64_t> huge_chunks_;
+
+  Counter* map_ops_;
+  Counter* unmap_ops_;
+  Counter* inv_requests_submitted_;
+  Counter* reclaim_invalidations_;
+  Counter* deferred_flushes_;
+  Counter* cpu_ns_total_;
+  Counter* spin_ns_;
+  Counter* map_cpu_ns_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_DRIVER_DMA_API_H_

@@ -1,0 +1,66 @@
+// Memory-protection datapath modes.
+//
+// kOff / kStrict / kDeferred are the configurations modern Linux offers
+// (§2.1). kStrictPreserve and kStrictContig are the paper's Figure 12
+// ablations (Linux + idea A, Linux + idea B). kFastSafe combines all three
+// F&S ideas: contiguous descriptor-sized IOVA allocation, PTcache
+// preservation on unmap, and batched invalidations.
+#ifndef FASTSAFE_SRC_DRIVER_PROTECTION_H_
+#define FASTSAFE_SRC_DRIVER_PROTECTION_H_
+
+namespace fsio {
+
+enum class ProtectionMode {
+  kOff,             // IOMMU disabled: devices use physical addresses
+  kStrict,          // Linux strict: per-IOVA unmap + full invalidation
+  kDeferred,        // Linux lazy: invalidations deferred until a threshold
+  kStrictPreserve,  // ablation A: strict + IOTLB-only invalidations
+  kStrictContig,    // ablation B: contiguous IOVAs + batched (full) invalidations
+  kFastSafe,        // F&S: contiguous + preserve + batched
+  // Related-work baseline (Farshin et al. [16]): Rx buffers come from a
+  // hugepage pool whose IOVA mappings are created once and never torn down.
+  // Near-zero protection overhead, but the device retains access to the
+  // buffers forever: a weaker safety property than strict.
+  kHugepagePersistent,
+};
+
+constexpr const char* ProtectionModeName(ProtectionMode mode) {
+  switch (mode) {
+    case ProtectionMode::kOff:
+      return "iommu-off";
+    case ProtectionMode::kStrict:
+      return "linux-strict";
+    case ProtectionMode::kDeferred:
+      return "linux-deferred";
+    case ProtectionMode::kStrictPreserve:
+      return "linux+A(preserve)";
+    case ProtectionMode::kStrictContig:
+      return "linux+B(contig+batch)";
+    case ProtectionMode::kFastSafe:
+      return "fast-and-safe";
+    case ProtectionMode::kHugepagePersistent:
+      return "hugepage-persistent";
+  }
+  return "?";
+}
+
+// True if the mode guarantees the strict safety property: a device can never
+// access memory through an IOVA after that IOVA's unmap returns.
+constexpr bool IsStrictlySafe(ProtectionMode mode) {
+  return mode != ProtectionMode::kOff && mode != ProtectionMode::kDeferred &&
+         mode != ProtectionMode::kHugepagePersistent;
+}
+
+// True if IOVAs for a descriptor are allocated as one contiguous chunk.
+constexpr bool UsesContiguousIovas(ProtectionMode mode) {
+  return mode == ProtectionMode::kStrictContig || mode == ProtectionMode::kFastSafe;
+}
+
+// True if unmap-time invalidations preserve the IO page table caches.
+constexpr bool PreservesPtCaches(ProtectionMode mode) {
+  return mode == ProtectionMode::kStrictPreserve || mode == ProtectionMode::kFastSafe;
+}
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_DRIVER_PROTECTION_H_

@@ -1,0 +1,311 @@
+#include "src/host/host.h"
+
+namespace fsio {
+
+Host::Host(const HostConfig& config, EventQueue* ev)
+    : config_(config),
+      ev_(ev),
+      frames_(/*scramble=*/false, /*seed=*/config.host_id + 1),
+      cores_(config.cores == 0 ? 1 : config.cores),
+      app_rx_bytes_(stats_.Get("host.app_rx_bytes")),
+      replenished_descs_(stats_.Get("host.replenished_descs")) {
+  config_.dma.mode = config_.mode;
+  if (config_.mode == ProtectionMode::kHugepagePersistent) {
+    config_.use_hugepages = true;
+  }
+  if (config_.use_hugepages) {
+    config_.pages_per_desc = 512;  // one descriptor == one 2 MB huge frame
+    config_.dma.use_hugepages = true;
+  }
+  config_.dma.pages_per_chunk = config_.pages_per_desc;
+  config_.dma.num_cores = config_.cores;
+  config_.iova.num_cores = config_.cores;
+
+  memory_ = std::make_unique<MemorySystem>(config_.memory, &stats_);
+  page_table_ = std::make_unique<IoPageTable>();
+  if (config_.mode != ProtectionMode::kOff) {
+    iommu_ = std::make_unique<Iommu>(config_.iommu, memory_.get(), page_table_.get(), &stats_);
+  }
+  iova_ = std::make_unique<IovaAllocator>(config_.iova, &stats_);
+  dma_ = std::make_unique<DmaApi>(config_.dma, iova_.get(), page_table_.get(), iommu_.get(),
+                                  &stats_);
+  if (config_.track_l3_locality) {
+    dma_->SetL3Tracker(&l3_tracker_);
+  }
+  rc_ = std::make_unique<RootComplex>(config_.pcie, iommu_.get(), memory_.get(), &stats_);
+  config_.nic.mtu_bytes = config_.mtu_bytes;
+  nic_ = std::make_unique<Nic>(config_.nic, config_.cores, ev_, rc_.get(), &stats_);
+
+  pages_per_packet_ =
+      static_cast<std::uint32_t>((config_.mtu_bytes + kPageSize - 1) / kPageSize);
+  target_pages_per_ring_ = static_cast<std::uint64_t>(config_.ring_size_pkts) *
+                           pages_per_packet_ * config_.ring_pages_multiplier;
+  if (config_.use_hugepages) {
+    // Keep at least four 2 MB descriptors posted so the ring never runs dry
+    // while one descriptor is being recycled (the memory-footprint cost of
+    // hugepage-backed rings).
+    const std::uint64_t min_pages = 4ull * config_.pages_per_desc;
+    if (target_pages_per_ring_ < min_pages) {
+      target_pages_per_ring_ = min_pages;
+    }
+  }
+
+  nic_->SetDeliver([this](const Packet& p, std::uint32_t core) {
+    cores_[core].rx_queue.push_back(p);
+    ScheduleCore(core);
+  });
+  nic_->SetDescComplete([this](std::uint32_t core, std::vector<DmaMapping> mappings) {
+    cores_[core].desc_completions.push_back(std::move(mappings));
+    ScheduleCore(core);
+  });
+  nic_->SetTxComplete(
+      [this](const Packet& p, std::vector<DmaMapping> mappings, std::uint32_t core) {
+        cores_[core].tx_unmaps.push_back(std::move(mappings));
+        ScheduleCore(core);
+        OnTxSegmentComplete(p, core);
+      });
+  nic_->SetWireTx([this](const Packet& p, TimeNs departure) {
+    if (wire_out_) {
+      wire_out_(p, departure);
+    }
+  });
+
+  SetupRings();
+}
+
+void Host::SetupRings() {
+  for (std::uint32_t c = 0; c < cores_.size(); ++c) {
+    // Persistently-mapped descriptor ring region (ring entries are 64 B; a
+    // few pages per ring).
+    const std::uint64_t ring_bytes = static_cast<std::uint64_t>(config_.ring_size_pkts) * 64;
+    const std::uint64_t ring_pages = (ring_bytes + kPageSize - 1) / kPageSize;
+    std::vector<PhysAddr> ring_frames;
+    for (std::uint64_t i = 0; i < ring_pages; ++i) {
+      ring_frames.push_back(frames_.AllocFrame());
+    }
+    const Iova ring_iova = dma_->MapPersistent(c, ring_frames);
+    nic_->SetRingIova(c, ring_iova, ring_pages);
+
+    // Initial descriptor fill.
+    TimeNs cpu = 0;
+    ReplenishRing(c, 0, &cpu);
+  }
+}
+
+void Host::ReplenishRing(std::uint32_t core_idx, TimeNs at, TimeNs* cpu_ns) {
+  while (nic_->AvailableRxPages(core_idx) + config_.pages_per_desc <= target_pages_per_ring_) {
+    DmaApi::MapResult mapped;
+    if (config_.mode == ProtectionMode::kHugepagePersistent) {
+      mapped = dma_->AcquirePersistentDescriptor(
+          core_idx, [this] { return frames_.AllocHugeFrame(); });
+    } else if (config_.use_hugepages) {
+      const PhysAddr huge = frames_.AllocHugeFrame();
+      std::vector<PhysAddr> frames;
+      frames.reserve(config_.pages_per_desc);
+      for (std::uint32_t i = 0; i < config_.pages_per_desc; ++i) {
+        frames.push_back(huge + static_cast<PhysAddr>(i) * kPageSize);
+      }
+      mapped = dma_->MapPages(core_idx, frames);
+    } else {
+      std::vector<PhysAddr> frames;
+      frames.reserve(config_.pages_per_desc);
+      for (std::uint32_t i = 0; i < config_.pages_per_desc; ++i) {
+        frames.push_back(frames_.AllocFrame());
+      }
+      mapped = dma_->MapPages(core_idx, frames);
+    }
+    *cpu_ns += mapped.cpu_ns;
+    nic_->PostRxDescriptor(core_idx, std::move(mapped.mappings));
+    replenished_descs_->Add();
+  }
+  (void)at;
+}
+
+void Host::ScheduleCore(std::uint32_t core_idx) {
+  Core& core = cores_[core_idx];
+  if (core.running) {
+    return;
+  }
+  core.running = true;
+  const TimeNs start = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
+  ev_->ScheduleAt(start, [this, core_idx] { RunCore(core_idx); });
+}
+
+void Host::RunCore(std::uint32_t core_idx) {
+  Core& core = cores_[core_idx];
+  const TimeNs t = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
+  TimeNs cpu = 0;
+
+  // Driver work first: Tx completions, then Rx descriptor completions with
+  // their unmap + invalidate + replenish cycle.
+  while (!core.tx_unmaps.empty()) {
+    std::vector<DmaMapping> mappings = std::move(core.tx_unmaps.front());
+    core.tx_unmaps.pop_front();
+    const auto result = dma_->UnmapDescriptor(core_idx, mappings, t + cpu);
+    cpu += result.cpu_ns;
+    for (const DmaMapping& m : mappings) {
+      frames_.FreeFrame(m.phys);
+    }
+  }
+  bool replenish = false;
+  while (!core.desc_completions.empty()) {
+    std::vector<DmaMapping> mappings = std::move(core.desc_completions.front());
+    core.desc_completions.pop_front();
+    if (config_.mode == ProtectionMode::kHugepagePersistent) {
+      // Recycle the permanently-mapped descriptor: no unmap, no invalidation
+      // (and the huge frame stays with the pool).
+      dma_->ReleasePersistentDescriptor(core_idx, mappings);
+      cpu += 50;
+    } else if (config_.use_hugepages) {
+      const auto result = dma_->UnmapDescriptor(core_idx, mappings, t + cpu);
+      cpu += result.cpu_ns;
+      frames_.FreeHugeFrame(mappings[0].phys);
+    } else {
+      const auto result = dma_->UnmapDescriptor(core_idx, mappings, t + cpu);
+      cpu += result.cpu_ns;
+      for (const DmaMapping& m : mappings) {
+        frames_.FreeFrame(m.phys);
+      }
+    }
+    replenish = true;
+  }
+  if (replenish) {
+    ReplenishRing(core_idx, t + cpu, &cpu);
+  }
+
+  // NAPI: process up to a budget of received packets.
+  std::vector<Packet> batch;
+  std::uint32_t budget = config_.cpu.napi_budget;
+  while (!core.rx_queue.empty() && budget-- > 0) {
+    const Packet& p = core.rx_queue.front();
+    cpu += config_.cpu.rx_packet_ns +
+           static_cast<TimeNs>(static_cast<double>(p.payload) * config_.cpu.rx_byte_ns);
+    batch.push_back(p);
+    core.rx_queue.pop_front();
+  }
+
+  core.busy_until = t + cpu;
+  cpu_busy_ns_ += cpu;
+  ev_->ScheduleAt(core.busy_until, [this, core_idx, batch = std::move(batch)] {
+    Core& c = cores_[core_idx];
+    c.running = false;
+    for (const Packet& p : batch) {
+      RouteToTransport(p);
+    }
+    if (!c.rx_queue.empty() || !c.desc_completions.empty() || !c.tx_unmaps.empty()) {
+      ScheduleCore(core_idx);
+    }
+  });
+}
+
+void Host::RouteToTransport(const Packet& packet) {
+  if (packet.payload > 0) {
+    if (auto it = receivers_.find(packet.flow_id); it != receivers_.end()) {
+      it->second->OnData(packet);
+    }
+    return;
+  }
+  if (packet.has_ack) {
+    if (auto it = senders_.find(packet.flow_id); it != senders_.end()) {
+      it->second->OnAck(packet);
+    }
+  }
+}
+
+void Host::TransmitFromCore(const Packet& packet, std::uint32_t core_idx) {
+  // TSQ accounting (the sender's quota callback enforces the limit before
+  // segments are created; pure ACKs bypass it).
+  if (packet.payload > 0) {
+    flow_nic_bytes_[packet.flow_id] += packet.wire_size();
+  }
+  if (!nic_->CanAcceptTx(core_idx, packet.wire_size())) {
+    // Local qdisc-style drop; the transport recovers via its loss machinery.
+    stats_.Get("host.tx_qdisc_drops")->Add();
+    if (packet.payload > 0) {
+      flow_nic_bytes_[packet.flow_id] -= packet.wire_size();
+    }
+    return;
+  }
+  // Map the packet's payload pages on the sending core (Tx datapath step:
+  // each packet gets page-granularity IOVAs regardless of its size).
+  const std::uint64_t bytes = packet.wire_size();
+  const std::uint32_t pages =
+      static_cast<std::uint32_t>((bytes + kPageSize - 1) / kPageSize);
+  std::vector<DmaMapping> mappings;
+  TimeNs cpu = config_.cpu.tx_packet_ns;
+  mappings.reserve(pages);
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    DmaApi::MapResult m = dma_->MapPage(core_idx, frames_.AllocFrame());
+    cpu += m.cpu_ns;
+    mappings.push_back(m.mappings[0]);
+  }
+  Core& core = cores_[core_idx];
+  const TimeNs base = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
+  core.busy_until = base + cpu;
+  cpu_busy_ns_ += cpu;
+  nic_->EnqueueTx(packet, std::move(mappings), core_idx);
+}
+
+DctcpSender* Host::AddSender(std::uint64_t flow_id, std::uint32_t local_core,
+                             std::uint32_t dst_host, std::uint32_t dst_core,
+                             const DctcpConfig& config) {
+  auto sender = std::make_unique<DctcpSender>(
+      flow_id, config, ev_,
+      [this, local_core](const Packet& p) { TransmitFromCore(p, local_core); }, &stats_);
+  sender->SetRoute(config_.host_id, dst_host, dst_core);
+  sender->SetQuota([this, flow_id](std::uint64_t bytes) {
+    const std::uint64_t in_nic = flow_nic_bytes_[flow_id];
+    return in_nic == 0 || in_nic + bytes + kHeaderBytes <= config_.cpu.tsq_limit_bytes;
+  });
+  DctcpSender* out = sender.get();
+  senders_[flow_id] = std::move(sender);
+  flow_core_[flow_id] = local_core;
+  return out;
+}
+
+DctcpReceiver* Host::AddReceiver(std::uint64_t flow_id, std::uint32_t local_core,
+                                 std::uint32_t dst_host, std::uint32_t dst_core,
+                                 const DctcpConfig& config,
+                                 DctcpReceiver::DeliverFn app_deliver) {
+  auto receiver = std::make_unique<DctcpReceiver>(
+      flow_id, config, ev_,
+      [this, local_core](const Packet& p) { TransmitFromCore(p, local_core); },
+      [this, app_deliver = std::move(app_deliver)](std::uint64_t bytes) {
+        app_rx_bytes_->Add(bytes);
+        if (app_deliver) {
+          app_deliver(bytes);
+        }
+      },
+      &stats_);
+  receiver->SetRoute(config_.host_id, dst_host, dst_core);
+  DctcpReceiver* out = receiver.get();
+  receivers_[flow_id] = std::move(receiver);
+  return out;
+}
+
+std::uint64_t Host::app_bytes_delivered() const { return stats_.Value("host.app_rx_bytes"); }
+
+void Host::OnTxSegmentComplete(const Packet& packet, std::uint32_t core_idx) {
+  (void)core_idx;
+  if (packet.payload == 0) {
+    return;
+  }
+  auto it = flow_nic_bytes_.find(packet.flow_id);
+  if (it != flow_nic_bytes_.end()) {
+    const std::uint64_t wire = packet.wire_size();
+    it->second = it->second >= wire ? it->second - wire : 0;
+  }
+  // Budget freed: let the flow continue.
+  if (auto sender = senders_.find(packet.flow_id); sender != senders_.end()) {
+    sender->second->MaybeSend();
+  }
+}
+
+void Host::ChargeCpu(std::uint32_t core_idx, TimeNs ns) {
+  Core& core = cores_[core_idx % cores_.size()];
+  const TimeNs base = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
+  core.busy_until = base + ns;
+  cpu_busy_ns_ += ns;
+}
+
+}  // namespace fsio

@@ -1,0 +1,160 @@
+// Host model: memory, IOMMU, IOVA allocator, DMA API, root complex, NIC,
+// CPU cores and transport endpoints, assembled into one server.
+//
+// The host implements the paper's Figure 1 datapath end to end:
+//   Rx: wire -> NIC buffer -> (descriptor pages, IOVAs) -> PCIe/IOMMU DMA ->
+//       per-core NAPI processing -> transport (ACK generation) -> app bytes;
+//       descriptor completion -> driver unmap + invalidations + replenish.
+//   Tx: transport segment -> per-page dma_map on the sending core -> NIC
+//       PCIe reads -> wire; completion -> driver unmap + invalidations.
+// CPU costs of the stack and of memory-protection operations are charged to
+// the owning core, so CPU-bottleneck effects (§4.4) emerge naturally.
+#ifndef FASTSAFE_SRC_HOST_HOST_H_
+#define FASTSAFE_SRC_HOST_HOST_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/driver/dma_api.h"
+#include "src/driver/protection.h"
+#include "src/iommu/iommu.h"
+#include "src/iova/iova_allocator.h"
+#include "src/mem/frame_allocator.h"
+#include "src/mem/memory_system.h"
+#include "src/nic/nic.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/pcie/root_complex.h"
+#include "src/simcore/event_queue.h"
+#include "src/stats/counters.h"
+#include "src/stats/reuse_distance.h"
+#include "src/transport/dctcp.h"
+#include "src/transport/packet.h"
+
+namespace fsio {
+
+struct HostCpuConfig {
+  TimeNs rx_packet_ns = 350;   // base stack cost per received packet
+  double rx_byte_ns = 0.02;    // per-byte processing (copy/GRO) cost
+  TimeNs tx_packet_ns = 250;   // base stack cost per transmitted packet
+  std::uint32_t napi_budget = 64;
+  // TCP-Small-Queues limit: bytes one flow may hold in the local NIC Tx path
+  // before further segments wait in the stack (resumed on Tx completion).
+  std::uint64_t tsq_limit_bytes = 128 * 1024;
+};
+
+struct HostConfig {
+  std::uint32_t host_id = 0;
+  std::uint32_t cores = 5;
+  ProtectionMode mode = ProtectionMode::kStrict;
+  std::uint32_t mtu_bytes = 4096;  // wire MTU, headers included
+  std::uint32_t ring_size_pkts = 256;       // per core, in MTU packets
+  std::uint32_t ring_pages_multiplier = 2;  // NIC gets 2x ring-size worth of pages
+  std::uint32_t pages_per_desc = 64;
+  // Back Rx descriptors with 2 MB huge frames and map each descriptor as a
+  // single PT-L3 leaf entry (forces pages_per_desc = 512). Used for the
+  // F&S-with-hugepages extension and implied by kHugepagePersistent.
+  bool use_hugepages = false;
+  HostCpuConfig cpu;
+  MemoryConfig memory;
+  IommuConfig iommu;
+  PcieConfig pcie;
+  NicConfig nic;
+  IovaAllocatorConfig iova;
+  DmaApiConfig dma;  // `dma.mode` is overwritten from `mode`
+  bool track_l3_locality = false;
+};
+
+class Host {
+ public:
+  using WireOutFn = std::function<void(const Packet&, TimeNs departure)>;
+
+  Host(const HostConfig& config, EventQueue* ev);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  // Wiring to the network fabric.
+  void SetWireOut(WireOutFn fn) { wire_out_ = std::move(fn); }
+  void DeliverFromWire(const Packet& packet) { nic_->OnWireArrival(packet); }
+
+  // Transport endpoints. `local_core` is the core running this endpoint
+  // (aRFS: also the core the peer steers this flow's packets to).
+  DctcpSender* AddSender(std::uint64_t flow_id, std::uint32_t local_core,
+                         std::uint32_t dst_host, std::uint32_t dst_core,
+                         const DctcpConfig& config);
+  DctcpReceiver* AddReceiver(std::uint64_t flow_id, std::uint32_t local_core,
+                             std::uint32_t dst_host, std::uint32_t dst_core,
+                             const DctcpConfig& config,
+                             DctcpReceiver::DeliverFn app_deliver);
+
+  StatsRegistry& stats() { return stats_; }
+  const HostConfig& config() const { return config_; }
+  Nic& nic() { return *nic_; }
+  Iommu* iommu() { return iommu_.get(); }
+  DmaApi& dma() { return *dma_; }
+  EventQueue& ev() { return *ev_; }
+  ReuseDistanceTracker& l3_tracker() { return l3_tracker_; }
+
+  // Total in-order bytes delivered to applications across all receivers.
+  std::uint64_t app_bytes_delivered() const;
+
+  // Charges application CPU work to a core (request processing, response
+  // construction). Subsequent stack work on that core queues behind it.
+  void ChargeCpu(std::uint32_t core_idx, TimeNs ns);
+
+  // Aggregate CPU busy time across cores (utilization diagnostics).
+  TimeNs total_cpu_busy_ns() const { return cpu_busy_ns_; }
+
+ private:
+  struct Core {
+    TimeNs busy_until = 0;
+    bool running = false;
+    std::deque<Packet> rx_queue;
+    std::deque<std::vector<DmaMapping>> desc_completions;
+    std::deque<std::vector<DmaMapping>> tx_unmaps;
+  };
+
+  void SetupRings();
+  void ScheduleCore(std::uint32_t core_idx);
+  void RunCore(std::uint32_t core_idx);
+  void ReplenishRing(std::uint32_t core_idx, TimeNs at, TimeNs* cpu_ns);
+  void RouteToTransport(const Packet& packet);
+  void TransmitFromCore(const Packet& packet, std::uint32_t core_idx);
+  void OnTxSegmentComplete(const Packet& packet, std::uint32_t core_idx);
+
+  HostConfig config_;
+  EventQueue* ev_;
+  StatsRegistry stats_;
+  std::unique_ptr<MemorySystem> memory_;
+  FrameAllocator frames_;
+  std::unique_ptr<IoPageTable> page_table_;
+  std::unique_ptr<Iommu> iommu_;  // null when mode == kOff
+  std::unique_ptr<IovaAllocator> iova_;
+  std::unique_ptr<DmaApi> dma_;
+  std::unique_ptr<RootComplex> rc_;
+  std::unique_ptr<Nic> nic_;
+  ReuseDistanceTracker l3_tracker_;
+
+  std::vector<Core> cores_;
+  std::uint64_t target_pages_per_ring_ = 0;
+  std::uint32_t pages_per_packet_ = 1;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<DctcpSender>> senders_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<DctcpReceiver>> receivers_;
+  std::unordered_map<std::uint64_t, std::uint32_t> flow_core_;
+  // TSQ state: bytes each flow currently holds in the NIC Tx path.
+  std::unordered_map<std::uint64_t, std::uint64_t> flow_nic_bytes_;
+
+  WireOutFn wire_out_;
+  TimeNs cpu_busy_ns_ = 0;
+
+  Counter* app_rx_bytes_;
+  Counter* replenished_descs_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_HOST_HOST_H_

@@ -1,0 +1,256 @@
+#include "src/iommu/iommu.h"
+
+namespace fsio {
+
+Iommu::Iommu(const IommuConfig& config, MemorySystem* memory, IoPageTable* page_table,
+             StatsRegistry* stats)
+    : config_(config),
+      memory_(memory),
+      page_table_(page_table),
+      iotlb_(config.iotlb_sets, config.iotlb_ways),
+      ptcache_l1_(1, config.ptcache_l1_entries),
+      ptcache_l2_(1, config.ptcache_l2_entries),
+      ptcache_l3_(1, config.ptcache_l3_entries),
+      walker_free_(config.num_walkers == 0 ? 1 : config.num_walkers, 0),
+      translations_(stats->Get("iommu.translations")),
+      iotlb_miss_(stats->Get("iommu.iotlb_miss")),
+      l1_miss_(stats->Get("iommu.ptcache_l1_miss")),
+      l2_miss_(stats->Get("iommu.ptcache_l2_miss")),
+      l3_miss_(stats->Get("iommu.ptcache_l3_miss")),
+      mem_reads_(stats->Get("iommu.mem_reads")),
+      faults_(stats->Get("iommu.faults")),
+      inv_requests_(stats->Get("iommu.inv_requests")),
+      stale_iotlb_use_(stats->Get("iommu.stale_iotlb_use")),
+      stale_ptcache_use_(stats->Get("iommu.stale_ptcache_use")),
+      inv_queue_wait_ns_(stats->Get("iommu.inv_queue_wait_ns")) {
+  ptcaches_ = {&ptcache_l1_, &ptcache_l2_, &ptcache_l3_};
+}
+
+TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
+  translations_->Add();
+  TranslationResult out;
+  const std::uint64_t page = PageNumber(iova);
+
+  if (auto hit = iotlb_.Lookup(page); hit.has_value()) {
+    out.iotlb_hit = true;
+    out.phys = *hit + (iova & (kPageSize - 1));
+    out.done = start;
+    if (config_.track_safety && !page_table_->IsMapped(iova)) {
+      // Deferred-mode hazard: the device just used a mapping that the OS
+      // already tore down.
+      out.stale_use = true;
+      stale_iotlb_use_->Add();
+    }
+    return out;
+  }
+  // 2 MB-granularity IOTLB entries (hugepage mappings).
+  if (auto hit = iotlb_.Lookup(kHugeIotlbTagBit | LevelTag(iova, 3)); hit.has_value()) {
+    out.iotlb_hit = true;
+    out.phys = *hit + (iova & (LevelEntrySpan(3) - 1));
+    out.done = start;
+    if (config_.track_safety && !page_table_->IsMapped(iova)) {
+      out.stale_use = true;
+      stale_iotlb_use_->Add();
+    }
+    return out;
+  }
+
+  // Coalesce with an in-flight walk for the same page, if any: the request
+  // waits for that walk instead of starting its own.
+  if (auto it = pending_walks_.find(page);
+      it != pending_walks_.end() && it->second.done > start) {
+    out.phys = it->second.phys + (iova & (kPageSize - 1));
+    out.done = it->second.done;
+    return out;
+  }
+
+  iotlb_miss_->Add();
+  return WalkAndFill(iova, start);
+}
+
+TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
+  TranslationResult out;
+  const std::uint64_t page = PageNumber(iova);
+  const WalkResult walk = page_table_->Walk(iova);
+
+  // Consult the page-table caches, deepest level first; the first hit
+  // determines how many sequential PTE reads the walk needs.
+  int reads = 1;  // the leaf entry read is unavoidable
+  bool stale = false;
+  if (walk.huge) {
+    // 2 MB mapping: the PT-L3 entry IS the leaf, so the deepest usable
+    // cache is PTcache-L2.
+    if (!config_.ptcache_enabled) {
+      out.l2_missed = true;
+      out.l1_missed = true;
+      l2_miss_->Add();
+      l1_miss_->Add();
+      reads = 3;
+    } else if (auto l2 = ptcache_l2_.Lookup(LevelTag(iova, 2)); l2.has_value()) {
+      if (config_.track_safety && *l2 != walk.path_page_id[2]) {
+        stale = true;
+        stale_ptcache_use_->Add();
+      }
+    } else {
+      out.l2_missed = true;
+      l2_miss_->Add();
+      reads = 2;
+      if (auto l1 = ptcache_l1_.Lookup(LevelTag(iova, 1)); l1.has_value()) {
+        if (config_.track_safety && *l1 != walk.path_page_id[1]) {
+          stale = true;
+          stale_ptcache_use_->Add();
+        }
+      } else {
+        out.l1_missed = true;
+        l1_miss_->Add();
+        reads = 3;
+      }
+    }
+  } else if (config_.ptcache_enabled) {
+    if (auto l3 = ptcache_l3_.Lookup(LevelTag(iova, 3)); l3.has_value()) {
+      if (config_.track_safety && *l3 != walk.path_page_id[3]) {
+        // The cached pointer leads to a reclaimed (or replaced) PT-L4 page:
+        // hardware would read a stale entry.
+        stale = true;
+        stale_ptcache_use_->Add();
+      }
+    } else {
+      out.l3_missed = true;
+      l3_miss_->Add();
+      reads = 2;
+      if (auto l2 = ptcache_l2_.Lookup(LevelTag(iova, 2)); l2.has_value()) {
+        if (config_.track_safety && *l2 != walk.path_page_id[2]) {
+          stale = true;
+          stale_ptcache_use_->Add();
+        }
+      } else {
+        out.l2_missed = true;
+        l2_miss_->Add();
+        reads = 3;
+        if (auto l1 = ptcache_l1_.Lookup(LevelTag(iova, 1)); l1.has_value()) {
+          if (config_.track_safety && *l1 != walk.path_page_id[1]) {
+            stale = true;
+            stale_ptcache_use_->Add();
+          }
+        } else {
+          out.l1_missed = true;
+          l1_miss_->Add();
+          reads = 4;
+        }
+      }
+    }
+  } else {
+    out.l3_missed = true;
+    out.l2_missed = true;
+    out.l1_missed = true;
+    l3_miss_->Add();
+    l2_miss_->Add();
+    l1_miss_->Add();
+    reads = 4;
+  }
+
+  // Claim the earliest-free walker and perform the sequential PTE reads.
+  std::size_t walker = 0;
+  for (std::size_t i = 1; i < walker_free_.size(); ++i) {
+    if (walker_free_[i] < walker_free_[walker]) {
+      walker = i;
+    }
+  }
+  TimeNs t = walker_free_[walker] > start ? walker_free_[walker] : start;
+  for (int i = 0; i < reads - 1; ++i) {
+    // Non-leaf table reads: cold, from DRAM.
+    t = memory_->Read(t + config_.walk_step_overhead_ns, config_.pte_read_bytes);
+  }
+  // Leaf read: served from the cache hierarchy (recently written PTE).
+  t += config_.leaf_pte_read_ns;
+  walker_free_[walker] = t;
+  out.mem_reads = reads;
+  mem_reads_->Add(static_cast<std::uint64_t>(reads));
+  out.done = t;
+  out.stale_use = stale;
+
+  if (!walk.present) {
+    if (stale) {
+      // A stale cached pointer may expose the old mapping to the device; we
+      // model it as a (flagged) successful translation to "somewhere".
+      out.phys = 0;
+      return out;
+    }
+    out.fault = true;
+    faults_->Add();
+    return out;
+  }
+
+  out.phys = walk.phys;
+  if (config_.ptcache_enabled) {
+    ptcache_l1_.Insert(LevelTag(iova, 1), walk.path_page_id[1]);
+    ptcache_l2_.Insert(LevelTag(iova, 2), walk.path_page_id[2]);
+    if (!walk.huge) {
+      ptcache_l3_.Insert(LevelTag(iova, 3), walk.path_page_id[3]);
+    }
+  }
+  if (walk.huge) {
+    // One IOTLB entry covers the whole 2 MB mapping.
+    iotlb_.Insert(kHugeIotlbTagBit | LevelTag(iova, 3),
+                  walk.phys & ~(LevelEntrySpan(3) - 1));
+  } else {
+    iotlb_.Insert(page, walk.phys & ~(kPageSize - 1));
+  }
+  pending_walks_[page] = PendingWalk{t, walk.phys & ~(kPageSize - 1)};
+  if (pending_walks_.size() > 8192) {
+    // Prune completed walks so the map stays small.
+    for (auto it = pending_walks_.begin(); it != pending_walks_.end();) {
+      if (it->second.done <= start) {
+        it = pending_walks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+TimeNs Iommu::InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, TimeNs at) {
+  inv_requests_->Add();
+  if (len == 0) {
+    return at;
+  }
+  const Iova end = start + len - 1;
+  iotlb_.InvalidateRange(PageNumber(start), PageNumber(end));
+  // Hugepage-granularity IOTLB entries covering the range.
+  iotlb_.InvalidateRange(kHugeIotlbTagBit | LevelTag(start, 3),
+                         kHugeIotlbTagBit | LevelTag(end, 3));
+  for (std::uint64_t page = PageNumber(start); page <= PageNumber(end); ++page) {
+    pending_walks_.erase(page);
+  }
+  if (!leaf_only) {
+    for (int level = 1; level <= 3; ++level) {
+      ptcaches_[level - 1]->InvalidateRange(LevelTag(start, level), LevelTag(end, level));
+    }
+  }
+  // The hardware invalidation queue has hundreds of entries and a per-
+  // request service time far below the CPU-side submit cost (~200 ns), so it
+  // is never a serialization bottleneck; requests complete a fixed hardware
+  // latency after submission. (Cores submit at out-of-order simulated times,
+  // so a serialized free-pointer would create artificial cross-core waits.)
+  return at + config_.invalidation_hw_ns;
+}
+
+TimeNs Iommu::InvalidateAll(TimeNs at) {
+  inv_requests_->Add();
+  iotlb_.InvalidateAll();
+  ptcache_l1_.InvalidateAll();
+  ptcache_l2_.InvalidateAll();
+  ptcache_l3_.InvalidateAll();
+  pending_walks_.clear();
+  return at + config_.invalidation_hw_ns;
+}
+
+void Iommu::OnTablePageReclaimed(const ReclaimedTablePage& page) {
+  // A level-L page is pointed at by PTcache-L(L-1) entries.
+  if (page.level >= 2 && page.level <= 4) {
+    ptcaches_[page.level - 2]->InvalidateByPayload(page.page_id);
+  }
+}
+
+}  // namespace fsio

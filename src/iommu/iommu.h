@@ -1,0 +1,153 @@
+// IOMMU model: IOTLB, per-level IO page table caches, page-table walkers and
+// the invalidation-queue interface.
+//
+// Translation follows §2.1 of the paper exactly:
+//   * IOTLB hit → no memory access.
+//   * IOTLB miss → the IOMMU consults PTcache-L3/L2/L1 (deepest first) and
+//     walks only the uncached suffix of the path, so a miss costs between 1
+//     (PTcache-L3 hit: read the PT-L4 entry) and 4 (all PTcaches miss)
+//     sequential memory reads.
+// Miss counters use the paper's hierarchical semantics: a level-i miss is
+// counted only when all deeper levels also missed, so that
+//   memory reads = m_IOTLB + m1 + m2 + m3.
+//
+// The invalidation queue exposes the VT-d option the F&S driver relies on:
+// invalidate an IOVA range's IOTLB entries while *preserving* the page table
+// caches (leaf_only = true).
+//
+// Safety accounting: every cached entry stores the id of the page-table page
+// it points at. If a translation consumes a cached pointer to a page that
+// has since been reclaimed, or an IOTLB entry for an IOVA that is no longer
+// mapped, the IOMMU counts a safety violation — this is how the test suite
+// proves that strict mode and F&S never let a device use stale state, and
+// that deferred mode does.
+#ifndef FASTSAFE_SRC_IOMMU_IOMMU_H_
+#define FASTSAFE_SRC_IOMMU_IOMMU_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/set_assoc_cache.h"
+#include "src/mem/address.h"
+#include "src/mem/memory_system.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+struct IommuConfig {
+  // IOTLB geometry (default 64 entries, within the paper's likely range).
+  std::uint32_t iotlb_sets = 16;
+  std::uint32_t iotlb_ways = 4;
+  // IO page table caches. Sizes are not public; the paper estimates 64-128
+  // for PTcache-L3 (Fig. 2e thresholds) and small L1/L2 caches suffice.
+  std::uint32_t ptcache_l1_entries = 32;
+  std::uint32_t ptcache_l2_entries = 32;
+  std::uint32_t ptcache_l3_entries = 128;
+  bool ptcache_enabled = true;  // false models pre-PTcache IOMMUs (4 reads/miss)
+  // Concurrent page-table walk contexts. The paper's fitted per-read cost
+  // (lm ≈ 197 ns, close to a full DRAM access plus IOMMU processing)
+  // indicates walks serialize through a single translation context.
+  std::uint32_t num_walkers = 1;
+  // Per-entry PTE read size (a 64-bit entry; memory rounds up to a line).
+  std::uint64_t pte_read_bytes = 8;
+  // IOMMU-side processing per walk step (request issue, entry decode), on
+  // top of the DRAM access. Calibrated so the effective per-read walk cost
+  // matches the paper's fitted lm ≈ 197 ns.
+  TimeNs walk_step_overhead_ns = 90;
+  // Cost of the final (PT-L4 leaf) entry read. Leaf PTEs are written by the
+  // CPU during dma_map microseconds before the DMA, so the IOMMU's snooped
+  // read is typically served from the cache hierarchy, cheaper than the
+  // cold non-leaf table reads.
+  TimeNs leaf_pte_read_ns = 160;
+  // Hardware processing time for one invalidation-queue request.
+  TimeNs invalidation_hw_ns = 50;
+  // Detect stale-entry use (safety oracle). Costs extra software walks.
+  bool track_safety = true;
+};
+
+// Namespace bit distinguishing 2 MB-granularity IOTLB tags from 4 KB ones
+// (real IOTLBs keep both granularities; we share one array).
+inline constexpr std::uint64_t kHugeIotlbTagBit = 1ULL << 62;
+
+// Outcome of one address translation.
+struct TranslationResult {
+  TimeNs done = 0;        // time the translated address is available
+  PhysAddr phys = 0;
+  bool fault = false;     // IOVA unmapped and not served by any (stale) cache
+  bool iotlb_hit = false;
+  int mem_reads = 0;      // 0 on IOTLB hit
+  // Hierarchical miss flags (only meaningful when !iotlb_hit).
+  bool l3_missed = false;
+  bool l2_missed = false;
+  bool l1_missed = false;
+  bool stale_use = false;  // translation consumed stale cached state
+};
+
+class Iommu {
+ public:
+  Iommu(const IommuConfig& config, MemorySystem* memory, IoPageTable* page_table,
+        StatsRegistry* stats);
+
+  // Translates `iova` for a DMA issued at time `start`. Concurrent misses on
+  // the same page coalesce onto one in-flight walk.
+  TranslationResult Translate(Iova iova, TimeNs start);
+
+  // Invalidation-queue request covering [start, start + len): always drops
+  // the range's IOTLB entries; when `leaf_only` is false, also drops the
+  // PTcache entries whose span intersects the range (Linux strict-mode
+  // default). Returns the time the hardware completes the request, given it
+  // was submitted at `at`. The caller (driver) models the CPU-side wait.
+  TimeNs InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, TimeNs at);
+
+  // Flushes every IOTLB and PTcache entry (deferred-mode bulk flush).
+  TimeNs InvalidateAll(TimeNs at);
+
+  // Must be called when the page table reclaims a table page so hardware
+  // caches drop pointers into it. F&S invokes this on the rare reclamation;
+  // skipping it (see config of the driver) lets tests demonstrate the
+  // resulting safety violation.
+  void OnTablePageReclaimed(const ReclaimedTablePage& page);
+
+  const SetAssocCache& iotlb() const { return iotlb_; }
+  const SetAssocCache& ptcache(int level) const { return *ptcaches_[level - 1]; }
+
+ private:
+  struct PendingWalk {
+    TimeNs done = 0;
+    PhysAddr phys = 0;
+  };
+
+  TranslationResult WalkAndFill(Iova iova, TimeNs start);
+
+  IommuConfig config_;
+  MemorySystem* memory_;
+  IoPageTable* page_table_;
+
+  SetAssocCache iotlb_;
+  std::vector<SetAssocCache*> ptcaches_;  // [0]=L1, [1]=L2, [2]=L3
+  SetAssocCache ptcache_l1_;
+  SetAssocCache ptcache_l2_;
+  SetAssocCache ptcache_l3_;
+
+  std::vector<TimeNs> walker_free_;
+  std::unordered_map<std::uint64_t, PendingWalk> pending_walks_;  // page -> walk
+
+  Counter* translations_;
+  Counter* iotlb_miss_;
+  Counter* l1_miss_;
+  Counter* l2_miss_;
+  Counter* l3_miss_;
+  Counter* mem_reads_;
+  Counter* faults_;
+  Counter* inv_requests_;
+  Counter* stale_iotlb_use_;
+  Counter* stale_ptcache_use_;
+  Counter* inv_queue_wait_ns_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_IOMMU_IOMMU_H_

@@ -1,0 +1,110 @@
+#include "src/iova/iova_allocator.h"
+
+#include <bit>
+#include <utility>
+
+namespace fsio {
+
+IovaAllocator::IovaAllocator(const IovaAllocatorConfig& config, StatsRegistry* stats)
+    : config_(config),
+      tree_(kIovaSpaceSize >> kPageShift),
+      cache_hits_(stats->Get("iova.cache_hits")),
+      cache_misses_(stats->Get("iova.cache_misses")),
+      tree_allocs_(stats->Get("iova.tree_allocs")),
+      tree_frees_(stats->Get("iova.tree_frees")),
+      depot_transfers_(stats->Get("iova.depot_transfers")) {
+  if (config_.num_cores == 0) {
+    config_.num_cores = 1;
+  }
+  core_caches_.resize(static_cast<std::size_t>(config_.num_cores) *
+                      (config_.max_cached_order + 1));
+  depot_.resize(config_.max_cached_order + 1);
+}
+
+std::uint32_t IovaAllocator::OrderFor(std::uint64_t pages) {
+  if (pages <= 1) {
+    return 0;
+  }
+  return static_cast<std::uint32_t>(64 - std::countl_zero(pages - 1));
+}
+
+IovaAllocator::SizeClassCache& IovaAllocator::CacheFor(std::uint32_t core, std::uint32_t order) {
+  return core_caches_[static_cast<std::size_t>(core) * (config_.max_cached_order + 1) + order];
+}
+
+void IovaAllocator::FlushMagazineToTree(Magazine* mag) {
+  for (std::uint64_t pfn : mag->pfns) {
+    tree_.Free(pfn);
+    tree_frees_->Add();
+  }
+  mag->pfns.clear();
+}
+
+Iova IovaAllocator::Alloc(std::uint32_t core, std::uint64_t pages) {
+  const std::uint32_t order = OrderFor(pages);
+  const std::uint64_t rounded = 1ULL << order;
+  if (CacheableOrder(order)) {
+    SizeClassCache& cache = CacheFor(core % config_.num_cores, order);
+    if (cache.loaded.pfns.empty() && !cache.prev.pfns.empty()) {
+      std::swap(cache.loaded, cache.prev);
+    }
+    if (cache.loaded.pfns.empty()) {
+      std::vector<Magazine>& depot = DepotFor(order);
+      if (!depot.empty()) {
+        cache.loaded = std::move(depot.back());
+        depot.pop_back();
+        depot_transfers_->Add();
+      }
+    }
+    if (!cache.loaded.pfns.empty()) {
+      const std::uint64_t pfn = cache.loaded.pfns.back();
+      cache.loaded.pfns.pop_back();
+      cache_hits_->Add();
+      ++live_allocations_;
+      return pfn << kPageShift;
+    }
+    cache_misses_->Add();
+  }
+  const std::uint64_t pfn = tree_.Alloc(rounded, rounded);
+  if (pfn == RbTreeAllocator::kInvalidPfn) {
+    return kInvalidIova;
+  }
+  tree_allocs_->Add();
+  ++live_allocations_;
+  return pfn << kPageShift;
+}
+
+void IovaAllocator::Free(std::uint32_t core, Iova iova, std::uint64_t pages) {
+  const std::uint32_t order = OrderFor(pages);
+  const std::uint64_t pfn = iova >> kPageShift;
+  if (live_allocations_ > 0) {
+    --live_allocations_;
+  }
+  if (CacheableOrder(order)) {
+    SizeClassCache& cache = CacheFor(core % config_.num_cores, order);
+    if (cache.loaded.pfns.size() >= config_.magazine_size) {
+      // Loaded magazine is full: retire it to the depot and promote `prev`.
+      std::vector<Magazine>& depot = DepotFor(order);
+      if (depot.size() >= config_.depot_magazines) {
+        // Depot full: return the oldest magazine's IOVAs to the tree.
+        FlushMagazineToTree(&depot.front());
+        depot.erase(depot.begin());
+      }
+      depot.push_back(std::move(cache.loaded));
+      depot_transfers_->Add();
+      cache.loaded = std::move(cache.prev);
+      cache.prev = Magazine{};
+      if (cache.loaded.pfns.size() >= config_.magazine_size) {
+        // Both magazines were full; start a fresh one.
+        depot.push_back(std::move(cache.loaded));
+        cache.loaded = Magazine{};
+      }
+    }
+    cache.loaded.pfns.push_back(pfn);
+    return;
+  }
+  tree_.Free(pfn);
+  tree_frees_->Add();
+}
+
+}  // namespace fsio

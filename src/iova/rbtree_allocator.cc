@@ -1,0 +1,389 @@
+#include "src/iova/rbtree_allocator.h"
+
+#include <vector>
+
+namespace fsio {
+
+namespace {
+enum Color : std::uint8_t { kRed, kBlack };
+}  // namespace
+
+struct RbTreeAllocator::Node {
+  std::uint64_t lo = 0;  // first PFN of the range
+  std::uint64_t hi = 0;  // last PFN of the range (inclusive)
+  Color color = kRed;
+  Node* parent = nullptr;
+  Node* left = nullptr;
+  Node* right = nullptr;
+};
+
+RbTreeAllocator::RbTreeAllocator(std::uint64_t limit_pfn) : limit_pfn_(limit_pfn) {
+  nil_ = new Node();
+  nil_->color = kBlack;
+  nil_->parent = nil_->left = nil_->right = nil_;
+  root_ = nil_;
+}
+
+RbTreeAllocator::~RbTreeAllocator() {
+  // Iterative post-order destruction to avoid deep recursion.
+  std::vector<Node*> stack;
+  if (root_ != nil_) {
+    stack.push_back(root_);
+  }
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->left != nil_) {
+      stack.push_back(n->left);
+    }
+    if (n->right != nil_) {
+      stack.push_back(n->right);
+    }
+    delete n;
+  }
+  delete nil_;
+}
+
+RbTreeAllocator::Node* RbTreeAllocator::Minimum(Node* x) const {
+  while (x->left != nil_) {
+    x = x->left;
+  }
+  return x;
+}
+
+RbTreeAllocator::Node* RbTreeAllocator::Maximum(Node* x) const {
+  while (x->right != nil_) {
+    x = x->right;
+  }
+  return x;
+}
+
+RbTreeAllocator::Node* RbTreeAllocator::Predecessor(Node* x) const {
+  if (x->left != nil_) {
+    return Maximum(x->left);
+  }
+  Node* y = x->parent;
+  while (y != nil_ && x == y->left) {
+    x = y;
+    y = y->parent;
+  }
+  return y;
+}
+
+void RbTreeAllocator::LeftRotate(Node* x) {
+  Node* y = x->right;
+  x->right = y->left;
+  if (y->left != nil_) {
+    y->left->parent = x;
+  }
+  y->parent = x->parent;
+  if (x->parent == nil_) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTreeAllocator::RightRotate(Node* x) {
+  Node* y = x->left;
+  x->left = y->right;
+  if (y->right != nil_) {
+    y->right->parent = x;
+  }
+  y->parent = x->parent;
+  if (x->parent == nil_) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+void RbTreeAllocator::InsertNode(Node* z) {
+  Node* y = nil_;
+  Node* x = root_;
+  while (x != nil_) {
+    y = x;
+    x = z->lo < x->lo ? x->left : x->right;
+  }
+  z->parent = y;
+  if (y == nil_) {
+    root_ = z;
+  } else if (z->lo < y->lo) {
+    y->left = z;
+  } else {
+    y->right = z;
+  }
+  z->left = nil_;
+  z->right = nil_;
+  z->color = kRed;
+  InsertFixup(z);
+}
+
+void RbTreeAllocator::InsertFixup(Node* z) {
+  while (z->parent->color == kRed) {
+    if (z->parent == z->parent->parent->left) {
+      Node* y = z->parent->parent->right;
+      if (y->color == kRed) {
+        z->parent->color = kBlack;
+        y->color = kBlack;
+        z->parent->parent->color = kRed;
+        z = z->parent->parent;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          LeftRotate(z);
+        }
+        z->parent->color = kBlack;
+        z->parent->parent->color = kRed;
+        RightRotate(z->parent->parent);
+      }
+    } else {
+      Node* y = z->parent->parent->left;
+      if (y->color == kRed) {
+        z->parent->color = kBlack;
+        y->color = kBlack;
+        z->parent->parent->color = kRed;
+        z = z->parent->parent;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          RightRotate(z);
+        }
+        z->parent->color = kBlack;
+        z->parent->parent->color = kRed;
+        LeftRotate(z->parent->parent);
+      }
+    }
+  }
+  root_->color = kBlack;
+}
+
+void RbTreeAllocator::Transplant(Node* u, Node* v) {
+  if (u->parent == nil_) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  v->parent = u->parent;
+}
+
+void RbTreeAllocator::DeleteNode(Node* z) {
+  Node* y = z;
+  Node* x = nil_;
+  Color y_original = y->color;
+  if (z->left == nil_) {
+    x = z->right;
+    Transplant(z, z->right);
+  } else if (z->right == nil_) {
+    x = z->left;
+    Transplant(z, z->left);
+  } else {
+    y = Minimum(z->right);
+    y_original = y->color;
+    x = y->right;
+    if (y->parent == z) {
+      x->parent = y;
+    } else {
+      Transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    Transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->color = z->color;
+  }
+  if (y_original == kBlack) {
+    DeleteFixup(x);
+  }
+  delete z;
+}
+
+void RbTreeAllocator::DeleteFixup(Node* x) {
+  while (x != root_ && x->color == kBlack) {
+    if (x == x->parent->left) {
+      Node* w = x->parent->right;
+      if (w->color == kRed) {
+        w->color = kBlack;
+        x->parent->color = kRed;
+        LeftRotate(x->parent);
+        w = x->parent->right;
+      }
+      if (w->left->color == kBlack && w->right->color == kBlack) {
+        w->color = kRed;
+        x = x->parent;
+      } else {
+        if (w->right->color == kBlack) {
+          w->left->color = kBlack;
+          w->color = kRed;
+          RightRotate(w);
+          w = x->parent->right;
+        }
+        w->color = x->parent->color;
+        x->parent->color = kBlack;
+        w->right->color = kBlack;
+        LeftRotate(x->parent);
+        x = root_;
+      }
+    } else {
+      Node* w = x->parent->left;
+      if (w->color == kRed) {
+        w->color = kBlack;
+        x->parent->color = kRed;
+        RightRotate(x->parent);
+        w = x->parent->left;
+      }
+      if (w->right->color == kBlack && w->left->color == kBlack) {
+        w->color = kRed;
+        x = x->parent;
+      } else {
+        if (w->left->color == kBlack) {
+          w->right->color = kBlack;
+          w->color = kRed;
+          LeftRotate(w);
+          w = x->parent->left;
+        }
+        w->color = x->parent->color;
+        x->parent->color = kBlack;
+        w->left->color = kBlack;
+        RightRotate(x->parent);
+        x = root_;
+      }
+    }
+  }
+  x->color = kBlack;
+}
+
+RbTreeAllocator::Node* RbTreeAllocator::FindByStart(std::uint64_t start_pfn) const {
+  Node* x = root_;
+  while (x != nil_) {
+    if (start_pfn == x->lo) {
+      return x;
+    }
+    x = start_pfn < x->lo ? x->left : x->right;
+  }
+  return nullptr;
+}
+
+std::uint64_t RbTreeAllocator::Alloc(std::uint64_t pages, std::uint64_t align_pages) {
+  if (pages == 0 || pages > limit_pfn_) {
+    return kInvalidPfn;
+  }
+  if (align_pages == 0) {
+    align_pages = 1;
+  }
+  const std::uint64_t align_mask = align_pages - 1;
+  // Walk allocated ranges from the top of the space downward, trying to place
+  // the new range at the top of each free gap (Linux-style top-down search).
+  std::uint64_t gap_top = limit_pfn_;  // exclusive upper bound of current gap
+  Node* node = root_ == nil_ ? nil_ : Maximum(root_);
+  while (true) {
+    const std::uint64_t gap_lo = node == nil_ ? 0 : node->hi + 1;
+    if (gap_top >= gap_lo && gap_top - gap_lo >= pages) {
+      std::uint64_t start = (gap_top - pages) & ~align_mask;
+      if (start >= gap_lo && start + pages <= gap_top) {
+        auto* range = new Node();
+        range->lo = start;
+        range->hi = start + pages - 1;
+        InsertNode(range);
+        ++size_;
+        allocated_pages_ += pages;
+        return start;
+      }
+    }
+    if (node == nil_) {
+      return kInvalidPfn;
+    }
+    gap_top = node->lo;
+    node = Predecessor(node);
+    if (node == nullptr) {
+      node = nil_;
+    }
+  }
+}
+
+bool RbTreeAllocator::Free(std::uint64_t start_pfn) {
+  Node* node = FindByStart(start_pfn);
+  if (node == nullptr) {
+    return false;
+  }
+  allocated_pages_ -= node->hi - node->lo + 1;
+  --size_;
+  DeleteNode(node);
+  return true;
+}
+
+bool RbTreeAllocator::Contains(std::uint64_t pfn) const {
+  const Node* x = root_;
+  while (x != nil_) {
+    if (pfn < x->lo) {
+      x = x->left;
+    } else if (pfn > x->hi) {
+      x = x->right;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RbTreeAllocator::CheckSubtree(const Node* node, std::uint64_t* black_height,
+                                   std::uint64_t lo, std::uint64_t hi) const {
+  if (node == nil_) {
+    *black_height = 1;
+    return true;
+  }
+  if (node->lo > node->hi || node->lo < lo || node->hi > hi) {
+    return false;
+  }
+  if (node->color == kRed &&
+      (node->left->color == kRed || node->right->color == kRed)) {
+    return false;
+  }
+  std::uint64_t left_bh = 0;
+  std::uint64_t right_bh = 0;
+  // Children must fit strictly to each side of this range (no overlap).
+  if (node->lo > 0) {
+    if (!CheckSubtree(node->left, &left_bh, lo, node->lo - 1)) {
+      return false;
+    }
+  } else if (node->left != nil_) {
+    return false;
+  } else {
+    left_bh = 1;
+  }
+  if (node->hi < ~0ULL) {
+    if (!CheckSubtree(node->right, &right_bh, node->hi + 1, hi)) {
+      return false;
+    }
+  } else if (node->right != nil_) {
+    return false;
+  } else {
+    right_bh = 1;
+  }
+  if (left_bh != right_bh) {
+    return false;
+  }
+  *black_height = left_bh + (node->color == kBlack ? 1 : 0);
+  return true;
+}
+
+bool RbTreeAllocator::CheckInvariants() const {
+  if (root_->color != kBlack) {
+    return false;
+  }
+  std::uint64_t bh = 0;
+  return CheckSubtree(root_, &bh, 0, ~0ULL);
+}
+
+}  // namespace fsio

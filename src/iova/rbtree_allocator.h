@@ -1,0 +1,78 @@
+// Red-black-tree IOVA range allocator, modeled on Linux's alloc_iova().
+//
+// Allocated ranges are nodes in a from-scratch red-black tree ordered by
+// start PFN. Allocation searches top-down from the address-space limit for
+// the highest free gap that fits (Linux allocates IOVAs "compactly from the
+// top of the address space"); freeing removes the exact node. All operations
+// work in page-frame-number (PFN) space.
+//
+// This is the slow path behind the per-core caches in iova_allocator.h; its
+// worst-case linear gap search is exactly the CPU-overhead trade-off the
+// paper describes in §2.1.
+#ifndef FASTSAFE_SRC_IOVA_RBTREE_ALLOCATOR_H_
+#define FASTSAFE_SRC_IOVA_RBTREE_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "src/mem/address.h"
+
+namespace fsio {
+
+class RbTreeAllocator {
+ public:
+  static constexpr std::uint64_t kInvalidPfn = ~0ULL;
+
+  // Allocations are placed below `limit_pfn` (exclusive).
+  explicit RbTreeAllocator(std::uint64_t limit_pfn = kIovaSpaceSize >> kPageShift);
+  ~RbTreeAllocator();
+  RbTreeAllocator(const RbTreeAllocator&) = delete;
+  RbTreeAllocator& operator=(const RbTreeAllocator&) = delete;
+
+  // Allocates `pages` contiguous PFNs aligned to `align_pages` (power of
+  // two, >= 1), preferring the highest free gap. Returns the first PFN, or
+  // kInvalidPfn if no gap fits.
+  std::uint64_t Alloc(std::uint64_t pages, std::uint64_t align_pages = 1);
+
+  // Frees the range that starts at `start_pfn`. Returns false if no
+  // allocated range starts there.
+  bool Free(std::uint64_t start_pfn);
+
+  // True if `pfn` lies inside any allocated range.
+  bool Contains(std::uint64_t pfn) const;
+
+  std::uint64_t allocated_ranges() const { return size_; }
+  std::uint64_t allocated_pages() const { return allocated_pages_; }
+  std::uint64_t limit_pfn() const { return limit_pfn_; }
+
+  // Verifies red-black and interval invariants (for property tests):
+  // BST order, no red node with a red child, equal black height on every
+  // path, and no overlapping ranges. Returns false on any violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* Minimum(Node* x) const;
+  Node* Maximum(Node* x) const;
+  Node* Predecessor(Node* x) const;
+  void LeftRotate(Node* x);
+  void RightRotate(Node* x);
+  void InsertNode(Node* z);
+  void InsertFixup(Node* z);
+  void Transplant(Node* u, Node* v);
+  void DeleteNode(Node* z);
+  void DeleteFixup(Node* x);
+  Node* FindByStart(std::uint64_t start_pfn) const;
+  bool CheckSubtree(const Node* node, std::uint64_t* black_height, std::uint64_t lo,
+                    std::uint64_t hi) const;
+
+  std::uint64_t limit_pfn_;
+  Node* nil_;   // shared sentinel
+  Node* root_;
+  std::uint64_t size_ = 0;
+  std::uint64_t allocated_pages_ = 0;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_IOVA_RBTREE_ALLOCATOR_H_

@@ -1,0 +1,53 @@
+// Address-space layout shared by the IOVA allocator, IO page table and IOMMU.
+//
+// Mirrors x86-64 / VT-d second-level translation: 48-bit IO virtual
+// addresses, 4 KB pages, four page-table levels of 512 eight-byte entries.
+// Level numbering follows the paper: PT-L1 is the root, PT-L4 holds the leaf
+// entries that map to physical frames.
+#ifndef FASTSAFE_SRC_MEM_ADDRESS_H_
+#define FASTSAFE_SRC_MEM_ADDRESS_H_
+
+#include <cstdint>
+
+namespace fsio {
+
+using Iova = std::uint64_t;      // IO virtual address (48-bit)
+using PhysAddr = std::uint64_t;  // host physical address
+
+inline constexpr std::uint64_t kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ULL << kPageShift;  // 4 KB
+inline constexpr std::uint64_t kEntriesPerTableShift = 9;
+inline constexpr std::uint64_t kEntriesPerTable = 1ULL << kEntriesPerTableShift;  // 512
+inline constexpr int kPtLevels = 4;
+inline constexpr std::uint64_t kIovaBits = 48;
+inline constexpr Iova kIovaSpaceSize = 1ULL << kIovaBits;
+inline constexpr std::uint64_t kCachelineSize = 64;
+
+// Bit shift of the address range covered by one entry at PT level `level`
+// (1-based, PT-L1..PT-L4). A PT-L4 entry covers one 4 KB page (shift 12); a
+// PT-L3 entry covers 2 MB (shift 21); PT-L2 1 GB (30); PT-L1 512 GB (39).
+constexpr std::uint64_t LevelEntryShift(int level) {
+  return kPageShift + kEntriesPerTableShift * static_cast<std::uint64_t>(kPtLevels - level);
+}
+
+// Bytes of IOVA space covered by one entry at PT level `level`.
+constexpr std::uint64_t LevelEntrySpan(int level) { return 1ULL << LevelEntryShift(level); }
+
+// Index into the level-`level` table for `iova`.
+constexpr std::uint64_t LevelIndex(Iova iova, int level) {
+  return (iova >> LevelEntryShift(level)) & (kEntriesPerTable - 1);
+}
+
+// Tag identifying the level-`level` entry covering `iova` (the full IOVA
+// prefix down to that level). Distinct tags = distinct PTcache entries.
+constexpr std::uint64_t LevelTag(Iova iova, int level) { return iova >> LevelEntryShift(level); }
+
+// Page number of `iova` (IOTLB tag granularity).
+constexpr std::uint64_t PageNumber(Iova iova) { return iova >> kPageShift; }
+
+constexpr Iova PageAlignDown(Iova iova) { return iova & ~(kPageSize - 1); }
+constexpr Iova PageAlignUp(Iova iova) { return (iova + kPageSize - 1) & ~(kPageSize - 1); }
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_MEM_ADDRESS_H_

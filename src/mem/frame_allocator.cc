@@ -1,0 +1,54 @@
+#include "src/mem/frame_allocator.h"
+
+namespace fsio {
+
+FrameAllocator::FrameAllocator(bool scramble, std::uint64_t seed)
+    : scramble_(scramble), rng_(seed) {}
+
+PhysAddr FrameAllocator::AllocFrame() {
+  ++allocated_;
+  ++live_;
+  if (!free_list_.empty()) {
+    const PhysAddr addr = free_list_.back();
+    free_list_.pop_back();
+    return addr;
+  }
+  std::uint64_t frame = next_frame_++;
+  if (scramble_) {
+    // Spread fresh frames across a large space; uniqueness is preserved by
+    // mixing a monotonically increasing counter with a random high part.
+    frame = (rng_.Next() & 0xffffULL) << 36 | frame;
+  }
+  return frame << kPageShift;
+}
+
+void FrameAllocator::FreeFrame(PhysAddr addr) {
+  if (live_ > 0) {
+    --live_;
+  }
+  free_list_.push_back(addr);
+}
+
+PhysAddr FrameAllocator::AllocHugeFrame() {
+  constexpr std::uint64_t kPagesPerHuge = 512;
+  allocated_ += kPagesPerHuge;
+  live_ += kPagesPerHuge;
+  if (!huge_free_list_.empty()) {
+    const PhysAddr addr = huge_free_list_.back();
+    huge_free_list_.pop_back();
+    return addr;
+  }
+  // Round the bump pointer up to 2 MB alignment and take 512 frames.
+  next_frame_ = (next_frame_ + kPagesPerHuge - 1) & ~(kPagesPerHuge - 1);
+  const PhysAddr addr = next_frame_ << kPageShift;
+  next_frame_ += kPagesPerHuge;
+  return addr;
+}
+
+void FrameAllocator::FreeHugeFrame(PhysAddr addr) {
+  constexpr std::uint64_t kPagesPerHuge = 512;
+  live_ = live_ >= kPagesPerHuge ? live_ - kPagesPerHuge : 0;
+  huge_free_list_.push_back(addr);
+}
+
+}  // namespace fsio

@@ -1,0 +1,52 @@
+// Physical page-frame allocator.
+//
+// The NIC driver allocates frames for Rx descriptor buffers and the stack
+// allocates frames for Tx payloads. A LIFO free list mimics the page
+// allocator's recycling behaviour; an optional scramble mode hands out
+// non-contiguous frames to mimic a fragmented physical memory (physical
+// layout does not affect IOMMU caches, but tests use it to prove that F&S
+// benefits come from *IOVA* contiguity, not physical contiguity).
+#ifndef FASTSAFE_SRC_MEM_FRAME_ALLOCATOR_H_
+#define FASTSAFE_SRC_MEM_FRAME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/address.h"
+#include "src/simcore/rng.h"
+
+namespace fsio {
+
+class FrameAllocator {
+ public:
+  // `scramble` makes fresh allocations come from a pseudo-random permutation
+  // of frame numbers instead of monotonically increasing ones.
+  explicit FrameAllocator(bool scramble = false, std::uint64_t seed = 1);
+
+  // Allocates one 4 KB frame and returns its physical address.
+  PhysAddr AllocFrame();
+
+  // Returns a frame to the free list.
+  void FreeFrame(PhysAddr addr);
+
+  // Allocates a physically contiguous, 2 MB-aligned huge frame (512 pages),
+  // as a hugetlb pool would. Returns the base physical address.
+  PhysAddr AllocHugeFrame();
+  void FreeHugeFrame(PhysAddr addr);
+
+  std::uint64_t allocated() const { return allocated_; }
+  std::uint64_t live() const { return live_; }
+
+ private:
+  bool scramble_;
+  Rng rng_;
+  std::uint64_t next_frame_ = 1;  // frame 0 reserved (null)
+  std::vector<PhysAddr> free_list_;
+  std::vector<PhysAddr> huge_free_list_;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t live_ = 0;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_MEM_FRAME_ALLOCATOR_H_

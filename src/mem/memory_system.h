@@ -1,0 +1,58 @@
+// Host memory model: fixed DRAM access latency plus a shared-bus bandwidth
+// constraint.
+//
+// The IOMMU's page-table walks, the root complex's payload writes (Rx) and
+// reads (Tx), and host-stack copies all contend here. Each access occupies
+// the bus for bytes/bandwidth and completes base-latency after its bus grant,
+// so light contention leaves latency near the DRAM floor (~90 ns) while
+// saturating traffic inflates it — matching the effective lm the paper fits.
+#ifndef FASTSAFE_SRC_MEM_MEMORY_SYSTEM_H_
+#define FASTSAFE_SRC_MEM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+struct MemoryConfig {
+  TimeNs access_latency_ns = 90;      // row-hit DRAM access latency
+  double bandwidth_gbps = 375.0;      // 46.9 GB/s ≈ 375 Gbit/s (2 channels DDR4)
+  std::uint32_t parallel_banks = 8;   // independent bank groups
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemoryConfig& config, StatsRegistry* stats);
+
+  // Issues a read of `bytes` at time `start`; returns the completion time.
+  // Reads shorter than a cacheline still transfer a full cacheline.
+  TimeNs Read(TimeNs start, std::uint64_t bytes);
+
+  // Issues a write of `bytes` at time `start`; returns the completion time.
+  TimeNs Write(TimeNs start, std::uint64_t bytes);
+
+  // Posted write: consumes bank bandwidth (affecting later accesses' queueing)
+  // but the caller does not wait for it. Used for pipelined payload commits.
+  void Post(TimeNs start, std::uint64_t bytes);
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  TimeNs Access(TimeNs start, std::uint64_t bytes);
+
+  MemoryConfig config_;
+  double bytes_per_ns_;
+  // Earliest time each bank is free; round-robin assignment approximates
+  // bank-level parallelism without tracking physical addresses.
+  std::vector<TimeNs> bank_free_;
+  std::uint64_t total_bytes_ = 0;
+  Counter* accesses_;
+  Counter* queued_ns_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_MEM_MEMORY_SYSTEM_H_

@@ -1,0 +1,289 @@
+#include "src/nic/nic.h"
+
+#include "src/mem/address.h"
+
+namespace fsio {
+
+Nic::Nic(const NicConfig& config, std::uint32_t cores, EventQueue* ev, RootComplex* rc,
+         StatsRegistry* stats)
+    : config_(config),
+      ev_(ev),
+      rc_(rc),
+      rings_(cores == 0 ? 1 : cores),
+      tx_queues_(cores == 0 ? 1 : cores),
+      rx_packets_(stats->Get("nic.rx_packets")),
+      rx_bytes_(stats->Get("nic.rx_bytes")),
+      rx_wire_bytes_(stats->Get("nic.rx_wire_bytes")),
+      drops_buffer_(stats->Get("nic.drops_buffer")),
+      drops_nodesc_(stats->Get("nic.drops_nodesc")),
+      tx_packets_(stats->Get("nic.tx_packets")),
+      tx_bytes_(stats->Get("nic.tx_bytes")),
+      tx_drops_(stats->Get("nic.tx_drops")),
+      desc_fetches_(stats->Get("nic.desc_fetches")) {}
+
+void Nic::SetRingIova(std::uint32_t core, Iova base, std::uint64_t pages) {
+  RxRing& ring = rings_[core % rings_.size()];
+  ring.ring_iova = base;
+  ring.ring_pages = pages;
+}
+
+void Nic::PostRxDescriptor(std::uint32_t core, std::vector<DmaMapping> mappings) {
+  RxRing& ring = rings_[core % rings_.size()];
+  auto desc = std::make_shared<RxDesc>();
+  desc->mappings = std::move(mappings);
+  ring.descs.push_back(std::move(desc));
+  if (!rx_queue_.empty() && !rx_pump_scheduled_) {
+    // Packets may have been waiting for descriptor space.
+    rx_pump_scheduled_ = true;
+    ev_->ScheduleAfter(0, [this] {
+      rx_pump_scheduled_ = false;
+      PumpRx();
+    });
+  }
+}
+
+std::uint32_t Nic::PostedDescriptors(std::uint32_t core) const {
+  const RxRing& ring = rings_[core % rings_.size()];
+  std::uint32_t n = 0;
+  for (const auto& desc : ring.descs) {
+    if (!desc->retired && !desc->exhausted()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Nic::AvailableRxPages(std::uint32_t core) const {
+  const RxRing& ring = rings_[core % rings_.size()];
+  std::uint64_t pages = 0;
+  for (const auto& desc : ring.descs) {
+    if (!desc->retired) {
+      pages += desc->mappings.size() - desc->next_page;
+    }
+  }
+  return pages;
+}
+
+void Nic::OnWireArrival(const Packet& packet) {
+  const std::uint32_t wire = packet.wire_size();
+  if (rx_buffer_used_ + wire > config_.rx_buffer_bytes) {
+    drops_buffer_->Add();
+    return;
+  }
+  rx_buffer_used_ += wire;
+  rx_queue_.push_back(packet);
+  PumpRx();
+}
+
+void Nic::MaybeFetchDescriptors(RxRing* ring, TimeNs at) {
+  if (!config_.model_descriptor_fetch || ring->ring_pages == 0) {
+    return;
+  }
+  if (++ring->packets_since_fetch < config_.desc_fetch_every_packets) {
+    return;
+  }
+  ring->packets_since_fetch = 0;
+  desc_fetches_->Add();
+  // One 512-byte read somewhere in the ring region (wraps around).
+  const Iova iova =
+      ring->ring_iova + (ring->fetch_cursor % (ring->ring_pages * kPageSize / 512)) * 512;
+  ++ring->fetch_cursor;
+  rc_->DmaRead(at, {DmaSegment{iova, 512}});
+}
+
+void Nic::RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& desc) {
+  if (!desc->retired && desc->exhausted() && desc->outstanding_packets == 0) {
+    desc->retired = true;
+    RxRing& ring = rings_[core % rings_.size()];
+    while (!ring.descs.empty() && ring.descs.front()->retired) {
+      ring.descs.pop_front();
+    }
+    if (desc_complete_) {
+      desc_complete_(core, desc->mappings);
+    }
+  }
+}
+
+void Nic::PumpRx() {
+  while (!rx_queue_.empty()) {
+    const TimeNs now = ev_->now();
+    if (rx_engine_free_ > now) {
+      if (!rx_pump_scheduled_) {
+        rx_pump_scheduled_ = true;
+        ev_->ScheduleAt(rx_engine_free_, [this] {
+          rx_pump_scheduled_ = false;
+          PumpRx();
+        });
+      }
+      return;
+    }
+    Packet packet = rx_queue_.front();
+    const std::uint32_t core = packet.dst_core % rings_.size();
+    RxRing& ring = rings_[core];
+    // Headers are DMA'd along with the payload.
+    const std::uint64_t dma_bytes = packet.wire_size();
+    const std::uint64_t pages_needed = (dma_bytes + kPageSize - 1) / kPageSize;
+    if (AvailableRxPages(core) < pages_needed) {
+      // Ring empty: the host is not replenishing fast enough.
+      rx_queue_.pop_front();
+      rx_buffer_used_ -= packet.wire_size();
+      drops_nodesc_->Add();
+      continue;
+    }
+    rx_queue_.pop_front();
+
+    // Consume pages from the head descriptor(s) and build DMA segments.
+    std::vector<DmaSegment> segments;
+    std::vector<std::shared_ptr<RxDesc>> touched;
+    std::uint64_t remaining = dma_bytes;
+    for (auto& desc : ring.descs) {
+      if (desc->retired) {
+        continue;
+      }
+      const std::size_t before = segments.size();
+      while (remaining > 0 && !desc->exhausted()) {
+        const DmaMapping& m = desc->mappings[desc->next_page++];
+        const std::uint32_t len =
+            remaining > kPageSize ? static_cast<std::uint32_t>(kPageSize)
+                                  : static_cast<std::uint32_t>(remaining);
+        segments.push_back(DmaSegment{m.iova, len});
+        remaining -= len;
+      }
+      if (segments.size() > before) {
+        touched.push_back(desc);
+        ++desc->outstanding_packets;
+      }
+      if (remaining == 0) {
+        break;
+      }
+    }
+
+    MaybeFetchDescriptors(&ring, now);
+    const DmaTiming timing = rc_->DmaWrite(now, segments);
+    rx_engine_free_ = timing.link_done;
+    rx_packets_->Add();
+    rx_bytes_->Add(packet.payload);
+    rx_wire_bytes_->Add(packet.wire_size());
+
+    ev_->ScheduleAt(timing.commit_done, [this, packet, core, touched] {
+      rx_buffer_used_ -= packet.wire_size();
+      if (deliver_) {
+        deliver_(packet, core);
+      }
+      for (const auto& desc : touched) {
+        --desc->outstanding_packets;
+        RetireIfComplete(core, desc);
+      }
+    });
+  }
+}
+
+bool Nic::EnqueueTx(const Packet& packet, std::vector<DmaMapping> mappings, std::uint32_t core) {
+  TxQueue& q = tx_queues_[core % tx_queues_.size()];
+  if (q.bytes + packet.wire_size() > config_.tx_queue_limit_bytes) {
+    tx_drops_->Add();
+    return false;
+  }
+  q.bytes += packet.wire_size();
+  q.work.push_back(TxWork{packet, std::move(mappings), core});
+  PumpTx();
+  return true;
+}
+
+bool Nic::TxQueuesEmpty() const {
+  for (const TxQueue& q : tx_queues_) {
+    if (!q.work.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Nic::TxWork Nic::NextTxWork() {
+  // Round-robin across per-core queues.
+  for (std::size_t i = 0; i < tx_queues_.size(); ++i) {
+    TxQueue& q = tx_queues_[tx_rr_next_];
+    tx_rr_next_ = (tx_rr_next_ + 1) % tx_queues_.size();
+    if (!q.work.empty()) {
+      TxWork work = std::move(q.work.front());
+      q.work.pop_front();
+      q.bytes -= work.packet.wire_size();
+      return work;
+    }
+  }
+  return TxWork{};
+}
+
+void Nic::PumpTx() {
+  while (!TxQueuesEmpty() && tx_inflight_ < config_.tx_max_inflight) {
+    const TimeNs now = ev_->now();
+    if (tx_engine_free_ > now) {
+      if (!tx_pump_scheduled_) {
+        tx_pump_scheduled_ = true;
+        ev_->ScheduleAt(tx_engine_free_, [this] {
+          tx_pump_scheduled_ = false;
+          PumpTx();
+        });
+      }
+      return;
+    }
+    TxWork work = NextTxWork();
+
+    // Fetch the payload (headers + data) from the mapped pages.
+    std::vector<DmaSegment> segments;
+    std::uint64_t remaining = work.packet.wire_size();
+    for (const DmaMapping& m : work.mappings) {
+      const std::uint32_t len = remaining > kPageSize
+                                    ? static_cast<std::uint32_t>(kPageSize)
+                                    : static_cast<std::uint32_t>(remaining);
+      segments.push_back(DmaSegment{m.iova, len});
+      remaining -= len;
+      if (remaining == 0) {
+        break;
+      }
+    }
+    const DmaTiming timing = rc_->DmaRead(now, segments);
+    tx_engine_free_ = timing.link_done;
+    tx_bytes_->Add(work.packet.payload);
+
+    // TSO segmentation on egress: cut the fetched segment into MTU-sized
+    // wire packets, serialized at line rate once the payload is on the NIC.
+    const std::uint32_t wire_mss =
+        config_.mtu_bytes > kHeaderBytes ? config_.mtu_bytes - kHeaderBytes : 1;
+    std::uint64_t off = 0;
+    do {
+      std::uint32_t chunk = wire_mss;
+      if (off + chunk > work.packet.payload) {
+        chunk = static_cast<std::uint32_t>(work.packet.payload - off);
+      }
+      Packet wire = work.packet;
+      wire.seq = work.packet.seq + off;
+      wire.payload = chunk;
+      TimeNs depart = timing.commit_done > egress_free_ ? timing.commit_done : egress_free_;
+      depart += SerializationDelayNs(wire.wire_size(), config_.line_gbps);
+      egress_free_ = depart;
+      tx_packets_->Add();
+      if (wire_tx_) {
+        wire_tx_(wire, depart);
+      }
+      off += chunk;
+    } while (off < work.packet.payload);
+
+    // The DMA engine slot frees when the payload fetch commits, but the
+    // driver's completion (CQE) fires only after the last wire packet has
+    // left — that is when TSQ budget and the mappings are released.
+    ++tx_inflight_;
+    ev_->ScheduleAt(timing.commit_done, [this] {
+      --tx_inflight_;
+      PumpTx();
+    });
+    const TimeNs completed = egress_free_;
+    ev_->ScheduleAt(completed, [this, work] {
+      if (tx_complete_) {
+        tx_complete_(work.packet, work.mappings, work.core);
+      }
+    });
+  }
+}
+
+}  // namespace fsio

@@ -1,0 +1,172 @@
+// NIC device model: Rx/Tx DMA engines, multi-page descriptor rings, finite
+// input buffering.
+//
+// Mirrors the paper's Mellanox CX-5 description: per-core Rx rings whose
+// descriptors cover 64 pages each (multiple packets DMA through one
+// descriptor), a shared input buffer that tail-drops when the PCIe/IOMMU
+// path cannot drain fast enough (the paper's host drops), and a Tx engine
+// that fetches packet payloads with PCIe reads. Optionally the NIC also
+// fetches descriptors through DMA reads on the ring's (persistently mapped)
+// IOVAs, adding the descriptor-translation IOTLB pressure the paper
+// mentions.
+//
+// The NIC knows nothing about protection modes: the driver hands it
+// IOVA-filled descriptors and receives completion callbacks.
+#ifndef FASTSAFE_SRC_NIC_NIC_H_
+#define FASTSAFE_SRC_NIC_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/driver/dma_api.h"
+#include "src/pcie/root_complex.h"
+#include "src/simcore/event_queue.h"
+#include "src/stats/counters.h"
+#include "src/transport/packet.h"
+
+namespace fsio {
+
+struct NicConfig {
+  double line_gbps = 100.0;
+  std::uint64_t rx_buffer_bytes = 1ull << 20;
+  // Wire MTU (headers included). TSO segments handed to the Tx engine are
+  // cut into MTU-sized wire packets on egress.
+  std::uint32_t mtu_bytes = 4096;
+  bool model_descriptor_fetch = true;
+  std::uint32_t desc_fetch_every_packets = 16;  // one 512 B fetch per N packets
+  // Tx DMA pipeline depth: packets whose payload fetch may be in flight
+  // concurrently. Bounds how far the engine runs ahead of completions.
+  std::uint32_t tx_max_inflight = 8;
+  // Per-core Tx queue bound (NIC ring + qdisc backlog). When exceeded the
+  // segment is dropped locally, the loss signal that keeps sender cwnd
+  // bounded. Queues are served round-robin (one hardware TX queue per core,
+  // XPS-style), so a latency-sensitive core is not stuck behind bulk cores.
+  std::uint64_t tx_queue_limit_bytes = 1ull << 20;
+};
+
+class Nic {
+ public:
+  // A packet finished DMA into host memory; hand it to the stack on `core`.
+  using DeliverFn = std::function<void(const Packet&, std::uint32_t core)>;
+  // A descriptor's pages are fully consumed and all DMAs committed.
+  using DescCompleteFn = std::function<void(std::uint32_t core, std::vector<DmaMapping>)>;
+  // A Tx packet's payload was fully fetched; driver should unmap.
+  using TxCompleteFn =
+      std::function<void(const Packet&, std::vector<DmaMapping>, std::uint32_t core)>;
+  // A Tx packet leaves on the wire at `departure`.
+  using WireTxFn = std::function<void(const Packet&, TimeNs departure)>;
+
+  Nic(const NicConfig& config, std::uint32_t cores, EventQueue* ev, RootComplex* rc,
+      StatsRegistry* stats);
+
+  void SetDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void SetDescComplete(DescCompleteFn fn) { desc_complete_ = std::move(fn); }
+  void SetTxComplete(TxCompleteFn fn) { tx_complete_ = std::move(fn); }
+  void SetWireTx(WireTxFn fn) { wire_tx_ = std::move(fn); }
+
+  // Registers the (persistently mapped) descriptor-ring IOVA region for a
+  // core, used for descriptor-fetch DMA reads.
+  void SetRingIova(std::uint32_t core, Iova base, std::uint64_t pages);
+
+  // Driver posts a fresh Rx descriptor (its pages already mapped).
+  void PostRxDescriptor(std::uint32_t core, std::vector<DmaMapping> mappings);
+
+  // Posted descriptors not yet retired, and unused page slots, for `core`.
+  std::uint32_t PostedDescriptors(std::uint32_t core) const;
+  std::uint64_t AvailableRxPages(std::uint32_t core) const;
+
+  // True if `core`'s Tx queue can accept a packet of this wire size.
+  bool CanAcceptTx(std::uint32_t core, std::uint32_t wire_bytes) const {
+    const TxQueue& q = tx_queues_[core % tx_queues_.size()];
+    return q.bytes + wire_bytes <= config_.tx_queue_limit_bytes;
+  }
+
+  // Stack hands over a Tx packet whose payload pages are already mapped.
+  // Returns false (dropping the packet, qdisc-style) if the queue is full;
+  // check CanAcceptTx() first when ownership of the mappings matters.
+  bool EnqueueTx(const Packet& packet, std::vector<DmaMapping> mappings, std::uint32_t core);
+
+  // Wire delivery from the switch.
+  void OnWireArrival(const Packet& packet);
+
+  std::uint64_t rx_drops() const { return drops_buffer_->value() + drops_nodesc_->value(); }
+  std::uint64_t rx_buffer_used() const { return rx_buffer_used_; }
+  std::uint64_t tx_queue_bytes() const {
+    std::uint64_t total = 0;
+    for (const TxQueue& q : tx_queues_) {
+      total += q.bytes;
+    }
+    return total;
+  }
+
+ private:
+  struct RxDesc {
+    std::vector<DmaMapping> mappings;
+    std::uint32_t next_page = 0;
+    std::uint32_t outstanding_packets = 0;
+    bool retired = false;
+    bool exhausted() const { return next_page >= mappings.size(); }
+  };
+  struct RxRing {
+    std::deque<std::shared_ptr<RxDesc>> descs;
+    Iova ring_iova = 0;
+    std::uint64_t ring_pages = 0;
+    std::uint64_t fetch_cursor = 0;
+    std::uint64_t packets_since_fetch = 0;
+  };
+  struct TxWork {
+    Packet packet;
+    std::vector<DmaMapping> mappings;
+    std::uint32_t core = 0;
+  };
+
+  void PumpRx();
+  void PumpTx();
+  bool TxQueuesEmpty() const;
+  TxWork NextTxWork();
+  void MaybeFetchDescriptors(RxRing* ring, TimeNs at);
+  void RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& desc);
+
+  NicConfig config_;
+  EventQueue* ev_;
+  RootComplex* rc_;
+
+  DeliverFn deliver_;
+  DescCompleteFn desc_complete_;
+  TxCompleteFn tx_complete_;
+  WireTxFn wire_tx_;
+
+  std::vector<RxRing> rings_;
+  std::deque<Packet> rx_queue_;
+  std::uint64_t rx_buffer_used_ = 0;
+  TimeNs rx_engine_free_ = 0;
+  bool rx_pump_scheduled_ = false;
+
+  struct TxQueue {
+    std::deque<TxWork> work;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<TxQueue> tx_queues_;  // one per core, served round-robin
+  std::uint32_t tx_rr_next_ = 0;
+  TimeNs tx_engine_free_ = 0;
+  TimeNs egress_free_ = 0;
+  bool tx_pump_scheduled_ = false;
+  std::uint32_t tx_inflight_ = 0;
+
+  Counter* rx_packets_;
+  Counter* rx_bytes_;
+  Counter* rx_wire_bytes_;
+  Counter* drops_buffer_;
+  Counter* drops_nodesc_;
+  Counter* tx_packets_;
+  Counter* tx_bytes_;
+  Counter* tx_drops_;
+  Counter* desc_fetches_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_NIC_NIC_H_

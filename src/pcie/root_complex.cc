@@ -1,0 +1,179 @@
+#include "src/pcie/root_complex.h"
+
+namespace fsio {
+
+RootComplex::RootComplex(const PcieConfig& config, Iommu* iommu, MemorySystem* memory,
+                         StatsRegistry* stats)
+    : config_(config),
+      iommu_(iommu),
+      memory_(memory),
+      write_tlps_(stats->Get("pcie.write_tlps")),
+      read_tlps_(stats->Get("pcie.read_tlps")),
+      wire_bytes_(stats->Get("pcie.wire_bytes")),
+      stall_ns_(stats->Get("pcie.stall_ns")),
+      faults_(stats->Get("pcie.faults")) {}
+
+TimeNs RootComplex::WaitForBufferSpace(TimeNs t, std::uint32_t bytes) {
+  // Free everything already committed by time t.
+  while (!rc_buffer_.empty() && rc_buffer_.front().release <= t) {
+    rc_buffer_occupancy_ -= rc_buffer_.front().bytes;
+    rc_buffer_.pop_front();
+  }
+  // If the buffer cannot admit the TLP, the link stalls until the head
+  // commits (commit order == arrival order, so releases are sorted).
+  while (rc_buffer_occupancy_ + bytes > config_.rc_buffer_bytes && !rc_buffer_.empty()) {
+    const TimeNs head = rc_buffer_.front().release;
+    if (head > t) {
+      stall_ns_->Add(head - t);
+      t = head;
+    }
+    rc_buffer_occupancy_ -= rc_buffer_.front().bytes;
+    rc_buffer_.pop_front();
+  }
+  return t;
+}
+
+void RootComplex::ReleaseAt(TimeNs when, std::uint32_t bytes) {
+  rc_buffer_.push_back(BufferedBytes{when, bytes});
+  rc_buffer_occupancy_ += bytes;
+}
+
+TimeNs RootComplex::TranslateAt(Iova iova, TimeNs at, bool* fault) {
+  if (iommu_ == nullptr) {
+    return at;
+  }
+  const TranslationResult tr = iommu_->Translate(iova, at);
+  if (tr.fault) {
+    *fault = true;
+    faults_->Add();
+  }
+  return tr.done;
+}
+
+DmaTiming RootComplex::DmaWrite(TimeNs start, const std::vector<DmaSegment>& segments) {
+  DmaTiming timing;
+  TimeNs t = start;
+  for (const DmaSegment& seg : segments) {
+    std::uint32_t off = 0;
+    while (off < seg.len) {
+      const Iova iova = seg.iova + off;
+      // TLPs never cross a 4 KB boundary.
+      const std::uint32_t to_page_end = static_cast<std::uint32_t>(kPageSize - (iova & (kPageSize - 1)));
+      std::uint32_t payload = seg.len - off;
+      if (payload > config_.max_payload_bytes) {
+        payload = config_.max_payload_bytes;
+      }
+      if (payload > to_page_end) {
+        payload = to_page_end;
+      }
+      write_tlps_->Add();
+      // Admission: wire serialization plus RC buffer flow control.
+      TimeNs send = WaitForBufferSpace(t > upstream_link_free_ ? t : upstream_link_free_, payload);
+      const TimeNs wire = SerializationDelayNs(payload + config_.tlp_header_bytes, config_.link_gbps);
+      wire_bytes_->Add(payload + config_.tlp_header_bytes);
+      upstream_link_free_ = send + wire;
+      const TimeNs arrival = upstream_link_free_;
+      t = arrival;  // the NIC streams the next TLP right behind this one
+
+      // Lookahead translation: starts at arrival, independent of the commit
+      // pointer.
+      bool fault = false;
+      const TimeNs translated = TranslateAt(iova, arrival, &fault);
+      if (fault) {
+        timing.fault = true;
+        // Faulted transaction is dropped by the IOMMU; it occupies no
+        // commit slot. Release no earlier than prior releases so the
+        // release queue stays sorted.
+        ReleaseAt(commit_free_ > arrival ? commit_free_ : arrival, payload);
+        off += payload;
+        continue;
+      }
+      // In-order commit: wait for predecessor commits and the translation.
+      TimeNs commit_start = arrival;
+      if (translated > commit_start) {
+        commit_start = translated;
+      }
+      if (commit_free_ > commit_start) {
+        commit_start = commit_free_;
+      }
+      auto drain = static_cast<TimeNs>(static_cast<double>(payload) / config_.commit_bytes_per_ns);
+      if (drain == 0) {
+        drain = 1;
+      }
+      commit_free_ = commit_start + drain;
+      memory_->Post(commit_start, payload);
+      ReleaseAt(commit_free_, payload);
+      off += payload;
+    }
+  }
+  timing.link_done = upstream_link_free_;
+  timing.commit_done = commit_free_ > start ? commit_free_ : start;
+  return timing;
+}
+
+DmaTiming RootComplex::DmaRead(TimeNs start, const std::vector<DmaSegment>& segments) {
+  DmaTiming timing;
+  TimeNs t = start;
+  TimeNs last_completion = start;
+  for (const DmaSegment& seg : segments) {
+    std::uint32_t off = 0;
+    while (off < seg.len) {
+      const Iova iova = seg.iova + off;
+      const std::uint32_t to_page_end = static_cast<std::uint32_t>(kPageSize - (iova & (kPageSize - 1)));
+      std::uint32_t payload = seg.len - off;
+      if (payload > config_.max_payload_bytes) {
+        payload = config_.max_payload_bytes;
+      }
+      if (payload > to_page_end) {
+        payload = to_page_end;
+      }
+      read_tlps_->Add();
+      // Bounded outstanding read requests.
+      while (!outstanding_reads_.empty() && outstanding_reads_.front() <= t) {
+        outstanding_reads_.pop_front();
+      }
+      if (outstanding_reads_.size() >= config_.max_outstanding_reads) {
+        const TimeNs free_at = outstanding_reads_.front();
+        if (free_at > t) {
+          stall_ns_->Add(free_at - t);
+          t = free_at;
+        }
+        outstanding_reads_.pop_front();
+      }
+      // Request TLP upstream (header only).
+      TimeNs send = t > upstream_link_free_ ? t : upstream_link_free_;
+      const TimeNs req_wire = SerializationDelayNs(config_.tlp_header_bytes, config_.link_gbps);
+      wire_bytes_->Add(config_.tlp_header_bytes);
+      upstream_link_free_ = send + req_wire;
+      const TimeNs arrival = upstream_link_free_;
+      t = arrival;
+
+      bool fault = false;
+      const TimeNs translated = TranslateAt(iova, arrival, &fault);
+      if (fault) {
+        timing.fault = true;
+        off += payload;
+        continue;
+      }
+      // Memory read (latency + bank occupancy), then a completion TLP back
+      // over the downstream link.
+      const TimeNs data_ready = memory_->Read(translated, payload);
+      TimeNs comp_start = data_ready > downstream_link_free_ ? data_ready : downstream_link_free_;
+      const TimeNs comp_wire =
+          SerializationDelayNs(payload + config_.tlp_header_bytes, config_.link_gbps);
+      wire_bytes_->Add(payload + config_.tlp_header_bytes);
+      downstream_link_free_ = comp_start + comp_wire;
+      const TimeNs completion = downstream_link_free_;
+      outstanding_reads_.push_back(completion);
+      if (completion > last_completion) {
+        last_completion = completion;
+      }
+      off += payload;
+    }
+  }
+  timing.link_done = upstream_link_free_ > start ? upstream_link_free_ : start;
+  timing.commit_done = last_completion;
+  return timing;
+}
+
+}  // namespace fsio

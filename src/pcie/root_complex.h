@@ -1,0 +1,114 @@
+// PCIe link and root-complex (IIO) model.
+//
+// This is where memory-protection latency turns into throughput loss. The
+// model captures the three mechanisms the paper's analysis rests on:
+//
+//   1. TLP granularity: a DMA is executed as max_payload-sized transactions
+//      that never cross a 4 KB boundary; each transaction's IOVA must be
+//      translated at the root complex.
+//   2. Bounded buffering: the processor-side end of PCIe buffers only ~100
+//      cachelines. A transaction occupies buffer space from wire arrival
+//      until its payload commits; when the buffer is full the link stalls
+//      (Little's law bounds throughput at buffer / latency).
+//   3. In-order commit with lookahead translation: posted writes commit in
+//      arrival order, but translations for buffered transactions proceed
+//      ahead of the commit pointer. A cheap IOTLB miss (1 PTE read, the F&S
+//      case) therefore hides under the previous page's drain time, while
+//      multi-read walks and Rx/Tx interference stall the pipe.
+//
+// Reads (Tx datapath and descriptor fetches) issue request TLPs upstream,
+// are translated, access memory, and return completions downstream; a
+// bounded number of outstanding reads models NIC read parallelism — which is
+// why Tx tolerates more translation-latency inflation than Rx (§4.1).
+#ifndef FASTSAFE_SRC_PCIE_ROOT_COMPLEX_H_
+#define FASTSAFE_SRC_PCIE_ROOT_COMPLEX_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/iommu/iommu.h"
+#include "src/mem/address.h"
+#include "src/mem/memory_system.h"
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+struct PcieConfig {
+  double link_gbps = 128.0;            // PCIe 3.0 x16 payload-rate approximation
+  std::uint32_t max_payload_bytes = 256;
+  std::uint32_t tlp_header_bytes = 26;  // TLP + DLLP + framing overhead
+  std::uint64_t rc_buffer_bytes = 6400;  // ~100 cachelines of RC-side buffering
+  // Payload drain rate from the RC buffer into the memory fabric. With DDIO
+  // disabled (the paper's default) writes drain at DRAM-write rates; DDIO
+  // would drain into the LLC roughly twice as fast.
+  double commit_bytes_per_ns = 16.0;
+  std::uint32_t max_outstanding_reads = 64;
+};
+
+// One contiguous piece of a DMA in IOVA space. Segments never cross page
+// boundaries when produced by the NIC (one descriptor page per segment).
+struct DmaSegment {
+  Iova iova = 0;
+  std::uint32_t len = 0;
+};
+
+// Timing of one DMA operation.
+struct DmaTiming {
+  TimeNs link_done = 0;    // last TLP accepted on the wire (NIC may pipeline
+                           // the next DMA from this point)
+  TimeNs commit_done = 0;  // last byte committed to / fetched from memory
+  bool fault = false;      // any transaction faulted in the IOMMU
+};
+
+class RootComplex {
+ public:
+  // `iommu` may be null: memory protection disabled (bypass, no translation).
+  RootComplex(const PcieConfig& config, Iommu* iommu, MemorySystem* memory,
+              StatsRegistry* stats);
+
+  // Rx datapath: posted memory writes of `segments`, issued by the NIC at
+  // `start`. Returns wire/commit completion times.
+  DmaTiming DmaWrite(TimeNs start, const std::vector<DmaSegment>& segments);
+
+  // Tx datapath / descriptor fetch: memory read of `segments` issued at
+  // `start`; commit_done is the arrival of the last completion at the NIC.
+  DmaTiming DmaRead(TimeNs start, const std::vector<DmaSegment>& segments);
+
+  const PcieConfig& config() const { return config_; }
+
+ private:
+  // Blocks until the RC buffer can admit `bytes` at or after `t`; returns
+  // the admission time.
+  TimeNs WaitForBufferSpace(TimeNs t, std::uint32_t bytes);
+  void ReleaseAt(TimeNs when, std::uint32_t bytes);
+  TimeNs TranslateAt(Iova iova, TimeNs at, bool* fault);
+
+  PcieConfig config_;
+  Iommu* iommu_;
+  MemorySystem* memory_;
+
+  TimeNs upstream_link_free_ = 0;    // NIC -> RC (writes + read requests)
+  TimeNs downstream_link_free_ = 0;  // RC -> NIC (read completions)
+  TimeNs commit_free_ = 0;           // in-order commit pointer
+
+  struct BufferedBytes {
+    TimeNs release;
+    std::uint32_t bytes;
+  };
+  std::deque<BufferedBytes> rc_buffer_;  // sorted by release time
+  std::uint64_t rc_buffer_occupancy_ = 0;
+
+  std::deque<TimeNs> outstanding_reads_;  // completion times of reads in flight
+
+  Counter* write_tlps_;
+  Counter* read_tlps_;
+  Counter* wire_bytes_;
+  Counter* stall_ns_;
+  Counter* faults_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_PCIE_ROOT_COMPLEX_H_

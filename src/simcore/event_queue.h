@@ -1,0 +1,85 @@
+// Discrete-event simulation core.
+//
+// The EventQueue owns the simulated clock and a priority queue of pending
+// events. Components schedule closures at absolute or relative times; the
+// queue executes them in (time, insertion-order) order, which makes every
+// simulation run fully deterministic.
+#ifndef FASTSAFE_SRC_SIMCORE_EVENT_QUEUE_H_
+#define FASTSAFE_SRC_SIMCORE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/time.h"
+
+namespace fsio {
+
+// A single-threaded discrete-event scheduler.
+//
+// Events scheduled for the same timestamp run in the order they were
+// scheduled (FIFO), which keeps causally-ordered zero-delay chains stable.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time. Only advances inside Run*().
+  TimeNs now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `when`. Scheduling in the past is
+  // clamped to `now()` (the event runs before the clock next advances).
+  void ScheduleAt(TimeNs when, Callback cb) {
+    if (when < now_) {
+      when = now_;
+    }
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  // Schedules `cb` to run `delay` nanoseconds from now.
+  void ScheduleAfter(TimeNs delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Runs events until the queue is empty or the clock would pass `deadline`.
+  // Events scheduled exactly at `deadline` are executed. Returns the number
+  // of events executed.
+  std::uint64_t RunUntil(TimeNs deadline);
+
+  // Runs every pending event (including ones scheduled by executed events).
+  // Intended for tests; a self-rescheduling event would never terminate.
+  std::uint64_t RunAll();
+
+  // Number of events currently pending.
+  std::size_t pending() const { return heap_.size(); }
+
+  // Total number of events executed over the queue's lifetime.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_SIMCORE_EVENT_QUEUE_H_

@@ -1,0 +1,35 @@
+#include "src/simcore/log.h"
+
+#include <cstdio>
+
+namespace fsio {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level = level; }
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace fsio

@@ -1,0 +1,56 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging defaults to kWarn so experiment binaries stay quiet; tests and
+// debugging sessions can raise verbosity with Logger::SetLevel().
+#ifndef FASTSAFE_SRC_SIMCORE_LOG_H_
+#define FASTSAFE_SRC_SIMCORE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace fsio {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kNone = 4 };
+
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+  static bool Enabled(LogLevel level) { return level >= Logger::level(); }
+  // Writes one formatted line to stderr (thread-unsafe by design: the
+  // simulator is single-threaded).
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::Write(level_, stream_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace fsio
+
+#define FSIO_LOG(level)                        \
+  if (!::fsio::Logger::Enabled(level)) {       \
+  } else                                       \
+    ::fsio::log_internal::LineBuilder(level)
+
+#define FSIO_LOG_DEBUG FSIO_LOG(::fsio::LogLevel::kDebug)
+#define FSIO_LOG_INFO FSIO_LOG(::fsio::LogLevel::kInfo)
+#define FSIO_LOG_WARN FSIO_LOG(::fsio::LogLevel::kWarn)
+#define FSIO_LOG_ERROR FSIO_LOG(::fsio::LogLevel::kError)
+
+#endif  // FASTSAFE_SRC_SIMCORE_LOG_H_

@@ -1,0 +1,19 @@
+#include "src/simcore/rng.h"
+
+#include <cmath>
+
+namespace fsio {
+
+double Rng::NextExp(double mean) {
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  // Avoid log(0) by nudging u away from zero.
+  double u = NextDouble();
+  if (u < 1e-12) {
+    u = 1e-12;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace fsio

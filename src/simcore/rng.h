@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We use SplitMix64: tiny state, excellent statistical quality for simulation
+// purposes, and identical output on every platform (unlike std::
+// distributions, whose output is implementation-defined).
+#ifndef FASTSAFE_SRC_SIMCORE_RNG_H_
+#define FASTSAFE_SRC_SIMCORE_RNG_H_
+
+#include <cstdint>
+
+namespace fsio {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be non-zero.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed value with the given mean (for jittered
+  // inter-arrival processes). Mean of zero returns zero.
+  double NextExp(double mean);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_SIMCORE_RNG_H_

@@ -1,0 +1,39 @@
+// Simulated-time primitives shared by every component of the testbed.
+//
+// All simulation time is expressed in integer nanoseconds (TimeNs). Using a
+// single integer unit avoids floating-point drift in the event queue and makes
+// event ordering deterministic across platforms.
+#ifndef FASTSAFE_SRC_SIMCORE_TIME_H_
+#define FASTSAFE_SRC_SIMCORE_TIME_H_
+
+#include <cstdint>
+
+namespace fsio {
+
+// Simulated time, in nanoseconds since simulation start.
+using TimeNs = std::uint64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * kNsPerUs;
+inline constexpr TimeNs kNsPerSec = 1000 * kNsPerMs;
+
+// Converts a rate expressed in Gbit/s into bytes per nanosecond.
+constexpr double GbpsToBytesPerNs(double gbps) { return gbps / 8.0; }
+
+// Converts bytes-per-nanosecond into Gbit/s (for reporting).
+constexpr double BytesPerNsToGbps(double bytes_per_ns) { return bytes_per_ns * 8.0; }
+
+// Time needed to serialize `bytes` at `gbps` Gbit/s, rounded up to at least
+// one nanosecond for any non-zero transfer so events always make progress.
+constexpr TimeNs SerializationDelayNs(std::uint64_t bytes, double gbps) {
+  if (bytes == 0) {
+    return 0;
+  }
+  const double ns = static_cast<double>(bytes) / GbpsToBytesPerNs(gbps);
+  const auto rounded = static_cast<TimeNs>(ns);
+  return rounded == 0 ? 1 : rounded;
+}
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_SIMCORE_TIME_H_

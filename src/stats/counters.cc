@@ -1,0 +1,53 @@
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+Counter* StatsRegistry::Get(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+std::uint64_t StatsRegistry::Value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::map<std::string, std::uint64_t> StatsRegistry::Snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter->value();
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> StatsRegistry::Delta(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    const std::uint64_t base = it == before.end() ? 0 : it->second;
+    out[name] = value >= base ? value - base : 0;
+  }
+  return out;
+}
+
+void StatsRegistry::ResetAll() {
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+}
+
+std::vector<std::string> StatsRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace fsio

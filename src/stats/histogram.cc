@@ -1,0 +1,110 @@
+#include "src/stats/histogram.h"
+
+#include <bit>
+
+namespace fsio {
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits), sub_bucket_count_(1ULL << sub_bucket_bits) {
+  // 64 power-of-two ranges cover the full uint64 domain; the first range is
+  // exact (values < sub_bucket_count_ map 1:1 to sub-buckets).
+  buckets_.assign(static_cast<std::size_t>(64 - sub_bucket_bits_ + 1) * sub_bucket_count_, 0);
+}
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) const {
+  if (value < sub_bucket_count_) {
+    return static_cast<std::size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int range = msb - sub_bucket_bits_ + 1;  // >= 1
+  const std::uint64_t sub = value >> range;      // in [sub_bucket_count_/2, sub_bucket_count_)
+  return static_cast<std::size_t>(range) * sub_bucket_count_ + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::BucketUpperEdge(std::size_t index) const {
+  const std::uint64_t range = index / sub_bucket_count_;
+  const std::uint64_t sub = index % sub_bucket_count_;
+  if (range == 0) {
+    return sub;
+  }
+  return ((sub + 1) << range) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  buckets_[BucketIndex(value)] += count;
+  count_ += count;
+  sum_ += value * count;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+std::uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Rank of the requested percentile, 1-based.
+  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > count_) {
+    rank = count_;
+  }
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::uint64_t edge = BucketUpperEdge(i);
+      return edge > max_ ? max_ : edge;
+    }
+  }
+  return max_;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b = 0;
+  }
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0 && other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+}
+
+}  // namespace fsio

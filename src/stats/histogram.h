@@ -1,0 +1,53 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// Buckets grow geometrically (HdrHistogram-style: linear sub-buckets inside
+// power-of-two ranges) so that P50..P99.99 queries over nanosecond-to-second
+// latencies stay within a small relative error with O(1) record cost.
+#ifndef FASTSAFE_SRC_STATS_HISTOGRAM_H_
+#define FASTSAFE_SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fsio {
+
+class Histogram {
+ public:
+  // `sub_bucket_bits` controls resolution: 2^bits linear sub-buckets per
+  // power-of-two range, giving a worst-case relative error of 2^-bits.
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void Record(std::uint64_t value);
+  void RecordN(std::uint64_t value, std::uint64_t count);
+
+  // Value at percentile p in [0, 100]. Returns 0 for an empty histogram.
+  // The returned value is the representative (upper edge) of the bucket
+  // containing the requested rank.
+  std::uint64_t Percentile(double p) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  void Reset();
+
+  // Merges another histogram (must have identical bucket geometry).
+  void Merge(const Histogram& other);
+
+ private:
+  std::size_t BucketIndex(std::uint64_t value) const;
+  std::uint64_t BucketUpperEdge(std::size_t index) const;
+
+  int sub_bucket_bits_;
+  std::uint64_t sub_bucket_count_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,58 @@
+#include "src/stats/linear_fit.h"
+
+#include <cmath>
+
+namespace fsio {
+
+LinearFitResult FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFitResult out;
+  const std::size_t n = xs.size() < ys.size() ? xs.size() : ys.size();
+  if (n == 0) {
+    return out;
+  }
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    out.intercept = my;
+    return out;
+  }
+  out.slope = sxy / sxx;
+  out.intercept = my - out.slope * mx;
+  if (syy > 0.0) {
+    const double ss_res = syy - out.slope * sxy;
+    out.r_squared = 1.0 - ss_res / syy;
+  } else {
+    out.r_squared = 1.0;
+  }
+  return out;
+}
+
+ThroughputModel FitThroughputModel(double packet_bytes, const std::vector<double>& mem_reads,
+                                   const std::vector<double>& throughput_bytes_per_ns) {
+  // Linearize: packet_bytes / T = l0 + M * lm.
+  std::vector<double> ys;
+  ys.reserve(throughput_bytes_per_ns.size());
+  for (double t : throughput_bytes_per_ns) {
+    ys.push_back(t > 0.0 ? packet_bytes / t : 0.0);
+  }
+  const LinearFitResult fit = FitLine(mem_reads, ys);
+  ThroughputModel model;
+  model.l0_ns = fit.intercept;
+  model.lm_ns = fit.slope;
+  return model;
+}
+
+}  // namespace fsio

@@ -1,0 +1,45 @@
+// Least-squares fitting utilities for the paper's §2.2 throughput model
+//   T = p / (l0 + M * lm)
+// which linearizes to  p / T = l0 + M * lm: a straight line in M with
+// intercept l0 and slope lm. Given (M, throughput) observations we recover
+// the effective DMA base latency l0 and per-memory-read latency lm exactly as
+// the paper does from its 5- and 10-flow data points.
+#ifndef FASTSAFE_SRC_STATS_LINEAR_FIT_H_
+#define FASTSAFE_SRC_STATS_LINEAR_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fsio {
+
+struct LinearFitResult {
+  double intercept = 0.0;  // l0 (ns)
+  double slope = 0.0;      // lm (ns per memory read)
+  double r_squared = 0.0;
+};
+
+// Ordinary least squares over (x, y) pairs. Requires >= 2 points with at
+// least two distinct x values; otherwise returns a zero-slope fit through the
+// mean.
+LinearFitResult FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+struct ThroughputModel {
+  double l0_ns = 0.0;
+  double lm_ns = 0.0;
+
+  // Predicted throughput in bytes/ns for packets of `packet_bytes` incurring
+  // `mem_reads_per_packet` IOMMU memory reads.
+  double PredictBytesPerNs(double packet_bytes, double mem_reads_per_packet) const {
+    const double denom = l0_ns + mem_reads_per_packet * lm_ns;
+    return denom <= 0.0 ? 0.0 : packet_bytes / denom;
+  }
+};
+
+// Fits the §2.2 model from observed (mem reads per packet, throughput in
+// bytes/ns) pairs, for packets of `packet_bytes` bytes.
+ThroughputModel FitThroughputModel(double packet_bytes, const std::vector<double>& mem_reads,
+                                   const std::vector<double>& throughput_bytes_per_ns);
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_STATS_LINEAR_FIT_H_

@@ -1,0 +1,85 @@
+#include "src/stats/reuse_distance.h"
+
+namespace fsio {
+
+void ReuseDistanceTracker::EnsureCapacity(std::size_t index) {
+  if (index + 1 <= tree_.size()) {
+    return;
+  }
+  std::size_t next = tree_.empty() ? 1024 : tree_.size();
+  while (next < index + 1) {
+    next *= 2;
+  }
+  // A Fenwick tree cannot simply be resized: the new positions' covering
+  // ranges include old marks. Rebuild from the marks bitmap.
+  marks_.resize(next, 0);
+  tree_.assign(next, 0);
+  for (std::size_t i = 0; i < marks_.size(); ++i) {
+    if (marks_[i] != 0) {
+      for (std::size_t j = i; j < tree_.size(); j |= j + 1) {
+        tree_[j] += 1;
+      }
+    }
+  }
+}
+
+void ReuseDistanceTracker::FenwickAdd(std::size_t index, std::int64_t delta) {
+  EnsureCapacity(index);
+  marks_[index] = delta > 0 ? 1 : 0;
+  // Fenwick tree over 0-based indices: parent chain via i | (i + 1).
+  for (std::size_t i = index; i < tree_.size(); i |= i + 1) {
+    tree_[i] += delta;
+  }
+}
+
+std::int64_t ReuseDistanceTracker::FenwickPrefixSum(std::size_t index) const {
+  std::int64_t sum = 0;
+  if (tree_.empty()) {
+    return 0;
+  }
+  if (index >= tree_.size()) {
+    index = tree_.size() - 1;
+  }
+  // Sum of [0, index]; i walks down via (i & (i + 1)) - 1.
+  std::size_t i = index + 1;
+  while (i > 0) {
+    sum += tree_[i - 1];
+    i &= i - 1;
+  }
+  return sum;
+}
+
+std::uint64_t ReuseDistanceTracker::Access(std::uint64_t tag) {
+  const std::uint64_t now = accesses_++;
+  auto it = last_access_.find(tag);
+  std::uint64_t distance = kColdMiss;
+  if (it == last_access_.end()) {
+    ++cold_misses_;
+  } else {
+    const std::uint64_t last = it->second;
+    // Distinct tags strictly between `last` and `now`.
+    const std::int64_t upto_now = FenwickPrefixSum(static_cast<std::size_t>(now));
+    const std::int64_t upto_last = FenwickPrefixSum(static_cast<std::size_t>(last));
+    distance = static_cast<std::uint64_t>(upto_now - upto_last);
+    FenwickAdd(static_cast<std::size_t>(last), -1);
+    distances_.push_back(distance);
+  }
+  last_access_[tag] = now;
+  FenwickAdd(static_cast<std::size_t>(now), +1);
+  return distance;
+}
+
+double ReuseDistanceTracker::MissFraction(std::uint64_t cache_size) const {
+  if (distances_.empty()) {
+    return 0.0;
+  }
+  std::uint64_t misses = 0;
+  for (std::uint64_t d : distances_) {
+    if (d >= cache_size) {
+      ++misses;
+    }
+  }
+  return static_cast<double>(misses) / static_cast<double>(distances_.size());
+}
+
+}  // namespace fsio

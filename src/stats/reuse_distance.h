@@ -1,0 +1,60 @@
+// Reuse-distance (LRU stack distance) tracker.
+//
+// Used to reproduce the paper's Figures 2e/3e/7e/8e: for each access to a
+// PTcache-L3 entry tag, the tracker reports how many *unique* tags were
+// touched since that tag's previous access. A distance larger than the cache
+// size means the access would miss in a fully-associative LRU cache of that
+// size.
+//
+// Implementation: Bentley's classic algorithm — keep, per tag, its last
+// access timestamp, and a Fenwick tree marking the timestamps that are the
+// most recent occurrence of *some* tag. The number of marked timestamps in
+// (last[tag], now) equals the number of distinct tags seen since last[tag].
+#ifndef FASTSAFE_SRC_STATS_REUSE_DISTANCE_H_
+#define FASTSAFE_SRC_STATS_REUSE_DISTANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fsio {
+
+class ReuseDistanceTracker {
+ public:
+  // Distance reported for a tag's first-ever access.
+  static constexpr std::uint64_t kColdMiss = ~0ULL;
+
+  ReuseDistanceTracker() = default;
+
+  // Records an access to `tag` and returns its reuse distance: the number of
+  // distinct other tags accessed since the previous access to `tag`, or
+  // kColdMiss if the tag was never seen.
+  std::uint64_t Access(std::uint64_t tag);
+
+  // Fraction of non-cold accesses whose distance was >= `cache_size`
+  // (i.e. would miss in an LRU cache of that size).
+  double MissFraction(std::uint64_t cache_size) const;
+
+  // Distances of all non-cold accesses, in access order (for plotting the
+  // paper's locality scatter).
+  const std::vector<std::uint64_t>& distances() const { return distances_; }
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t cold_misses() const { return cold_misses_; }
+
+ private:
+  void FenwickAdd(std::size_t index, std::int64_t delta);
+  std::int64_t FenwickPrefixSum(std::size_t index) const;  // sum of [0, index]
+  void EnsureCapacity(std::size_t index);
+
+  std::vector<std::int64_t> tree_;
+  std::vector<std::uint8_t> marks_;  // raw marks, for rebuilds on resize
+  std::unordered_map<std::uint64_t, std::uint64_t> last_access_;
+  std::vector<std::uint64_t> distances_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cold_misses_ = 0;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_STATS_REUSE_DISTANCE_H_

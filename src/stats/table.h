@@ -1,0 +1,38 @@
+// Fixed-width table and CSV emission for experiment binaries.
+//
+// Every bench prints the same rows/series the paper's figures report; Table
+// keeps that output aligned and also supports CSV for downstream plotting.
+#ifndef FASTSAFE_SRC_STATS_TABLE_H_
+#define FASTSAFE_SRC_STATS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fsio {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  // Starts a new row; values are appended with Add*().
+  void BeginRow();
+  void AddCell(const std::string& value);
+  void AddNumber(double value, int precision = 2);
+  void AddInteger(long long value);
+
+  // Renders an aligned, human-readable table.
+  void Print(std::ostream& os) const;
+  // Renders RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_STATS_TABLE_H_

@@ -1,0 +1,35 @@
+#include "src/transport/network_switch.h"
+
+namespace fsio {
+
+NetworkSwitch::NetworkSwitch(const SwitchConfig& config, std::uint32_t num_ports,
+                             StatsRegistry* stats)
+    : config_(config),
+      bytes_per_ns_(GbpsToBytesPerNs(config.port_gbps)),
+      port_busy_until_(num_ports, 0),
+      forwarded_(stats->Get("switch.forwarded")),
+      marked_(stats->Get("switch.marked")),
+      dropped_(stats->Get("switch.dropped")) {}
+
+std::optional<TimeNs> NetworkSwitch::Forward(Packet* packet, TimeNs now) {
+  const std::uint32_t port = packet->dst_host % port_busy_until_.size();
+  TimeNs& busy = port_busy_until_[port];
+  // Bytes queued ahead of this packet, inferred from the port backlog.
+  const std::uint64_t backlog_bytes =
+      busy > now ? static_cast<std::uint64_t>(static_cast<double>(busy - now) * bytes_per_ns_)
+                 : 0;
+  if (backlog_bytes + packet->wire_size() > config_.queue_capacity_bytes) {
+    dropped_->Add();
+    return std::nullopt;
+  }
+  if (backlog_bytes > config_.ecn_threshold_bytes) {
+    packet->ce = true;
+    marked_->Add();
+  }
+  const TimeNs start = busy > now ? busy : now;
+  busy = start + SerializationDelayNs(packet->wire_size(), config_.port_gbps);
+  forwarded_->Add();
+  return busy + config_.prop_delay_ns;
+}
+
+}  // namespace fsio

@@ -1,0 +1,48 @@
+// Output-queued switch with DCTCP-style ECN marking.
+//
+// Each output port is a serialization resource; queueing delay above the ECN
+// threshold marks CE on the packet (what DCTCP senders react to), and a deep
+// queue tail-drops. In the paper's testbed the switch is never the
+// bottleneck — drops happen at the receiving host — so the default capacity
+// is generous.
+#ifndef FASTSAFE_SRC_TRANSPORT_NETWORK_SWITCH_H_
+#define FASTSAFE_SRC_TRANSPORT_NETWORK_SWITCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+#include "src/transport/packet.h"
+
+namespace fsio {
+
+struct SwitchConfig {
+  double port_gbps = 100.0;
+  TimeNs prop_delay_ns = 1 * kNsPerUs;          // per hop, each direction
+  std::uint64_t ecn_threshold_bytes = 512 * 1024;  // DCTCP K
+  std::uint64_t queue_capacity_bytes = 16ull << 20;
+};
+
+class NetworkSwitch {
+ public:
+  NetworkSwitch(const SwitchConfig& config, std::uint32_t num_ports, StatsRegistry* stats);
+
+  // Forwards `packet` (arriving at the switch at time `now`) toward
+  // packet->dst_host. Returns the delivery time at the destination NIC, or
+  // nullopt if the packet was tail-dropped. May set packet->ce.
+  std::optional<TimeNs> Forward(Packet* packet, TimeNs now);
+
+ private:
+  SwitchConfig config_;
+  double bytes_per_ns_;
+  std::vector<TimeNs> port_busy_until_;
+  Counter* forwarded_;
+  Counter* marked_;
+  Counter* dropped_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TRANSPORT_NETWORK_SWITCH_H_

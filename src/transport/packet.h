@@ -1,0 +1,43 @@
+// Network packet representation shared by the transport, switch, NIC and
+// host-stack layers.
+#ifndef FASTSAFE_SRC_TRANSPORT_PACKET_H_
+#define FASTSAFE_SRC_TRANSPORT_PACKET_H_
+
+#include <cstdint>
+
+#include "src/simcore/time.h"
+
+namespace fsio {
+
+inline constexpr std::uint32_t kHeaderBytes = 66;  // Eth + IP + TCP headers
+
+struct Packet {
+  std::uint64_t flow_id = 0;
+  std::uint32_t src_host = 0;
+  std::uint32_t dst_host = 0;
+  std::uint32_t dst_core = 0;  // aRFS steering target
+
+  // Data segment.
+  std::uint64_t seq = 0;       // first payload byte's stream offset
+  std::uint32_t payload = 0;   // payload bytes (0 for pure ACK)
+
+  // ACK block (piggybacked or pure).
+  bool has_ack = false;
+  std::uint64_t ack_seq = 0;       // cumulative ack (next expected byte)
+  std::uint64_t acked_bytes = 0;   // bytes newly delivered since previous ack
+  std::uint64_t marked_bytes = 0;  // of those, bytes received with CE set
+
+  // ECN.
+  bool ce = false;  // congestion experienced (set by the switch)
+
+  bool is_retransmit = false;
+  TimeNs sent_at = 0;
+  TimeNs ts_echo = 0;  // RTT estimation: echo of the data packet's sent_at
+
+  std::uint32_t wire_size() const { return payload + kHeaderBytes; }
+  bool is_pure_ack() const { return has_ack && payload == 0; }
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TRANSPORT_PACKET_H_

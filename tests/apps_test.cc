@@ -1,0 +1,158 @@
+// Tests for the application layer: closed-loop request/response mechanics
+// and the paper's workload configurations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/nginx.h"
+#include "src/apps/redis.h"
+#include "src/apps/request_response.h"
+#include "src/apps/rpc.h"
+#include "src/apps/spdk.h"
+#include "src/core/testbed.h"
+
+namespace fsio {
+namespace {
+
+TEST(RequestResponseTest, CompletesClosedLoopRoundTrips) {
+  TestbedConfig config;
+  config.mode = ProtectionMode::kOff;
+  config.cores = 2;
+  Testbed testbed(config);
+  RequestResponseConfig rr;
+  rr.request_bytes = 1024;
+  rr.response_bytes = 2048;
+  rr.pipeline = 1;
+  RequestResponseApp app(&testbed, rr);
+  app.Start();
+  testbed.RunUntil(5 * kNsPerMs);
+  EXPECT_GT(app.completed(), 10u);
+  // Conservation: bytes in each direction match completed round trips
+  // (allowing for requests in flight).
+  EXPECT_GE(app.request_bytes_delivered(), app.completed() * 1024);
+  EXPECT_GE(app.response_bytes_delivered(), app.completed() * 2048);
+}
+
+TEST(RequestResponseTest, PipelineIncreasesThroughput) {
+  auto run = [](std::uint32_t pipeline) {
+    TestbedConfig config;
+    config.mode = ProtectionMode::kOff;
+    config.cores = 2;
+    Testbed testbed(config);
+    RequestResponseConfig rr;
+    rr.request_bytes = 16384;
+    rr.response_bytes = 128;
+    rr.pipeline = pipeline;
+    RequestResponseApp app(&testbed, rr);
+    app.Start();
+    testbed.RunUntil(10 * kNsPerMs);
+    return app.completed();
+  };
+  EXPECT_GT(run(16), run(1) * 2);
+}
+
+TEST(RequestResponseTest, LatencyHistogramIsPopulated) {
+  TestbedConfig config;
+  config.mode = ProtectionMode::kOff;
+  config.cores = 2;
+  Testbed testbed(config);
+  RequestResponseApp app(&testbed, NetperfRpcConfig(4096, 0));
+  app.Start();
+  testbed.RunUntil(5 * kNsPerMs);
+  ASSERT_GT(app.latency().count(), 0u);
+  // Closed-loop RPC over an uncontended link: single-digit to tens of us.
+  EXPECT_GT(app.latency().Percentile(50), 1000u);
+  EXPECT_LT(app.latency().Percentile(50), 100 * kNsPerUs);
+}
+
+TEST(RequestResponseTest, ServerThinkTimeLimitsRate) {
+  auto run = [](TimeNs think) {
+    TestbedConfig config;
+    config.mode = ProtectionMode::kOff;
+    config.cores = 2;
+    Testbed testbed(config);
+    RequestResponseConfig rr;
+    rr.request_bytes = 128;
+    rr.response_bytes = 128;
+    rr.pipeline = 1;
+    rr.server_cpu_per_request_ns = think;
+    RequestResponseApp app(&testbed, rr);
+    app.Start();
+    testbed.RunUntil(10 * kNsPerMs);
+    return app.completed();
+  };
+  EXPECT_GT(run(100), run(100000));
+}
+
+TEST(WorkloadConfigTest, RedisShapesMatchPaper) {
+  const auto config = RedisSetConfig(8 * 1024);
+  EXPECT_GT(config.request_bytes, 8u * 1024);  // value + framing
+  EXPECT_LT(config.response_bytes, 64u);       // "+OK"
+  EXPECT_EQ(config.pipeline, 32u);             // the paper's pipelining
+  EXPECT_EQ(config.server_host, 1u);           // measured host receives
+}
+
+TEST(WorkloadConfigTest, NginxShapesMatchPaper) {
+  const auto config = NginxGetConfig(2 << 20);
+  EXPECT_LT(config.request_bytes, 1024u);
+  EXPECT_EQ(config.response_bytes, 2u << 20);
+  EXPECT_GT(config.server_cpu_per_byte_ns, 0.0);  // app-limited below line rate
+}
+
+TEST(WorkloadConfigTest, SpdkMeasuredHostIsClient) {
+  const auto config = SpdkReadConfig(64 * 1024);
+  EXPECT_EQ(config.client_host, 1u);  // Rx datapath under test = client
+  EXPECT_EQ(config.server_host, 0u);
+  EXPECT_EQ(config.pipeline, 8u);  // IO depth 8
+}
+
+TEST(WorkloadConfigTest, RpcIsSymmetricSingleOutstanding) {
+  const auto config = NetperfRpcConfig(16384, 3);
+  EXPECT_EQ(config.request_bytes, config.response_bytes);
+  EXPECT_EQ(config.pipeline, 1u);
+  EXPECT_EQ(config.client_core, 3u);
+}
+
+TEST(MakeAppsTest, SpreadsAcrossCores) {
+  TestbedConfig config;
+  config.mode = ProtectionMode::kOff;
+  config.cores = 4;
+  Testbed testbed(config);
+  auto apps = MakeApps(&testbed, RedisSetConfig(4096), 8, 4);
+  EXPECT_EQ(apps.size(), 8u);
+  for (auto& app : apps) {
+    app->Start();
+  }
+  testbed.RunUntil(5 * kNsPerMs);
+  std::uint64_t total = 0;
+  for (auto& app : apps) {
+    total += app->completed();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(AppModeComparisonTest, RedisStrictSlowerThanFastSafe) {
+  auto run = [](ProtectionMode mode) {
+    TestbedConfig config;
+    config.mode = mode;
+    config.cores = 8;
+    config.mtu_bytes = 9000;
+    Testbed testbed(config);
+    auto apps = MakeApps(&testbed, RedisSetConfig(8 * 1024), 8, 8);
+    for (auto& app : apps) {
+      app->Start();
+    }
+    testbed.RunUntil(20 * kNsPerMs);
+    std::uint64_t bytes = 0;
+    for (auto& app : apps) {
+      bytes += app->request_bytes_delivered();
+    }
+    return bytes;
+  };
+  const std::uint64_t strict = run(ProtectionMode::kStrict);
+  const std::uint64_t fs = run(ProtectionMode::kFastSafe);
+  EXPECT_GT(fs, strict + strict / 4);
+}
+
+}  // namespace
+}  // namespace fsio

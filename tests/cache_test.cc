@@ -1,0 +1,214 @@
+// Unit and property tests for the set-associative LRU cache that backs the
+// IOTLB and the PTcache-L1/L2/L3 models.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "src/cache/set_assoc_cache.h"
+#include "src/simcore/rng.h"
+
+namespace fsio {
+namespace {
+
+TEST(SetAssocCacheTest, MissThenHit) {
+  SetAssocCache c(1, 4);
+  EXPECT_FALSE(c.Lookup(1).has_value());
+  c.Insert(1, 100);
+  auto hit = c.Lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 100u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCacheTest, LruEvictionInFullyAssociativeSet) {
+  SetAssocCache c(1, 2);
+  c.Insert(1, 0);
+  c.Insert(2, 0);
+  c.Lookup(1);       // 2 becomes LRU
+  c.Insert(3, 0);    // evicts 2
+  EXPECT_TRUE(c.Lookup(1).has_value());
+  EXPECT_FALSE(c.Lookup(2).has_value());
+  EXPECT_TRUE(c.Lookup(3).has_value());
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(SetAssocCacheTest, InsertReturnsEvictedTag) {
+  SetAssocCache c(1, 1);
+  EXPECT_EQ(c.Insert(7, 0), std::nullopt);
+  auto evicted = c.Insert(8, 0);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 7u);
+}
+
+TEST(SetAssocCacheTest, ReinsertUpdatesPayloadWithoutEviction) {
+  SetAssocCache c(1, 2);
+  c.Insert(1, 10);
+  c.Insert(1, 20);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(*c.Peek(1), 20u);
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(SetAssocCacheTest, InvalidateRemovesEntry) {
+  SetAssocCache c(4, 2);
+  c.Insert(5, 0);
+  EXPECT_TRUE(c.Invalidate(5));
+  EXPECT_FALSE(c.Invalidate(5));
+  EXPECT_FALSE(c.Lookup(5).has_value());
+  EXPECT_EQ(c.invalidations(), 1u);
+}
+
+TEST(SetAssocCacheTest, InvalidateRangeRemovesAllInRange) {
+  SetAssocCache c(16, 4);
+  for (std::uint64_t tag = 100; tag < 140; ++tag) {
+    c.Insert(tag, 0);
+  }
+  const std::uint64_t removed = c.InvalidateRange(110, 119);
+  EXPECT_EQ(removed, 10u);
+  EXPECT_FALSE(c.Peek(110).has_value());
+  EXPECT_FALSE(c.Peek(119).has_value());
+  EXPECT_TRUE(c.Peek(109).has_value());
+  EXPECT_TRUE(c.Peek(120).has_value());
+}
+
+TEST(SetAssocCacheTest, InvalidateRangeLargeRangeScansArrays) {
+  SetAssocCache c(2, 2);
+  c.Insert(1, 0);
+  c.Insert(1000000, 0);
+  // Range far larger than capacity exercises the scan path.
+  EXPECT_EQ(c.InvalidateRange(0, ~0ULL), 2u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(SetAssocCacheTest, InvalidateByPayloadRemovesStalePointers) {
+  SetAssocCache c(8, 2);
+  c.Insert(1, 777);
+  c.Insert(2, 777);
+  c.Insert(3, 888);
+  EXPECT_EQ(c.InvalidateByPayload(777), 2u);
+  EXPECT_FALSE(c.Peek(1).has_value());
+  EXPECT_FALSE(c.Peek(2).has_value());
+  EXPECT_TRUE(c.Peek(3).has_value());
+}
+
+TEST(SetAssocCacheTest, InvalidateAllEmptiesCache) {
+  SetAssocCache c(4, 4);
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    c.Insert(t, 0);
+  }
+  c.InvalidateAll();
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(SetAssocCacheTest, PeekDoesNotDisturbLruOrStats) {
+  SetAssocCache c(1, 2);
+  c.Insert(1, 0);
+  c.Insert(2, 0);
+  c.Peek(1);         // must NOT refresh 1
+  c.Insert(3, 0);    // evicts 1 (true LRU)
+  EXPECT_FALSE(c.Peek(1).has_value());
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(SetAssocCacheTest, DifferentSetsDoNotEvictEachOther) {
+  // With many sets and 1 way, two tags in different sets coexist.
+  SetAssocCache c(64, 1);
+  std::uint64_t placed = 0;
+  for (std::uint64_t t = 0; t < 32; ++t) {
+    c.Insert(t, 0);
+  }
+  for (std::uint64_t t = 0; t < 32; ++t) {
+    if (c.Peek(t).has_value()) {
+      ++placed;
+    }
+  }
+  // Some conflict misses are expected, but most tags must survive.
+  EXPECT_GT(placed, 16u);
+}
+
+TEST(SetAssocCacheTest, ResetStatsZeroesCountersButKeepsContents) {
+  SetAssocCache c(1, 4);
+  c.Insert(1, 0);
+  c.Lookup(1);
+  c.Lookup(2);
+  c.ResetStats();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_TRUE(c.Peek(1).has_value());
+}
+
+// Reference model: fully-associative LRU over a std::list.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::size_t capacity) : capacity_(capacity) {}
+
+  bool Lookup(std::uint64_t tag) {
+    auto it = index_.find(tag);
+    if (it == index_.end()) {
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  void Insert(std::uint64_t tag) {
+    if (Lookup(tag)) {
+      return;
+    }
+    if (order_.size() == capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(tag);
+    index_[tag] = order_.begin();
+  }
+
+  void Invalidate(std::uint64_t tag) {
+    auto it = index_.find(tag);
+    if (it == index_.end()) {
+      return;
+    }
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+};
+
+// Property test: a (1 set, N ways) cache must behave exactly like
+// fully-associative LRU under a random workload.
+class FullyAssocProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FullyAssocProperty, MatchesReferenceLru) {
+  const std::uint32_t ways = GetParam();
+  SetAssocCache cache(1, ways);
+  ReferenceLru ref(ways);
+  Rng rng(1234 + ways);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t tag = rng.NextBelow(ways * 3);
+    const int op = static_cast<int>(rng.NextBelow(10));
+    if (op < 6) {
+      const bool got = cache.Lookup(tag).has_value();
+      const bool want = ref.Lookup(tag);
+      ASSERT_EQ(got, want) << "lookup mismatch at step " << i << " tag " << tag;
+    } else if (op < 9) {
+      cache.Insert(tag, tag);
+      ref.Insert(tag);
+    } else {
+      cache.Invalidate(tag);
+      ref.Invalidate(tag);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, FullyAssocProperty, ::testing::Values(1u, 2u, 4u, 8u, 64u, 128u));
+
+}  // namespace
+}  // namespace fsio

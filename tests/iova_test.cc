@@ -1,0 +1,296 @@
+// Tests for the red-black-tree IOVA allocator and the per-core magazine
+// cache layer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/iova/iova_allocator.h"
+#include "src/iova/rbtree_allocator.h"
+#include "src/simcore/rng.h"
+
+namespace fsio {
+namespace {
+
+TEST(RbTreeAllocatorTest, AllocatesTopDown) {
+  RbTreeAllocator tree(1000);
+  const std::uint64_t a = tree.Alloc(10);
+  const std::uint64_t b = tree.Alloc(10);
+  EXPECT_EQ(a, 990u);
+  EXPECT_EQ(b, 980u);
+  EXPECT_EQ(tree.allocated_pages(), 20u);
+}
+
+TEST(RbTreeAllocatorTest, RespectsAlignment) {
+  RbTreeAllocator tree(1000);
+  const std::uint64_t a = tree.Alloc(3, 8);
+  EXPECT_EQ(a % 8, 0u);
+  const std::uint64_t b = tree.Alloc(5, 16);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_LT(b, a);
+}
+
+TEST(RbTreeAllocatorTest, FreeMakesRangeReusable) {
+  RbTreeAllocator tree(100);
+  const std::uint64_t a = tree.Alloc(50);
+  const std::uint64_t b = tree.Alloc(50);
+  EXPECT_NE(a, RbTreeAllocator::kInvalidPfn);
+  EXPECT_NE(b, RbTreeAllocator::kInvalidPfn);
+  EXPECT_EQ(tree.Alloc(1), RbTreeAllocator::kInvalidPfn);  // space exhausted
+  EXPECT_TRUE(tree.Free(a));
+  const std::uint64_t c = tree.Alloc(50);
+  EXPECT_EQ(c, a);
+}
+
+TEST(RbTreeAllocatorTest, FreeUnknownStartFails) {
+  RbTreeAllocator tree(100);
+  const std::uint64_t a = tree.Alloc(10);
+  EXPECT_FALSE(tree.Free(a + 1));  // not a range start
+  EXPECT_TRUE(tree.Free(a));
+  EXPECT_FALSE(tree.Free(a));  // double free
+}
+
+TEST(RbTreeAllocatorTest, FillsGapsBetweenAllocations) {
+  RbTreeAllocator tree(100);
+  const std::uint64_t a = tree.Alloc(40);  // [60, 99]
+  const std::uint64_t b = tree.Alloc(40);  // [20, 59]
+  (void)b;
+  EXPECT_TRUE(tree.Free(a));
+  // A 30-page allocation fits in the freed top gap; top-down placement puts
+  // it at the top of that gap.
+  const std::uint64_t c = tree.Alloc(30);
+  EXPECT_EQ(c, 70u);
+}
+
+TEST(RbTreeAllocatorTest, ContainsReportsMembership) {
+  RbTreeAllocator tree(100);
+  const std::uint64_t a = tree.Alloc(10);
+  EXPECT_TRUE(tree.Contains(a));
+  EXPECT_TRUE(tree.Contains(a + 9));
+  EXPECT_FALSE(tree.Contains(a - 1));
+}
+
+TEST(RbTreeAllocatorTest, ZeroPagesFails) {
+  RbTreeAllocator tree(100);
+  EXPECT_EQ(tree.Alloc(0), RbTreeAllocator::kInvalidPfn);
+}
+
+TEST(RbTreeAllocatorTest, OversizeRequestFails) {
+  RbTreeAllocator tree(100);
+  EXPECT_EQ(tree.Alloc(101), RbTreeAllocator::kInvalidPfn);
+}
+
+TEST(RbTreeAllocatorTest, InvariantsHoldAfterManyOps) {
+  RbTreeAllocator tree(1 << 20);
+  Rng rng(77);
+  std::vector<std::uint64_t> live;
+  for (int i = 0; i < 5000; ++i) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const std::uint64_t start = tree.Alloc(1 + rng.NextBelow(64));
+      if (start != RbTreeAllocator::kInvalidPfn) {
+        live.push_back(start);
+      }
+    } else {
+      const std::size_t idx = rng.NextBelow(live.size());
+      EXPECT_TRUE(tree.Free(live[idx]));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "at step " << i;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.allocated_ranges(), live.size());
+}
+
+// Property: allocations never overlap (checked against a reference set).
+class RbTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RbTreeProperty, NoOverlappingAllocations) {
+  Rng rng(GetParam());
+  RbTreeAllocator tree(1 << 16);
+  std::set<std::uint64_t> owned_pfns;
+  struct Range {
+    std::uint64_t start;
+    std::uint64_t pages;
+  };
+  std::vector<Range> live;
+  for (int i = 0; i < 3000; ++i) {
+    if (live.empty() || rng.NextBool(0.55)) {
+      const std::uint64_t pages = 1 + rng.NextBelow(32);
+      const std::uint64_t start = tree.Alloc(pages);
+      if (start == RbTreeAllocator::kInvalidPfn) {
+        continue;
+      }
+      for (std::uint64_t p = start; p < start + pages; ++p) {
+        ASSERT_TRUE(owned_pfns.insert(p).second) << "overlap at pfn " << p;
+      }
+      live.push_back({start, pages});
+    } else {
+      const std::size_t idx = rng.NextBelow(live.size());
+      ASSERT_TRUE(tree.Free(live[idx].start));
+      for (std::uint64_t p = live[idx].start; p < live[idx].start + live[idx].pages; ++p) {
+        owned_pfns.erase(p);
+      }
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(tree.allocated_pages(), owned_pfns.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeProperty, ::testing::Values(11u, 22u, 33u));
+
+IovaAllocatorConfig SmallConfig() {
+  IovaAllocatorConfig config;
+  config.num_cores = 2;
+  config.magazine_size = 4;
+  config.depot_magazines = 2;
+  return config;
+}
+
+TEST(IovaAllocatorTest, AllocReturnsPageAlignedAddress) {
+  StatsRegistry stats;
+  IovaAllocator alloc(SmallConfig(), &stats);
+  const Iova iova = alloc.Alloc(0, 1);
+  ASSERT_NE(iova, IovaAllocator::kInvalidIova);
+  EXPECT_EQ(iova % kPageSize, 0u);
+}
+
+TEST(IovaAllocatorTest, MultiPageAllocIsNaturallyAligned) {
+  StatsRegistry stats;
+  IovaAllocator alloc(SmallConfig(), &stats);
+  const Iova iova = alloc.Alloc(0, 64);
+  ASSERT_NE(iova, IovaAllocator::kInvalidIova);
+  EXPECT_EQ(iova % (64 * kPageSize), 0u);
+}
+
+TEST(IovaAllocatorTest, FreedIovaIsRecycledLifoPerCore) {
+  StatsRegistry stats;
+  IovaAllocator alloc(SmallConfig(), &stats);
+  const Iova a = alloc.Alloc(0, 1);
+  const Iova b = alloc.Alloc(0, 1);
+  alloc.Free(0, a, 1);
+  alloc.Free(0, b, 1);
+  // LIFO: b comes back first.
+  EXPECT_EQ(alloc.Alloc(0, 1), b);
+  EXPECT_EQ(alloc.Alloc(0, 1), a);
+  EXPECT_GE(stats.Value("iova.cache_hits"), 2u);
+}
+
+TEST(IovaAllocatorTest, PerCoreCachesAreIndependent) {
+  StatsRegistry stats;
+  IovaAllocator alloc(SmallConfig(), &stats);
+  const Iova a = alloc.Alloc(0, 1);
+  alloc.Free(0, a, 1);
+  // Core 1's alloc must not see core 0's cached IOVA (depot is empty, the
+  // magazine is not full, so it stays on core 0).
+  const Iova b = alloc.Alloc(1, 1);
+  EXPECT_NE(b, a);
+}
+
+TEST(IovaAllocatorTest, DepotOverflowReturnsToTree) {
+  StatsRegistry stats;
+  IovaAllocatorConfig config = SmallConfig();
+  config.magazine_size = 2;
+  config.depot_magazines = 1;
+  IovaAllocator alloc(config, &stats);
+  std::vector<Iova> iovas;
+  for (int i = 0; i < 32; ++i) {
+    iovas.push_back(alloc.Alloc(0, 1));
+  }
+  for (Iova v : iovas) {
+    alloc.Free(0, v, 1);
+  }
+  EXPECT_GT(stats.Value("iova.tree_frees"), 0u);
+  EXPECT_EQ(alloc.live_allocations(), 0u);
+}
+
+TEST(IovaAllocatorTest, RcacheDisabledGoesStraightToTree) {
+  StatsRegistry stats;
+  IovaAllocatorConfig config = SmallConfig();
+  config.enable_rcache = false;
+  IovaAllocator alloc(config, &stats);
+  const Iova a = alloc.Alloc(0, 1);
+  alloc.Free(0, a, 1);
+  const Iova b = alloc.Alloc(0, 1);
+  EXPECT_EQ(a, b);  // top-down tree always hands back the highest gap
+  EXPECT_EQ(stats.Value("iova.cache_hits"), 0u);
+  EXPECT_EQ(stats.Value("iova.tree_allocs"), 2u);
+}
+
+TEST(IovaAllocatorTest, NonPowerOfTwoSizesRoundUp) {
+  StatsRegistry stats;
+  IovaAllocator alloc(SmallConfig(), &stats);
+  const Iova a = alloc.Alloc(0, 48);  // rounds to 64 pages
+  const Iova b = alloc.Alloc(0, 48);
+  ASSERT_NE(a, IovaAllocator::kInvalidIova);
+  // Ranges must be 64 pages apart (rounded), not 48.
+  EXPECT_EQ(a - b, 64 * kPageSize);
+}
+
+TEST(IovaAllocatorTest, LargeOrdersBypassCache) {
+  StatsRegistry stats;
+  IovaAllocatorConfig config = SmallConfig();
+  config.max_cached_order = 0;  // only single pages cached
+  IovaAllocator alloc(config, &stats);
+  const Iova a = alloc.Alloc(0, 64);
+  alloc.Free(0, a, 64);
+  EXPECT_EQ(stats.Value("iova.tree_frees"), 1u);
+  EXPECT_EQ(stats.Value("iova.cache_hits"), 0u);
+}
+
+TEST(IovaAllocatorTest, AllocationsComeFromTopOfAddressSpace) {
+  StatsRegistry stats;
+  IovaAllocator alloc(SmallConfig(), &stats);
+  const Iova a = alloc.Alloc(0, 1);
+  // Top of the 48-bit space.
+  EXPECT_GT(a, kIovaSpaceSize - (1ULL << 30));
+}
+
+// Property: no two live allocations overlap even under heavy magazine
+// recycling across cores and size classes.
+TEST(IovaAllocatorTest, NoAliasingUnderRecycling) {
+  StatsRegistry stats;
+  IovaAllocatorConfig config;
+  config.num_cores = 4;
+  config.magazine_size = 8;
+  config.depot_magazines = 2;
+  IovaAllocator alloc(config, &stats);
+  Rng rng(5);
+  struct Live {
+    Iova iova;
+    std::uint64_t pages;
+    std::uint32_t core;
+  };
+  std::vector<Live> live;
+  std::set<std::uint64_t> pfns;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t core = static_cast<std::uint32_t>(rng.NextBelow(4));
+    if (live.empty() || rng.NextBool(0.55)) {
+      const std::uint64_t pages = rng.NextBool(0.8) ? 1 : 64;
+      const Iova iova = alloc.Alloc(core, pages);
+      ASSERT_NE(iova, IovaAllocator::kInvalidIova);
+      const std::uint64_t rounded = pages == 1 ? 1 : 64;
+      for (std::uint64_t p = 0; p < rounded; ++p) {
+        ASSERT_TRUE(pfns.insert((iova >> kPageShift) + p).second)
+            << "IOVA alias at step " << i;
+      }
+      live.push_back({iova, pages, core});
+    } else {
+      const std::size_t idx = rng.NextBelow(live.size());
+      const Live l = live[idx];
+      const std::uint64_t rounded = l.pages == 1 ? 1 : 64;
+      for (std::uint64_t p = 0; p < rounded; ++p) {
+        pfns.erase((l.iova >> kPageShift) + p);
+      }
+      alloc.Free(core, l.iova, l.pages);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsio

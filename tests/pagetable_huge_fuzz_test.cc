@@ -1,0 +1,120 @@
+// Randomized fuzz of the IO page table with MIXED 4 KB and 2 MB mappings
+// against a flat reference model — the interaction matrix (huge-over-4K,
+// 4K-under-huge, partial unmaps, reclamation with mixed granularities) is
+// where radix-tree bugs live.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/mem/address.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/simcore/rng.h"
+
+namespace fsio {
+namespace {
+
+constexpr Iova kHuge = 2ULL << 20;
+
+class MixedGranularityFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixedGranularityFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  IoPageTable pt;
+  // Reference: page -> phys for every mapped 4 KB page (huge mappings are
+  // expanded), plus the set of live huge-mapping base pages.
+  std::map<std::uint64_t, PhysAddr> ref;  // key: iova >> kPageShift
+  std::set<std::uint64_t> huge_bases;     // key: first page of a huge span
+  // Spans (keyed by first page) that have a PT-L4 table page. The page is
+  // created by any 4 KB map in the span and reclaimed only by a single unmap
+  // call covering the whole span (Fig. 5 semantics) — and while it exists,
+  // MapHuge must refuse (Linux will not overlay a superpage on a table).
+  std::set<std::uint64_t> pt4_exists;
+
+  const std::uint64_t window_huge = 64;  // 128 MB window keeps collisions hot
+  auto huge_base = [&](std::uint64_t i) { return i * kHuge; };
+
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.NextBelow(100));
+    if (op < 30) {
+      // Map a random 4 KB page.
+      const Iova iova = rng.NextBelow(window_huge * (kHuge >> kPageShift)) << kPageShift;
+      const PhysAddr pa = (1 + rng.NextBelow(1 << 20)) << kPageShift;
+      const bool expect = !ref.contains(iova >> kPageShift);
+      ASSERT_EQ(pt.Map(iova, pa), expect) << "step " << step;
+      if (expect) {
+        ref[iova >> kPageShift] = pa;
+        pt4_exists.insert((iova >> kPageShift) & ~((kHuge >> kPageShift) - 1));
+      }
+    } else if (op < 45) {
+      // Map a random huge page; succeeds only if its whole span is empty.
+      const Iova iova = huge_base(rng.NextBelow(window_huge));
+      const PhysAddr pa = (1 + rng.NextBelow(1 << 8)) * kHuge;
+      bool span_empty = !pt4_exists.contains(iova >> kPageShift) &&
+                        !huge_bases.contains(iova >> kPageShift);
+      for (std::uint64_t p = 0; span_empty && p < (kHuge >> kPageShift); ++p) {
+        if (ref.contains((iova >> kPageShift) + p)) {
+          span_empty = false;
+        }
+      }
+      ASSERT_EQ(pt.MapHuge(iova, pa), span_empty) << "step " << step;
+      if (span_empty) {
+        huge_bases.insert(iova >> kPageShift);
+        for (std::uint64_t p = 0; p < (kHuge >> kPageShift); ++p) {
+          ref[(iova >> kPageShift) + p] = pa + (p << kPageShift);
+        }
+      }
+    } else if (op < 75) {
+      // Unmap a random page-aligned range (may straddle granularities).
+      const Iova start = rng.NextBelow(window_huge * (kHuge >> kPageShift)) << kPageShift;
+      const std::uint64_t pages = 1 + rng.NextBelow(1024);
+      const UnmapResult r = pt.Unmap(start, pages * kPageSize);
+      // Reference semantics: 4 KB pages in range are removed; huge mappings
+      // are removed only if their entire span is inside [start, end).
+      const std::uint64_t first = start >> kPageShift;
+      const std::uint64_t span_pages = kHuge >> kPageShift;
+      std::uint64_t expected_unmapped = 0;
+      for (std::uint64_t p = first; p < first + pages; ++p) {
+        const std::uint64_t span_first = p & ~(span_pages - 1);
+        // Single-call full-span coverage reclaims the span's PT-L4 page.
+        if (span_first >= first && span_first + span_pages <= first + pages &&
+            p == span_first) {
+          pt4_exists.erase(span_first);
+        }
+        if (huge_bases.contains(span_first)) {
+          if (span_first >= first && span_first + span_pages <= first + pages) {
+            // Whole huge span covered: count its pages once (at its base).
+            if (p == span_first) {
+              huge_bases.erase(span_first);
+              for (std::uint64_t q = 0; q < span_pages; ++q) {
+                ref.erase(span_first + q);
+              }
+              expected_unmapped += span_pages;
+            }
+          }
+          continue;  // partial cover: huge mapping survives
+        }
+        expected_unmapped += ref.erase(p);
+      }
+      ASSERT_EQ(r.unmapped_pages, expected_unmapped) << "step " << step;
+    } else {
+      // Walk a random page and compare against the reference.
+      const Iova iova = rng.NextBelow(window_huge * (kHuge >> kPageShift)) << kPageShift;
+      const WalkResult w = pt.Walk(iova);
+      auto it = ref.find(iova >> kPageShift);
+      ASSERT_EQ(w.present, it != ref.end()) << "step " << step << " iova " << iova;
+      if (w.present) {
+        ASSERT_EQ(w.phys, it->second) << "step " << step;
+      }
+    }
+    if (step % 500 == 0) {
+      ASSERT_EQ(pt.mapped_pages(), ref.size()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(pt.mapped_pages(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedGranularityFuzz, ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace fsio

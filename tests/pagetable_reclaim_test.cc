@@ -1,0 +1,156 @@
+// Reproduces the paper's Figure 5: Linux reclaims an IO page table page only
+// when a *single* unmap operation covers the page's entire address span.
+// This semantics is the foundation of F&S's "preserve PTcaches on unmap"
+// idea — per-descriptor (≤256 KB) unmaps can never reclaim a PT-L4 page
+// (2 MB span), so preserved PTcache entries can never go stale.
+#include <gtest/gtest.h>
+
+#include "src/mem/address.h"
+#include "src/pagetable/io_page_table.h"
+
+namespace fsio {
+namespace {
+
+constexpr Iova kMb = 1ULL << 20;
+
+// Maps `len` bytes of IOVA starting at `base` (page by page).
+void MapRange(IoPageTable* pt, Iova base, std::uint64_t len) {
+  for (Iova off = 0; off < len; off += kPageSize) {
+    ASSERT_TRUE(pt->Map(base + off, 0x100000 + off));
+  }
+}
+
+// Fig. 5(b): one unmap call covering 5 MB starting at a 2 MB-aligned IOVA
+// reclaims the two PT-L4 pages whose full 2 MB spans are covered; the third
+// page (only 1 MB of its span covered) survives.
+TEST(Fig5ReclaimTest, LargeSingleUnmapReclaimsFullyCoveredPages) {
+  IoPageTable pt;
+  const Iova base = 4ULL << 30;  // 2 MB aligned
+  MapRange(&pt, base, 5 * kMb);
+  const std::uint64_t tables_before = pt.live_table_pages();
+  ASSERT_EQ(tables_before, 1u + 1u + 1u + 3u);  // root, L2, L3, three L4 pages
+
+  const UnmapResult r = pt.Unmap(base, 5 * kMb);
+  EXPECT_EQ(r.unmapped_pages, 5 * kMb / kPageSize);
+  ASSERT_EQ(r.reclaimed.size(), 2u);
+  for (const auto& page : r.reclaimed) {
+    EXPECT_EQ(page.level, 4);
+    EXPECT_FALSE(pt.IsLiveTablePage(page.page_id));
+  }
+  // The third (partially covered) PT-L4 page survives even though empty.
+  EXPECT_EQ(pt.live_table_pages(), tables_before - 2);
+}
+
+// Fig. 5(c): a single 256 KB unmap does not reclaim — it covers only part of
+// a PT-L4 page's 2 MB span.
+TEST(Fig5ReclaimTest, DescriptorSizedUnmapNeverReclaims) {
+  IoPageTable pt;
+  const Iova base = 4ULL << 30;
+  MapRange(&pt, base, 2 * kMb);
+  const UnmapResult r = pt.Unmap(base, 256 * 1024);
+  EXPECT_EQ(r.unmapped_pages, 64u);
+  EXPECT_FALSE(r.reclaimed_any());
+}
+
+// Fig. 5(d): many consecutive 256 KB unmaps covering the full 5 MB still
+// reclaim nothing, because no single call covers an entire PT-L4 span.
+TEST(Fig5ReclaimTest, ManySmallUnmapsNeverReclaim) {
+  IoPageTable pt;
+  const Iova base = 4ULL << 30;
+  MapRange(&pt, base, 5 * kMb);
+  const std::uint64_t tables_before = pt.live_table_pages();
+  for (Iova off = 0; off < 5 * kMb; off += 256 * 1024) {
+    const UnmapResult r = pt.Unmap(base + off, 256 * 1024);
+    EXPECT_FALSE(r.reclaimed_any()) << "unexpected reclaim at offset " << off;
+  }
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+  // All table pages survive (empty but live), exactly as in Fig. 5(d).
+  EXPECT_EQ(pt.live_table_pages(), tables_before);
+}
+
+// A single unmap spanning exactly one PT-L4 page's 2 MB reclaims exactly it.
+TEST(Fig5ReclaimTest, ExactSpanUnmapReclaimsExactlyThatPage) {
+  IoPageTable pt;
+  const Iova base = 8ULL << 30;
+  MapRange(&pt, base, 4 * kMb);
+  const UnmapResult r = pt.Unmap(base + 2 * kMb, 2 * kMb);
+  ASSERT_EQ(r.reclaimed.size(), 1u);
+  EXPECT_EQ(r.reclaimed[0].level, 4);
+  // The first 2 MB is still mapped.
+  EXPECT_TRUE(pt.IsMapped(base));
+}
+
+// Reclamation cascades: unmapping an entire 1 GB span in one call reclaims
+// the 512 PT-L4 pages *and* their parent PT-L3 page.
+TEST(Fig5ReclaimTest, GigabyteUnmapCascadesToLevel3) {
+  IoPageTable pt;
+  const Iova base = 16ULL << 30;  // 1 GB aligned
+  // Map one page in each of the first 8 PT-L4 pages (sparse but spread).
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pt.Map(base + static_cast<Iova>(i) * LevelEntrySpan(3), 0x100000));
+  }
+  const UnmapResult r = pt.Unmap(base, 1ULL << 30);
+  // 8 PT-L4 pages + 1 PT-L3 page reclaimed.
+  ASSERT_EQ(r.reclaimed.size(), 9u);
+  int l3 = 0;
+  int l4 = 0;
+  for (const auto& page : r.reclaimed) {
+    if (page.level == 3) {
+      ++l3;
+    }
+    if (page.level == 4) {
+      ++l4;
+    }
+  }
+  EXPECT_EQ(l3, 1);
+  EXPECT_EQ(l4, 8);
+}
+
+// A page that is fully covered by the unmap range but still holds live
+// mappings outside... cannot exist; but a page with live mappings *inside*
+// the range keeps only unmapped entries removed and is not reclaimed if a
+// prior map remains (covered span but non-empty cannot happen after the
+// unmap; this guards partial-map corner: entries outside [start,end) keep
+// the page alive).
+TEST(Fig5ReclaimTest, PageWithMappingsOutsideRangeSurvives) {
+  IoPageTable pt;
+  const Iova base = 32ULL << 30;
+  // Map first and last page of one PT-L4 page's span.
+  ASSERT_TRUE(pt.Map(base, 0x1000));
+  ASSERT_TRUE(pt.Map(base + 2 * kMb - kPageSize, 0x2000));
+  // Unmap only the first half of the span in one call.
+  const UnmapResult r = pt.Unmap(base, kMb);
+  EXPECT_EQ(r.unmapped_pages, 1u);
+  EXPECT_FALSE(r.reclaimed_any());
+  EXPECT_TRUE(pt.IsMapped(base + 2 * kMb - kPageSize));
+}
+
+// Unmapped-but-covered: unmapping a fully-covered span whose page became
+// empty in the SAME call reclaims it even if parts were never mapped.
+TEST(Fig5ReclaimTest, SparsePageReclaimedWhenSpanCovered) {
+  IoPageTable pt;
+  const Iova base = 64ULL << 30;
+  ASSERT_TRUE(pt.Map(base + 17 * kPageSize, 0x3000));  // one page only
+  const UnmapResult r = pt.Unmap(base, 2 * kMb);
+  EXPECT_EQ(r.unmapped_pages, 1u);
+  ASSERT_EQ(r.reclaimed.size(), 1u);
+  EXPECT_EQ(r.reclaimed[0].level, 4);
+}
+
+// Reclaimed page ids are never reused, so stale-pointer detection works.
+TEST(Fig5ReclaimTest, ReclaimedIdsAreNeverReused) {
+  IoPageTable pt;
+  const Iova base = 128ULL << 30;
+  MapRange(&pt, base, 2 * kMb);
+  const std::uint64_t old_l4 = pt.Walk(base).path_page_id[3];
+  const UnmapResult r = pt.Unmap(base, 2 * kMb);
+  ASSERT_TRUE(r.reclaimed_any());
+  EXPECT_FALSE(pt.IsLiveTablePage(old_l4));
+  // Remap the same IOVA: a fresh table page id must appear.
+  ASSERT_TRUE(pt.Map(base, 0x4000));
+  EXPECT_NE(pt.Walk(base).path_page_id[3], old_l4);
+  EXPECT_FALSE(pt.IsLiveTablePage(old_l4));
+}
+
+}  // namespace
+}  // namespace fsio

@@ -1,0 +1,185 @@
+// Unit and property tests for the 4-level IO page table: mapping, walking,
+// and bookkeeping. Reclamation semantics (paper Fig. 5) are covered in
+// pagetable_reclaim_test.cc.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/mem/address.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/simcore/rng.h"
+
+namespace fsio {
+namespace {
+
+TEST(AddressTest, LevelGeometryMatchesPaper) {
+  // PT-L4 entries cover 4 KB, PT-L3 2 MB, PT-L2 1 GB, PT-L1 512 GB.
+  EXPECT_EQ(LevelEntrySpan(4), 4096u);
+  EXPECT_EQ(LevelEntrySpan(3), 2ull << 20);
+  EXPECT_EQ(LevelEntrySpan(2), 1ull << 30);
+  EXPECT_EQ(LevelEntrySpan(1), 1ull << 39);
+}
+
+TEST(AddressTest, LevelIndexExtractsNineBitFields) {
+  // IOVA with index pattern 1,2,3,4 at levels 1..4.
+  const Iova iova = (1ULL << 39) | (2ULL << 30) | (3ULL << 21) | (4ULL << 12);
+  EXPECT_EQ(LevelIndex(iova, 1), 1u);
+  EXPECT_EQ(LevelIndex(iova, 2), 2u);
+  EXPECT_EQ(LevelIndex(iova, 3), 3u);
+  EXPECT_EQ(LevelIndex(iova, 4), 4u);
+}
+
+TEST(AddressTest, LevelTagSharedWithinSpan) {
+  const Iova base = 0x123400000000ULL;
+  EXPECT_EQ(LevelTag(base, 3), LevelTag(base + LevelEntrySpan(3) - 1, 3));
+  EXPECT_NE(LevelTag(base, 3), LevelTag(base + LevelEntrySpan(3), 3));
+}
+
+TEST(IoPageTableTest, MapThenWalkReturnsPhys) {
+  IoPageTable pt;
+  const Iova iova = 0x7f0000001000ULL;
+  ASSERT_TRUE(pt.Map(iova, 0xabc000));
+  const WalkResult w = pt.Walk(iova);
+  ASSERT_TRUE(w.present);
+  EXPECT_EQ(w.phys, 0xabc000u);
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+}
+
+TEST(IoPageTableTest, WalkAppliesPageOffset) {
+  IoPageTable pt;
+  ASSERT_TRUE(pt.Map(0x1000, 0x5000));
+  const WalkResult w = pt.Walk(0x1234);
+  ASSERT_TRUE(w.present);
+  EXPECT_EQ(w.phys, 0x5234u);
+}
+
+TEST(IoPageTableTest, DoubleMapFails) {
+  IoPageTable pt;
+  ASSERT_TRUE(pt.Map(0x1000, 0x5000));
+  EXPECT_FALSE(pt.Map(0x1000, 0x6000));
+  // Original mapping is untouched.
+  EXPECT_EQ(pt.Walk(0x1000).phys, 0x5000u);
+}
+
+TEST(IoPageTableTest, UnmappedWalkIsNotPresent) {
+  IoPageTable pt;
+  EXPECT_FALSE(pt.Walk(0x1000).present);
+  EXPECT_FALSE(pt.IsMapped(0x1000));
+}
+
+TEST(IoPageTableTest, UnmapRemovesMapping) {
+  IoPageTable pt;
+  ASSERT_TRUE(pt.Map(0x2000, 0x9000));
+  const UnmapResult r = pt.Unmap(0x2000, kPageSize);
+  EXPECT_EQ(r.unmapped_pages, 1u);
+  EXPECT_FALSE(pt.IsMapped(0x2000));
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+}
+
+TEST(IoPageTableTest, UnmapRangeCoversMultiplePages) {
+  IoPageTable pt;
+  const Iova base = 0x40000000ULL;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pt.Map(base + static_cast<Iova>(i) * kPageSize, 0x100000 + i * kPageSize));
+  }
+  const UnmapResult r = pt.Unmap(base, 64 * kPageSize);
+  EXPECT_EQ(r.unmapped_pages, 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(pt.IsMapped(base + static_cast<Iova>(i) * kPageSize));
+  }
+}
+
+TEST(IoPageTableTest, UnmapOfUnmappedRangeIsNoop) {
+  IoPageTable pt;
+  const UnmapResult r = pt.Unmap(0x10000, 16 * kPageSize);
+  EXPECT_EQ(r.unmapped_pages, 0u);
+  EXPECT_FALSE(r.reclaimed_any());
+}
+
+TEST(IoPageTableTest, WalkPathIdsIdentifyTablePages) {
+  IoPageTable pt;
+  const Iova a = 0x1000;
+  const Iova b = a + LevelEntrySpan(3);  // different PT-L4 page, same PT-L3
+  ASSERT_TRUE(pt.Map(a, 0x1000));
+  ASSERT_TRUE(pt.Map(b, 0x2000));
+  const WalkResult wa = pt.Walk(a);
+  const WalkResult wb = pt.Walk(b);
+  // Same root / L2 / L3 pages; different L4 pages.
+  EXPECT_EQ(wa.path_page_id[0], wb.path_page_id[0]);
+  EXPECT_EQ(wa.path_page_id[1], wb.path_page_id[1]);
+  EXPECT_EQ(wa.path_page_id[2], wb.path_page_id[2]);
+  EXPECT_NE(wa.path_page_id[3], wb.path_page_id[3]);
+  EXPECT_TRUE(pt.IsLiveTablePage(wa.path_page_id[3]));
+}
+
+TEST(IoPageTableTest, TablePageCountsTrackStructure) {
+  IoPageTable pt;
+  EXPECT_EQ(pt.live_table_pages(), 1u);  // root
+  ASSERT_TRUE(pt.Map(0x1000, 0x1000));
+  // Root + L2 + L3 + L4.
+  EXPECT_EQ(pt.live_table_pages(), 4u);
+  ASSERT_TRUE(pt.Map(0x2000, 0x2000));  // same L4 page
+  EXPECT_EQ(pt.live_table_pages(), 4u);
+}
+
+TEST(IoPageTableTest, SparseMappingsAcrossLevels) {
+  IoPageTable pt;
+  // Two IOVAs differing at the PT-L1 index: fully disjoint subtrees.
+  const Iova a = 0;
+  const Iova b = LevelEntrySpan(1);
+  ASSERT_TRUE(pt.Map(a, 0x1000));
+  ASSERT_TRUE(pt.Map(b, 0x2000));
+  EXPECT_EQ(pt.live_table_pages(), 7u);  // root + 2*(L2+L3+L4)
+  EXPECT_EQ(pt.Walk(a).phys, 0x1000u);
+  EXPECT_EQ(pt.Walk(b).phys, 0x2000u);
+}
+
+// Property test: random map/unmap sequences must agree with a flat
+// std::map reference model.
+class PageTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageTableProperty, MatchesReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  IoPageTable pt;
+  std::map<Iova, PhysAddr> ref;
+  // Confine to a 512 MB IOVA window so collisions are common.
+  const std::uint64_t window_pages = (512ULL << 20) >> kPageShift;
+  for (int step = 0; step < 5000; ++step) {
+    const Iova iova = rng.NextBelow(window_pages) << kPageShift;
+    const int op = static_cast<int>(rng.NextBelow(10));
+    if (op < 5) {
+      const PhysAddr pa = (rng.NextBelow(1 << 20) + 1) << kPageShift;
+      const bool want = !ref.contains(iova);
+      ASSERT_EQ(pt.Map(iova, pa), want);
+      if (want) {
+        ref[iova] = pa;
+      }
+    } else if (op < 8) {
+      // Unmap a small range.
+      const std::uint64_t pages = 1 + rng.NextBelow(64);
+      std::uint64_t want_unmapped = 0;
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        want_unmapped += ref.erase(iova + p * kPageSize);
+      }
+      const UnmapResult r = pt.Unmap(iova, pages * kPageSize);
+      ASSERT_EQ(r.unmapped_pages, want_unmapped);
+    } else {
+      const WalkResult w = pt.Walk(iova);
+      auto it = ref.find(iova);
+      ASSERT_EQ(w.present, it != ref.end());
+      if (w.present) {
+        ASSERT_EQ(w.phys, it->second);
+      }
+    }
+    if (step % 1000 == 0) {
+      ASSERT_EQ(pt.mapped_pages(), ref.size());
+    }
+  }
+  ASSERT_EQ(pt.mapped_pages(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace fsio

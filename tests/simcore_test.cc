@@ -1,0 +1,165 @@
+// Unit tests for the discrete-event core: clock semantics, ordering
+// guarantees, and deterministic RNG behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/simcore/event_queue.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/time.h"
+
+namespace fsio {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTimestampRunsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadlineInclusive) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(100, [&] { ++ran; });
+  q.ScheduleAt(101, [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(100), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.now(), 100u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  EventQueue q;
+  q.RunUntil(500);
+  EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) {
+      q.ScheduleAfter(10, chain);
+    }
+  };
+  q.ScheduleAt(0, chain);
+  q.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueueTest, SchedulingInThePastClampsToNow) {
+  EventQueue q;
+  TimeNs observed = ~0ULL;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAt(50, [&] { observed = q.now(); });  // in the past
+  });
+  q.RunAll();
+  EXPECT_EQ(observed, 100u);
+}
+
+TEST(EventQueueTest, CountsExecutedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) {
+    q.ScheduleAt(static_cast<TimeNs>(i), [] {});
+  }
+  q.RunAll();
+  EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(TimeTest, SerializationDelayBasics) {
+  // 128 Gbps = 16 bytes/ns: 256 bytes take 16 ns.
+  EXPECT_EQ(SerializationDelayNs(256, 128.0), 16u);
+  EXPECT_EQ(SerializationDelayNs(0, 128.0), 0u);
+  // Sub-nanosecond transfers round up to 1 ns so events progress.
+  EXPECT_EQ(SerializationDelayNs(1, 128.0), 1u);
+}
+
+TEST(TimeTest, GbpsConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerNs(100.0), 12.5);
+  EXPECT_DOUBLE_EQ(BytesPerNsToGbps(12.5), 100.0);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExp(100.0);
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 100.0, 5.0);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace fsio

@@ -1,0 +1,120 @@
+// Property tests for the statistics substrate against exact reference
+// implementations: histogram percentiles vs a sorted vector, merge
+// linearity, and reuse distances on adversarial patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/simcore/rng.h"
+#include "src/stats/histogram.h"
+#include "src/stats/reuse_distance.h"
+
+namespace fsio {
+namespace {
+
+// Exact percentile of a sorted sample (same rank convention as Histogram).
+std::uint64_t ExactPercentile(std::vector<std::uint64_t> values, double p) {
+  std::sort(values.begin(), values.end());
+  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(values.size()));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > values.size()) {
+    rank = values.size();
+  }
+  return values[rank - 1];
+}
+
+class HistogramProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramProperty, PercentilesWithinBucketError) {
+  Rng rng(GetParam());
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform values spanning ns to ms.
+    const std::uint64_t v = 1ULL << rng.NextBelow(21);
+    const std::uint64_t value = v + rng.NextBelow(v);
+    h.Record(value);
+    values.push_back(value);
+  }
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double exact = static_cast<double>(ExactPercentile(values, p));
+    const double approx = static_cast<double>(h.Percentile(p));
+    // Bucket relative error is 2^-5; allow a little slack for rank edges.
+    EXPECT_NEAR(approx, exact, exact * 0.08 + 1.0) << "p=" << p;
+  }
+}
+
+TEST_P(HistogramProperty, MergeEqualsCombinedRecording) {
+  Rng rng(GetParam() * 7 + 1);
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.NextBelow(1 << 20);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p)) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty, ::testing::Values(1u, 2u, 3u));
+
+TEST(ReuseDistancePropertyTest, SequentialScanIsAllColdThenCyclic) {
+  ReuseDistanceTracker t;
+  const std::uint64_t n = 3000;  // crosses the Fenwick resize boundary (1024)
+  for (std::uint64_t tag = 0; tag < n; ++tag) {
+    EXPECT_EQ(t.Access(tag), ReuseDistanceTracker::kColdMiss);
+  }
+  for (std::uint64_t tag = 0; tag < n; ++tag) {
+    EXPECT_EQ(t.Access(tag), n - 1) << tag;
+  }
+}
+
+TEST(ReuseDistancePropertyTest, StackPatternHasZeroDistanceOnTop) {
+  ReuseDistanceTracker t;
+  t.Access(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.Access(1), 0u);
+  }
+  EXPECT_DOUBLE_EQ(t.MissFraction(1), 0.0);
+}
+
+TEST(ReuseDistancePropertyTest, LargeRandomMatchesBruteForceAcrossResizes) {
+  Rng rng(1234);
+  ReuseDistanceTracker t;
+  std::vector<std::uint64_t> history;
+  // 5000 accesses forces multiple Fenwick capacity doublings.
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t tag = rng.NextBelow(200);
+    const std::uint64_t got = t.Access(tag);
+    std::uint64_t expected = ReuseDistanceTracker::kColdMiss;
+    for (auto it = history.rbegin(); it != history.rend(); ++it) {
+      if (*it == tag) {
+        std::vector<std::uint64_t> distinct(history.rbegin(), it);
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+        expected = distinct.size();
+        break;
+      }
+    }
+    ASSERT_EQ(got, expected) << "at access " << i;
+    history.push_back(tag);
+  }
+}
+
+}  // namespace
+}  // namespace fsio

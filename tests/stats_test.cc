@@ -1,0 +1,251 @@
+// Unit tests for counters, histograms, reuse-distance tracking, table output
+// and the §2.2 throughput-model fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "src/simcore/rng.h"
+#include "src/stats/counters.h"
+#include "src/stats/histogram.h"
+#include "src/stats/linear_fit.h"
+#include "src/stats/reuse_distance.h"
+#include "src/stats/table.h"
+
+namespace fsio {
+namespace {
+
+TEST(CountersTest, GetCreatesAndReusesCounters) {
+  StatsRegistry reg;
+  Counter* a = reg.Get("x.count");
+  a->Add(3);
+  EXPECT_EQ(reg.Get("x.count"), a);
+  EXPECT_EQ(reg.Value("x.count"), 3u);
+  EXPECT_EQ(reg.Value("missing"), 0u);
+}
+
+TEST(CountersTest, SnapshotAndDelta) {
+  StatsRegistry reg;
+  reg.Get("a")->Add(10);
+  auto before = reg.Snapshot();
+  reg.Get("a")->Add(5);
+  reg.Get("b")->Add(7);
+  auto delta = StatsRegistry::Delta(before, reg.Snapshot());
+  EXPECT_EQ(delta["a"], 5u);
+  EXPECT_EQ(delta["b"], 7u);
+}
+
+TEST(CountersTest, ResetAllZeroesEverything) {
+  StatsRegistry reg;
+  reg.Get("a")->Add(10);
+  reg.Get("b")->Add(20);
+  reg.ResetAll();
+  EXPECT_EQ(reg.Value("a"), 0u);
+  EXPECT_EQ(reg.Value("b"), 0u);
+}
+
+TEST(HistogramTest, EmptyHistogramReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Within the bucket's relative error (2^-5 ≈ 3%).
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 1000.0, 1000.0 * 0.04);
+}
+
+TEST(HistogramTest, PercentilesOfUniformSequence) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 5000.0, 5000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 9900.0, 9900.0 * 0.05);
+  EXPECT_EQ(h.Percentile(100), 10000u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h(5);
+  // Values below 2^5 = 32 map 1:1 to buckets.
+  for (int i = 0; i < 10; ++i) {
+    h.Record(7);
+  }
+  EXPECT_EQ(h.Percentile(50), 7u);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(10000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 10000u);
+}
+
+TEST(HistogramTest, TailPercentilesWithSkewedData) {
+  Histogram h;
+  for (int i = 0; i < 9990; ++i) {
+    h.Record(100);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(1000000);
+  }
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 100.0, 5.0);
+  EXPECT_GT(h.Percentile(99.95), 500000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(ReuseDistanceTest, FirstAccessIsColdMiss) {
+  ReuseDistanceTracker t;
+  EXPECT_EQ(t.Access(42), ReuseDistanceTracker::kColdMiss);
+  EXPECT_EQ(t.cold_misses(), 1u);
+}
+
+TEST(ReuseDistanceTest, ImmediateReuseHasDistanceZero) {
+  ReuseDistanceTracker t;
+  t.Access(1);
+  EXPECT_EQ(t.Access(1), 0u);
+}
+
+TEST(ReuseDistanceTest, CountsDistinctIntermediateTags) {
+  ReuseDistanceTracker t;
+  t.Access(1);
+  t.Access(2);
+  t.Access(3);
+  t.Access(2);  // repeated tag must count once
+  EXPECT_EQ(t.Access(1), 2u);  // {2, 3}
+}
+
+TEST(ReuseDistanceTest, CyclicPatternHasDistanceNMinusOne) {
+  ReuseDistanceTracker t;
+  const int n = 8;
+  for (int round = 0; round < 3; ++round) {
+    for (int tag = 0; tag < n; ++tag) {
+      const std::uint64_t d = t.Access(tag);
+      if (round > 0) {
+        EXPECT_EQ(d, static_cast<std::uint64_t>(n - 1));
+      }
+    }
+  }
+}
+
+TEST(ReuseDistanceTest, MissFractionThresholds) {
+  ReuseDistanceTracker t;
+  // Cycle over 8 tags: every non-cold access has distance 7.
+  for (int round = 0; round < 4; ++round) {
+    for (int tag = 0; tag < 8; ++tag) {
+      t.Access(tag);
+    }
+  }
+  EXPECT_DOUBLE_EQ(t.MissFraction(8), 0.0);   // distance 7 < 8 → hit
+  EXPECT_DOUBLE_EQ(t.MissFraction(7), 1.0);   // distance 7 >= 7 → miss
+}
+
+// Property check: reuse distance must match a brute-force reference on a
+// random access pattern.
+TEST(ReuseDistanceTest, MatchesBruteForceOnRandomPattern) {
+  Rng rng(99);
+  ReuseDistanceTracker t;
+  std::vector<std::uint64_t> history;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t tag = rng.NextBelow(50);
+    const std::uint64_t got = t.Access(tag);
+    // Brute force: distinct tags since last occurrence of `tag`.
+    std::uint64_t expected = ReuseDistanceTracker::kColdMiss;
+    for (auto it = history.rbegin(); it != history.rend(); ++it) {
+      if (*it == tag) {
+        std::unordered_set<std::uint64_t> distinct(history.rbegin(), it);
+        expected = distinct.size();
+        break;
+      }
+    }
+    ASSERT_EQ(got, expected) << "at access " << i;
+    history.push_back(tag);
+  }
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  const auto fit = FitLine({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 1 + 2x
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, DegenerateInputFallsBackToMean) {
+  const auto fit = FitLine({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(ThroughputModelTest, FitsPaperStyleModel) {
+  // Construct observations from a known model: l0 = 65, lm = 197, p = 4096.
+  const ThroughputModel truth{65.0, 197.0};
+  std::vector<double> mem_reads = {1.76, 2.5, 3.4, 4.36};
+  std::vector<double> tput;
+  for (double m : mem_reads) {
+    tput.push_back(truth.PredictBytesPerNs(4096.0, m));
+  }
+  const ThroughputModel fit = FitThroughputModel(4096.0, mem_reads, tput);
+  EXPECT_NEAR(fit.l0_ns, 65.0, 0.5);
+  EXPECT_NEAR(fit.lm_ns, 197.0, 0.5);
+}
+
+TEST(ThroughputModelTest, PredictionMatchesPaperNumbers) {
+  // §2.2: with 1.76 reads/4KB the paper measures ≈ 80 Gbps.
+  const ThroughputModel model{65.0, 197.0};
+  const double gbps = model.PredictBytesPerNs(4096.0, 1.76) * 8.0;
+  EXPECT_NEAR(gbps, 79.5, 2.0);
+  // With 4.36 reads/4KB (the 40-flow case) ≈ 35 Gbps.
+  const double gbps40 = model.PredictBytesPerNs(4096.0, 4.36) * 8.0;
+  EXPECT_NEAR(gbps40, 35.5, 2.0);
+}
+
+TEST(TableTest, AlignedOutputContainsHeadersAndRows) {
+  Table t({"flows", "gbps"});
+  t.BeginRow();
+  t.AddInteger(5);
+  t.AddNumber(79.53, 2);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("flows"), std::string::npos);
+  EXPECT_NE(s.find("79.53"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.BeginRow();
+  t.AddInteger(1);
+  t.AddInteger(2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace fsio
