@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hugepages.dir/ext_hugepages.cc.o"
+  "CMakeFiles/ext_hugepages.dir/ext_hugepages.cc.o.d"
+  "ext_hugepages"
+  "ext_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

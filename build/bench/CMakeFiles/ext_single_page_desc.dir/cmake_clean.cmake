@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_single_page_desc.dir/ext_single_page_desc.cc.o"
+  "CMakeFiles/ext_single_page_desc.dir/ext_single_page_desc.cc.o.d"
+  "ext_single_page_desc"
+  "ext_single_page_desc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_single_page_desc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_single_page_desc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_flows.dir/fig02_flows.cc.o"
+  "CMakeFiles/fig02_flows.dir/fig02_flows.cc.o.d"
+  "fig02_flows"
+  "fig02_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

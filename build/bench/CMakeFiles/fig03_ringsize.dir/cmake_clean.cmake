@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ringsize.dir/fig03_ringsize.cc.o"
+  "CMakeFiles/fig03_ringsize.dir/fig03_ringsize.cc.o.d"
+  "fig03_ringsize"
+  "fig03_ringsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ringsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

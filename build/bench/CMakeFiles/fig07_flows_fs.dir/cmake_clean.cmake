@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_flows_fs.dir/fig07_flows_fs.cc.o"
+  "CMakeFiles/fig07_flows_fs.dir/fig07_flows_fs.cc.o.d"
+  "fig07_flows_fs"
+  "fig07_flows_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_flows_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ringsize_fs.dir/fig08_ringsize_fs.cc.o"
+  "CMakeFiles/fig08_ringsize_fs.dir/fig08_ringsize_fs.cc.o.d"
+  "fig08_ringsize_fs"
+  "fig08_ringsize_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ringsize_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_rpc_tail.dir/fig09_rpc_tail.cc.o"
+  "CMakeFiles/fig09_rpc_tail.dir/fig09_rpc_tail.cc.o.d"
+  "fig09_rpc_tail"
+  "fig09_rpc_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rpc_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

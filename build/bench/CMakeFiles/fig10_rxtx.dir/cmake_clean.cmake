@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rxtx.dir/fig10_rxtx.cc.o"
+  "CMakeFiles/fig10_rxtx.dir/fig10_rxtx.cc.o.d"
+  "fig10_rxtx"
+  "fig10_rxtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rxtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

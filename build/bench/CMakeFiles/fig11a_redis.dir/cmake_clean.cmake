@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_redis.dir/fig11a_redis.cc.o"
+  "CMakeFiles/fig11a_redis.dir/fig11a_redis.cc.o.d"
+  "fig11a_redis"
+  "fig11a_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

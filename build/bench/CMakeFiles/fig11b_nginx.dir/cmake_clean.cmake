@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_nginx.dir/fig11b_nginx.cc.o"
+  "CMakeFiles/fig11b_nginx.dir/fig11b_nginx.cc.o.d"
+  "fig11b_nginx"
+  "fig11b_nginx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_nginx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

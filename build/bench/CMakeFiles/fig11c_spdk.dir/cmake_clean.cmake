@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_spdk.dir/fig11c_spdk.cc.o"
+  "CMakeFiles/fig11c_spdk.dir/fig11c_spdk.cc.o.d"
+  "fig11c_spdk"
+  "fig11c_spdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_spdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_invalidation.dir/micro_invalidation.cc.o"
+  "CMakeFiles/micro_invalidation.dir/micro_invalidation.cc.o.d"
+  "micro_invalidation"
+  "micro_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_ops.cc" "bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o" "gcc" "bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fsio_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fsio_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/fsio_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/fsio_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/fsio_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/iova/CMakeFiles/fsio_iova.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/fsio_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fsio_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagetable/CMakeFiles/fsio_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fsio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/fsio_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fsio_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fsio_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_convergence.dir/timeseries_convergence.cc.o"
+  "CMakeFiles/timeseries_convergence.dir/timeseries_convergence.cc.o.d"
+  "timeseries_convergence"
+  "timeseries_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("stats")
+subdirs("cache")
+subdirs("mem")
+subdirs("pagetable")
+subdirs("iova")
+subdirs("iommu")
+subdirs("pcie")
+subdirs("driver")
+subdirs("transport")
+subdirs("nic")
+subdirs("host")
+subdirs("core")
+subdirs("apps")

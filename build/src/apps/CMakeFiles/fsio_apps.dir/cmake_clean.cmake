@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_apps.dir/request_response.cc.o"
+  "CMakeFiles/fsio_apps.dir/request_response.cc.o.d"
+  "libfsio_apps.a"
+  "libfsio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

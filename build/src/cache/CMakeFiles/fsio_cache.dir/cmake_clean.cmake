@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_cache.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/fsio_cache.dir/set_assoc_cache.cc.o.d"
+  "libfsio_cache.a"
+  "libfsio_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

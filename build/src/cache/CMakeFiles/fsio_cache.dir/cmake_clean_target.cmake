@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsio_cache.a"
+)

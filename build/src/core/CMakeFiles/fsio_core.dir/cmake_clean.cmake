@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_core.dir/testbed.cc.o"
+  "CMakeFiles/fsio_core.dir/testbed.cc.o.d"
+  "libfsio_core.a"
+  "libfsio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

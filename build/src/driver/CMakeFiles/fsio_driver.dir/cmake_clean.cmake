@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_driver.dir/dma_api.cc.o"
+  "CMakeFiles/fsio_driver.dir/dma_api.cc.o.d"
+  "libfsio_driver.a"
+  "libfsio_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_host.dir/host.cc.o"
+  "CMakeFiles/fsio_host.dir/host.cc.o.d"
+  "libfsio_host.a"
+  "libfsio_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

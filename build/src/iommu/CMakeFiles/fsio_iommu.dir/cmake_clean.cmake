@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_iommu.dir/iommu.cc.o"
+  "CMakeFiles/fsio_iommu.dir/iommu.cc.o.d"
+  "libfsio_iommu.a"
+  "libfsio_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_iova.dir/iova_allocator.cc.o"
+  "CMakeFiles/fsio_iova.dir/iova_allocator.cc.o.d"
+  "CMakeFiles/fsio_iova.dir/rbtree_allocator.cc.o"
+  "CMakeFiles/fsio_iova.dir/rbtree_allocator.cc.o.d"
+  "libfsio_iova.a"
+  "libfsio_iova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_iova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

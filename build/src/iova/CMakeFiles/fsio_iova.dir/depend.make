@@ -1,0 +1,2 @@
+# Empty dependencies file for fsio_iova.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/fsio_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/fsio_mem.dir/memory_system.cc.o"
+  "CMakeFiles/fsio_mem.dir/memory_system.cc.o.d"
+  "libfsio_mem.a"
+  "libfsio_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

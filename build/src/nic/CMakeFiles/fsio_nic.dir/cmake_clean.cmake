@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_nic.dir/nic.cc.o"
+  "CMakeFiles/fsio_nic.dir/nic.cc.o.d"
+  "libfsio_nic.a"
+  "libfsio_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

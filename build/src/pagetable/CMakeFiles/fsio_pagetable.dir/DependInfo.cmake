@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagetable/io_page_table.cc" "src/pagetable/CMakeFiles/fsio_pagetable.dir/io_page_table.cc.o" "gcc" "src/pagetable/CMakeFiles/fsio_pagetable.dir/io_page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/fsio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fsio_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fsio_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

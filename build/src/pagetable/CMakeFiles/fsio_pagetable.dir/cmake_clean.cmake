@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_pagetable.dir/io_page_table.cc.o"
+  "CMakeFiles/fsio_pagetable.dir/io_page_table.cc.o.d"
+  "libfsio_pagetable.a"
+  "libfsio_pagetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_pagetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

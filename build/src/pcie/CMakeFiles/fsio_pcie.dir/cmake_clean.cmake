@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_pcie.dir/root_complex.cc.o"
+  "CMakeFiles/fsio_pcie.dir/root_complex.cc.o.d"
+  "libfsio_pcie.a"
+  "libfsio_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_simcore.dir/event_queue.cc.o"
+  "CMakeFiles/fsio_simcore.dir/event_queue.cc.o.d"
+  "CMakeFiles/fsio_simcore.dir/log.cc.o"
+  "CMakeFiles/fsio_simcore.dir/log.cc.o.d"
+  "CMakeFiles/fsio_simcore.dir/rng.cc.o"
+  "CMakeFiles/fsio_simcore.dir/rng.cc.o.d"
+  "libfsio_simcore.a"
+  "libfsio_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_stats.dir/counters.cc.o"
+  "CMakeFiles/fsio_stats.dir/counters.cc.o.d"
+  "CMakeFiles/fsio_stats.dir/histogram.cc.o"
+  "CMakeFiles/fsio_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/fsio_stats.dir/linear_fit.cc.o"
+  "CMakeFiles/fsio_stats.dir/linear_fit.cc.o.d"
+  "CMakeFiles/fsio_stats.dir/reuse_distance.cc.o"
+  "CMakeFiles/fsio_stats.dir/reuse_distance.cc.o.d"
+  "CMakeFiles/fsio_stats.dir/table.cc.o"
+  "CMakeFiles/fsio_stats.dir/table.cc.o.d"
+  "libfsio_stats.a"
+  "libfsio_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

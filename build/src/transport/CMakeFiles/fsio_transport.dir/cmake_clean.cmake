@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_transport.dir/dctcp.cc.o"
+  "CMakeFiles/fsio_transport.dir/dctcp.cc.o.d"
+  "CMakeFiles/fsio_transport.dir/network_switch.cc.o"
+  "CMakeFiles/fsio_transport.dir/network_switch.cc.o.d"
+  "libfsio_transport.a"
+  "libfsio_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

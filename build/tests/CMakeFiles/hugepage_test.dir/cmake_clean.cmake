@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hugepage_test.dir/hugepage_test.cc.o"
+  "CMakeFiles/hugepage_test.dir/hugepage_test.cc.o.d"
+  "hugepage_test"
+  "hugepage_test.pdb"
+  "hugepage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hugepage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

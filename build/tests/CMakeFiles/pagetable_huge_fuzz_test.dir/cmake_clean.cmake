@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagetable_huge_fuzz_test.dir/pagetable_huge_fuzz_test.cc.o"
+  "CMakeFiles/pagetable_huge_fuzz_test.dir/pagetable_huge_fuzz_test.cc.o.d"
+  "pagetable_huge_fuzz_test"
+  "pagetable_huge_fuzz_test.pdb"
+  "pagetable_huge_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagetable_huge_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pagetable_huge_fuzz_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagetable_reclaim_test.dir/pagetable_reclaim_test.cc.o"
+  "CMakeFiles/pagetable_reclaim_test.dir/pagetable_reclaim_test.cc.o.d"
+  "pagetable_reclaim_test"
+  "pagetable_reclaim_test.pdb"
+  "pagetable_reclaim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagetable_reclaim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagetable_test.dir/pagetable_test.cc.o"
+  "CMakeFiles/pagetable_test.dir/pagetable_test.cc.o.d"
+  "pagetable_test"
+  "pagetable_test.pdb"
+  "pagetable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagetable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

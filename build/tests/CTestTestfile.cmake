@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simcore_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/pagetable_test[1]_include.cmake")
+include("/root/repo/build/tests/pagetable_reclaim_test[1]_include.cmake")
+include("/root/repo/build/tests/iova_test[1]_include.cmake")
+include("/root/repo/build/tests/iommu_test[1]_include.cmake")
+include("/root/repo/build/tests/pcie_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/hugepage_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_property_test[1]_include.cmake")
+include("/root/repo/build/tests/pagetable_huge_fuzz_test[1]_include.cmake")

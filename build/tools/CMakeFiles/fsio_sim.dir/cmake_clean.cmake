@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsio_sim.dir/fsio_sim.cc.o"
+  "CMakeFiles/fsio_sim.dir/fsio_sim.cc.o.d"
+  "fsio_sim"
+  "fsio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
