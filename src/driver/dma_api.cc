@@ -1,5 +1,7 @@
 #include "src/driver/dma_api.h"
 
+#include <sstream>
+
 namespace fsio {
 
 DmaApi::DmaApi(const DmaApiConfig& config, IovaAllocator* iova, IoPageTable* page_table,
@@ -15,7 +17,102 @@ DmaApi::DmaApi(const DmaApiConfig& config, IovaAllocator* iova, IoPageTable* pag
       deferred_flushes_(stats->Get("dma.deferred_flushes")),
       cpu_ns_total_(stats->Get("dma.cpu_ns")),
       spin_ns_(stats->Get("dma.spin_ns")),
-      map_cpu_ns_(stats->Get("dma.map_cpu_ns")) {}
+      map_cpu_ns_(stats->Get("dma.map_cpu_ns")),
+      inv_retries_(stats->Get("dma.inv_retries")),
+      inv_timeouts_(stats->Get("dma.inv_timeouts")),
+      inv_fallback_flushes_(stats->Get("dma.inv_fallback_flushes")),
+      fault_masked_(stats->Get("dma.fault_masked")),
+      double_unmap_(stats->Get("dma.double_unmap")),
+      alloc_failures_(stats->Get("dma.alloc_failures")),
+      deferred_flush_delays_(stats->Get("dma.deferred_flush_delays")) {}
+
+void DmaApi::RegisterInvariants(InvariantRegistry* registry) {
+  invariants_ = registry;
+  if (registry != nullptr) {
+    registry->Register("dma.chunk_accounting",
+                       [this](std::string* detail) { return CheckChunkAccounting(detail); });
+  }
+}
+
+bool DmaApi::CheckChunkAccounting(std::string* detail) const {
+  for (const auto& [id, chunk] : chunks_) {
+    if (chunk.unmapped > chunk.mapped) {
+      if (detail != nullptr) {
+        std::ostringstream os;
+        os << "chunk " << id << " unmapped=" << chunk.unmapped << " > mapped=" << chunk.mapped;
+        *detail = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+Iova DmaApi::AllocIova(std::uint32_t core, std::uint64_t pages, TimeNs* cpu_ns) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const Iova iova = iova_->Alloc(core, pages);
+    *cpu_ns += config_.iova_alloc_cpu_ns;
+    if (iova != IovaAllocator::kInvalidIova) {
+      if (attempt > 0) {
+        fault_masked_->Add();
+      }
+      return iova;
+    }
+    if (attempt >= config_.iova_alloc_max_retries) {
+      // Genuinely exhausted (or the injected fault out-persisted the retry
+      // budget): degrade gracefully — the caller returns an empty mapping
+      // and the NIC simply lacks a descriptor for a while.
+      alloc_failures_->Add();
+      return IovaAllocator::kInvalidIova;
+    }
+  }
+}
+
+TimeNs DmaApi::SubmitInvalidationWithRetry(Iova base, std::uint64_t len, bool leaf_only,
+                                           TimeNs* t, std::uint32_t* requests) {
+  TimeNs backoff = config_.inv_retry_backoff_ns;
+  for (std::uint32_t attempt = 0; attempt <= config_.inv_max_retries; ++attempt) {
+    const TimeNs submit = *t + config_.inv_submit_cpu_ns;
+    const TimeNs hw = iommu_->InvalidateRange(base, len, leaf_only, submit);
+    inv_requests_submitted_->Add();
+    ++*requests;
+    *t = submit;
+    if (hw != kInvalidationDropped && hw <= *t + config_.inv_wait_timeout_ns) {
+      if (hw > *t) {
+        spin_ns_->Add(hw - *t);
+        *t = hw;  // the CPU spins until the IOMMU acknowledges
+      }
+      return hw;
+    }
+    // No completion within the wait budget: the request was lost, or the
+    // queue is stalled beyond the deadline. Charge the full timed-out wait,
+    // back off, resubmit. (Resubmitting after a stall is harmless — the
+    // stalled request already dropped the cache entries.)
+    inv_timeouts_->Add();
+    spin_ns_->Add(config_.inv_wait_timeout_ns);
+    *t += config_.inv_wait_timeout_ns;
+    if (attempt == config_.inv_max_retries) {
+      break;
+    }
+    inv_retries_->Add();
+    *t += backoff;
+    backoff *= 2;
+  }
+  // Retry budget exhausted: fall back to a global flush. The flush is a
+  // single always-delivered command, so safety holds even when every
+  // per-range request was lost.
+  inv_fallback_flushes_->Add();
+  const TimeNs submit = *t + config_.inv_submit_cpu_ns;
+  const TimeNs hw = iommu_->InvalidateAll(submit);
+  inv_requests_submitted_->Add();
+  ++*requests;
+  *t = submit;
+  if (hw > *t) {
+    spin_ns_->Add(hw - *t);
+    *t = hw;
+  }
+  return hw;
+}
 
 void DmaApi::TrackAllocation(Iova iova) {
   if (l3_tracker_ != nullptr) {
@@ -35,11 +132,17 @@ std::uint32_t DmaApi::FreeTarget(std::uint32_t core) {
 
 DmaMapping DmaApi::MapStandalone(std::uint32_t core, PhysAddr frame, TimeNs* cpu_ns) {
   DmaMapping m;
-  m.iova = iova_->Alloc(core, 1);
+  m.iova = AllocIova(core, 1, cpu_ns);
   m.phys = frame;
   m.chunk_id = 0;
-  *cpu_ns += config_.iova_alloc_cpu_ns + config_.map_page_cpu_ns;
+  if (m.iova == IovaAllocator::kInvalidIova) {
+    return m;  // caller checks and drops the mapping
+  }
+  *cpu_ns += config_.map_page_cpu_ns;
   page_table_->Map(m.iova, frame);
+  if (oracle_ != nullptr) {
+    oracle_->OnMap(m.iova, 1);
+  }
   TrackAllocation(m.iova);
   map_ops_->Add();
   return m;
@@ -59,8 +162,10 @@ DmaMapping DmaApi::MapIntoChunk(std::uint32_t core, PhysAddr frame, TimeNs* cpu_
   }
   if (chunk == nullptr) {
     // Allocate a fresh descriptor-sized contiguous IOVA chunk.
-    const Iova base = iova_->Alloc(core, config_.pages_per_chunk);
-    *cpu_ns += config_.iova_alloc_cpu_ns;
+    const Iova base = AllocIova(core, config_.pages_per_chunk, cpu_ns);
+    if (base == IovaAllocator::kInvalidIova) {
+      return DmaMapping{IovaAllocator::kInvalidIova, frame, 0};
+    }
     chunk_id = next_chunk_id_++;
     Chunk fresh;
     fresh.base = base;
@@ -77,6 +182,9 @@ DmaMapping DmaApi::MapIntoChunk(std::uint32_t core, PhysAddr frame, TimeNs* cpu_
   ++chunk->mapped;
   *cpu_ns += config_.map_page_cpu_ns;
   page_table_->Map(m.iova, frame);
+  if (oracle_ != nullptr) {
+    oracle_->OnMap(m.iova, 1);
+  }
   TrackAllocation(m.iova);
   map_ops_->Add();
   return m;
@@ -94,8 +202,12 @@ DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAdd
   if (UsesContiguousIovas(config_.mode)) {
     // One fresh chunk per Rx descriptor (Fig. 4b): the descriptor's pages
     // occupy consecutive 4 KB slices of one contiguous IOVA range.
-    const Iova base = iova_->Alloc(core, config_.pages_per_chunk);
-    out.cpu_ns += config_.iova_alloc_cpu_ns;
+    const Iova base = AllocIova(core, config_.pages_per_chunk, &out.cpu_ns);
+    if (base == IovaAllocator::kInvalidIova) {
+      cpu_ns_total_->Add(out.cpu_ns);
+      map_cpu_ns_->Add(out.cpu_ns);
+      return out;  // no descriptor this round; the ring refills later
+    }
     const std::uint64_t chunk_id = next_chunk_id_++;
     Chunk chunk;
     chunk.base = base;
@@ -105,6 +217,9 @@ DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAdd
       // F&S + hugepages (§5 future work): one PT-L3 leaf entry maps the
       // whole descriptor; one map call, one unmap, one IOTLB entry.
       page_table_->MapHuge(base, frames[0]);
+      if (oracle_ != nullptr) {
+        oracle_->OnMap(base, frames.size());
+      }
       out.cpu_ns += config_.map_page_cpu_ns;
       TrackAllocation(base);
       map_ops_->Add();
@@ -128,6 +243,9 @@ DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAdd
       m.phys = frames[i];
       m.chunk_id = chunk_id;
       page_table_->Map(m.iova, frames[i]);
+      if (oracle_ != nullptr) {
+        oracle_->OnMap(m.iova, 1);
+      }
       TrackAllocation(m.iova);
       map_ops_->Add();
       out.cpu_ns += config_.map_page_cpu_ns;
@@ -137,7 +255,10 @@ DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAdd
     chunks_[chunk_id] = chunk;
   } else {
     for (PhysAddr frame : frames) {
-      out.mappings.push_back(MapStandalone(core, frame, &out.cpu_ns));
+      const DmaMapping m = MapStandalone(core, frame, &out.cpu_ns);
+      if (m.iova != IovaAllocator::kInvalidIova) {
+        out.mappings.push_back(m);
+      }
     }
   }
   cpu_ns_total_->Add(out.cpu_ns);
@@ -159,18 +280,24 @@ DmaApi::MapResult DmaApi::MapPage(std::uint32_t core, PhysAddr frame) {
       DmaMapping m = pool.front();
       pool.pop_front();
       m.phys = frame;  // the buffer page is recycled behind the same IOVA
+      if (oracle_ != nullptr) {
+        oracle_->OnMap(m.iova, 1);  // logically re-acquired by the driver
+      }
       out.mappings.push_back(m);
       return out;
     }
     DmaMapping m = MapStandalone(core, frame, &out.cpu_ns);
-    out.mappings.push_back(m);
+    if (m.iova != IovaAllocator::kInvalidIova) {
+      out.mappings.push_back(m);
+    }
     cpu_ns_total_->Add(out.cpu_ns);
     return out;
   }
-  if (UsesContiguousIovas(config_.mode)) {
-    out.mappings.push_back(MapIntoChunk(core, frame, &out.cpu_ns));
-  } else {
-    out.mappings.push_back(MapStandalone(core, frame, &out.cpu_ns));
+  const DmaMapping m = UsesContiguousIovas(config_.mode)
+                           ? MapIntoChunk(core, frame, &out.cpu_ns)
+                           : MapStandalone(core, frame, &out.cpu_ns);
+  if (m.iova != IovaAllocator::kInvalidIova) {
+    out.mappings.push_back(m);
   }
   cpu_ns_total_->Add(out.cpu_ns);
   return out;
@@ -180,9 +307,16 @@ Iova DmaApi::MapPersistent(std::uint32_t core, const std::vector<PhysAddr>& fram
   if (config_.mode == ProtectionMode::kOff) {
     return frames.empty() ? 0 : frames.front();
   }
-  const Iova base = iova_->Alloc(core, frames.size());
+  TimeNs cpu_ns = 0;
+  const Iova base = AllocIova(core, frames.size(), &cpu_ns);
+  if (base == IovaAllocator::kInvalidIova) {
+    return base;
+  }
   for (std::size_t i = 0; i < frames.size(); ++i) {
     page_table_->Map(base + static_cast<Iova>(i) * kPageSize, frames[i]);
+  }
+  if (oracle_ != nullptr) {
+    oracle_->OnMap(base, frames.size());
   }
   return base;
 }
@@ -208,13 +342,23 @@ DmaApi::MapResult DmaApi::AcquirePersistentDescriptor(
     out.mappings = std::move(pool.front());
     pool.pop_front();
     // Pool hit: no mapping work at all — the entire point of the scheme.
+    if (oracle_ != nullptr && !out.mappings.empty()) {
+      oracle_->OnMap(out.mappings.front().iova, out.mappings.size());
+    }
     return out;
   }
   const PhysAddr huge = alloc_huge();
   const std::uint64_t pages = (2ull << 20) / kPageSize;
-  const Iova base = iova_->Alloc(core, pages);
-  out.cpu_ns += config_.iova_alloc_cpu_ns + config_.map_page_cpu_ns;
+  const Iova base = AllocIova(core, pages, &out.cpu_ns);
+  if (base == IovaAllocator::kInvalidIova) {
+    cpu_ns_total_->Add(out.cpu_ns);
+    return out;
+  }
+  out.cpu_ns += config_.map_page_cpu_ns;
   page_table_->MapHuge(base, huge);
+  if (oracle_ != nullptr) {
+    oracle_->OnMap(base, pages);
+  }
   TrackAllocation(base);
   map_ops_->Add();
   out.mappings.reserve(pages);
@@ -229,6 +373,11 @@ DmaApi::MapResult DmaApi::AcquirePersistentDescriptor(
 void DmaApi::ReleasePersistentDescriptor(std::uint32_t core,
                                          const std::vector<DmaMapping>& mappings) {
   // Deliberately no unmap and no invalidation: the device keeps access.
+  // The oracle records the logical release, so any device access between
+  // release and the next acquire is counted as use-after-release.
+  if (oracle_ != nullptr && !mappings.empty()) {
+    oracle_->OnRelease(mappings.front().iova, mappings.size());
+  }
   persistent_pool_[core].push_back(mappings);
 }
 
@@ -277,6 +426,9 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
     // device-accessible.
     auto& pool = persistent_tx_pool_[core];
     for (const DmaMapping& m : mappings) {
+      if (oracle_ != nullptr) {
+        oracle_->OnRelease(m.iova, 1);
+      }
       pool.push_back(m);
     }
     out.cpu_ns = 20 * mappings.size();
@@ -287,13 +439,38 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
 
   if (config_.mode == ProtectionMode::kDeferred) {
     for (const DmaMapping& m : mappings) {
+      if (!page_table_->IsMapped(m.iova)) {
+        // Double unmap (duplicate completion): without this check the IOVA
+        // would be queued for freeing twice and handed out while the first
+        // owner still considers it pending.
+        double_unmap_->Add();
+        if (invariants_ != nullptr) {
+          std::ostringstream os;
+          os << "iova=0x" << std::hex << m.iova << std::dec << " already unmapped";
+          invariants_->ReportFailure("dma.double_unmap", os.str(), at);
+        }
+        continue;
+      }
       const UnmapResult r = page_table_->Unmap(m.iova, kPageSize);
       HandleReclamation(r);
+      if (oracle_ != nullptr) {
+        oracle_->OnUnmap(m.iova, 1);
+      }
       unmap_ops_->Add();
       t += config_.unmap_page_cpu_ns;
       deferred_queue_.push_back(DeferredIova{m.iova, 1, core});
     }
     if (deferred_queue_.size() >= config_.deferred_flush_threshold) {
+      if (fault_injector_ != nullptr &&
+          deferred_queue_.size() < 4 * config_.deferred_flush_threshold &&
+          fault_injector_->Sample(FaultKind::kDeferredFlushDelay, t).fire) {
+        // Flush postponed (timer starvation): every queued IOVA's
+        // use-after-unmap window stretches until the next flush attempt.
+        deferred_flush_delays_->Add();
+        out.cpu_ns = t - at;
+        cpu_ns_total_->Add(out.cpu_ns);
+        return out;
+      }
       const TimeNs hw = iommu_->InvalidateAll(t);
       inv_requests_submitted_->Add();
       ++out.invalidation_requests;
@@ -338,24 +515,39 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
         mappings[i].chunk_id != 0 && huge_chunks_.contains(mappings[i].chunk_id);
     const UnmapResult r = page_table_->Unmap(run_base, run_pages * kPageSize);
     HandleReclamation(r);
+    if (r.unmapped_pages < run_pages) {
+      // Some (or all) of the run was already torn down: a duplicate
+      // completion reached this unmap. Report the hard invariant failure
+      // and account only what this call actually unmapped, so the chunk's
+      // books and the IOVA allocator are not corrupted.
+      double_unmap_->Add();
+      if (invariants_ != nullptr) {
+        std::ostringstream os;
+        os << "run base=0x" << std::hex << run_base << std::dec << " pages=" << run_pages
+           << " freshly unmapped=" << r.unmapped_pages;
+        invariants_->ReportFailure("dma.double_unmap", os.str(), at);
+      }
+      if (r.unmapped_pages == 0) {
+        i = j;  // nothing new unmapped: no invalidation, no IOVA free
+        continue;
+      }
+    }
+    if (oracle_ != nullptr) {
+      oracle_->OnUnmap(run_base, run_pages);
+    }
     unmap_ops_->Add();
     // A huge mapping clears one PT-L3 leaf entry; 4 KB runs clear one PTE
     // per page.
     t += huge_run ? config_.unmap_page_cpu_ns : config_.unmap_page_cpu_ns * run_pages;
 
     // One invalidation-queue request per run; strict Linux issues one per
-    // page because its IOVAs are not contiguous.
+    // page because its IOVAs are not contiguous. Lost or stalled requests
+    // are retried with backoff (see SubmitInvalidationWithRetry) so the
+    // completion below is guaranteed.
     const bool leaf_only =
         preserve && (!r.reclaimed_any() || config_.inject_skip_reclaim_invalidation);
-    const TimeNs hw = iommu_->InvalidateRange(run_base, run_pages * kPageSize, leaf_only,
-                                              t + config_.inv_submit_cpu_ns);
-    inv_requests_submitted_->Add();
-    ++out.invalidation_requests;
-    t += config_.inv_submit_cpu_ns;
-    if (hw > t) {
-      spin_ns_->Add(hw - t);
-      t = hw;  // the CPU spins until the IOMMU acknowledges the invalidation
-    }
+    const TimeNs hw = SubmitInvalidationWithRetry(run_base, run_pages * kPageSize, leaf_only,
+                                                  &t, &out.invalidation_requests);
     if (hw > out.hw_done) {
       out.hw_done = hw;
     }
@@ -363,7 +555,7 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
     // Release the IOVAs.
     if (mappings[i].chunk_id != 0) {
       AccountChunkUnmap(core, mappings[i].chunk_id,
-                        static_cast<std::uint32_t>(run_pages));
+                        static_cast<std::uint32_t>(r.unmapped_pages));
     } else {
       for (std::size_t k = i; k < j; ++k) {
         iova_->Free(FreeTarget(core), mappings[k].iova, 1);

@@ -13,11 +13,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/driver/protection.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/invariant_registry.h"
+#include "src/faults/safety_oracle.h"
 #include "src/iommu/iommu.h"
 #include "src/iova/iova_allocator.h"
 #include "src/mem/address.h"
@@ -54,6 +58,16 @@ struct DmaApiConfig {
   // PTcaches on page-table-page reclamation — the bug the paper's design
   // explicitly guards against. Tests prove the safety oracle catches it.
   bool inject_skip_reclaim_invalidation = false;
+  // Graceful degradation under injected environment faults.
+  // Invalidation wait: if the hardware shows no completion within this
+  // budget the driver assumes the request was lost and resubmits.
+  TimeNs inv_wait_timeout_ns = 50'000;
+  std::uint32_t inv_max_retries = 4;
+  // Backoff before the first resubmit; doubles per retry.
+  TimeNs inv_retry_backoff_ns = 1'000;
+  // IOVA / frame allocation failures are retried this many times before the
+  // map call gives up and returns an empty result.
+  std::uint32_t iova_alloc_max_retries = 8;
 };
 
 // One mapped DMA page handed to the NIC.
@@ -109,6 +123,20 @@ class DmaApi {
   // the Rx/Tx datapaths, in allocation order (Figures 2e/3e/7e/8e).
   void SetL3Tracker(ReuseDistanceTracker* tracker) { l3_tracker_ = tracker; }
 
+  // Optional fault injection (deferred-flush delay; allocator faults are
+  // injected in the allocators themselves and masked by the retry helpers).
+  void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+  // Optional end-to-end safety oracle: told about every logical map/unmap/
+  // release so device accesses can be judged against driver intent.
+  void SetSafetyOracle(SafetyOracle* oracle) { oracle_ = oracle; }
+  // Registers this layer's structural invariants (chunk accounting) and
+  // makes `registry` the sink for hard failures (double unmap).
+  void RegisterInvariants(InvariantRegistry* registry);
+
+  // True if every live chunk's unmap accounting is sane (unmapped never
+  // exceeds mapped). Registered as the "dma.chunk_accounting" invariant.
+  bool CheckChunkAccounting(std::string* detail) const;
+
   ProtectionMode mode() const { return config_.mode; }
   const DmaApiConfig& config() const { return config_; }
 
@@ -125,6 +153,14 @@ class DmaApi {
     std::uint32_t core = 0;
   };
 
+  // Allocates IOVA space with bounded retries against injected exhaustion.
+  // Returns IovaAllocator::kInvalidIova only after all retries fail.
+  Iova AllocIova(std::uint32_t core, std::uint64_t pages, TimeNs* cpu_ns);
+  // Submits one invalidation request and waits for completion, retrying
+  // with exponential backoff on timeout and falling back to a global flush
+  // when retries are exhausted. Advances *t (CPU time) and *requests.
+  TimeNs SubmitInvalidationWithRetry(Iova base, std::uint64_t len, bool leaf_only, TimeNs* t,
+                                     std::uint32_t* requests);
   DmaMapping MapIntoChunk(std::uint32_t core, PhysAddr frame, TimeNs* cpu_ns);
   // True if `frames` is one 2 MB-aligned physically contiguous huge frame.
   static bool IsHugeBacked(const std::vector<PhysAddr>& frames);
@@ -143,6 +179,9 @@ class DmaApi {
   IoPageTable* page_table_;
   Iommu* iommu_;
   ReuseDistanceTracker* l3_tracker_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
+  SafetyOracle* oracle_ = nullptr;
+  InvariantRegistry* invariants_ = nullptr;
 
   std::uint64_t next_chunk_id_ = 1;
   std::unordered_map<std::uint64_t, Chunk> chunks_;
@@ -171,6 +210,13 @@ class DmaApi {
   Counter* cpu_ns_total_;
   Counter* spin_ns_;
   Counter* map_cpu_ns_;
+  Counter* inv_retries_;
+  Counter* inv_timeouts_;
+  Counter* inv_fallback_flushes_;
+  Counter* fault_masked_;
+  Counter* double_unmap_;
+  Counter* alloc_failures_;
+  Counter* deferred_flush_delays_;
 };
 
 }  // namespace fsio

@@ -1,0 +1,67 @@
+#include "src/faults/fault_injector.h"
+
+namespace fsio {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, StatsRegistry* stats)
+    : plan_(plan), spec_fires_(plan.specs.size(), 0) {
+  for (int k = 0; k < static_cast<int>(FaultKind::kCount); ++k) {
+    // One independent stream per kind: a hook point that samples kind A never
+    // perturbs the draws seen by kind B, so adding a hook elsewhere does not
+    // reshuffle an existing fault sequence.
+    rngs_[k] = Rng(plan.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(k) + 1);
+    if (stats != nullptr) {
+      counters_[k] = stats->Get(std::string("faults.injected.") +
+                                FaultKindName(static_cast<FaultKind>(k)));
+    }
+  }
+}
+
+FaultDecision FaultInjector::Sample(FaultKind kind, TimeNs now, std::int32_t core,
+                                    std::int32_t level) {
+  const int k = static_cast<int>(kind);
+  const std::uint64_t op = samples_[k]++;
+  FaultDecision out;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& spec = plan_.specs[i];
+    if (spec.kind != kind) {
+      continue;
+    }
+    if (now < spec.window_start_ns || now >= spec.window_end_ns) {
+      continue;
+    }
+    if (op < spec.op_start || op >= spec.op_end) {
+      continue;
+    }
+    if (spec.target_core >= 0 && core >= 0 && spec.target_core != core) {
+      continue;
+    }
+    if (spec.target_level >= 0 && level >= 0 && spec.target_level != level) {
+      continue;
+    }
+    if (spec_fires_[i] >= spec.max_fires) {
+      continue;
+    }
+    if (spec.probability < 1.0 && !rngs_[k].NextBool(spec.probability)) {
+      continue;
+    }
+    ++spec_fires_[i];
+    ++fires_[k];
+    if (counters_[k] != nullptr) {
+      counters_[k]->Add();
+    }
+    out.fire = true;
+    out.magnitude_ns = spec.magnitude_ns;
+    return out;
+  }
+  return out;
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t f : fires_) {
+    total += f;
+  }
+  return total;
+}
+
+}  // namespace fsio

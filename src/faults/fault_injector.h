@@ -1,0 +1,138 @@
+// Deterministic fault injection for the simulated IO-protection datapath.
+//
+// A FaultPlan is a declarative list of FaultSpecs: each names a fault kind,
+// a trigger window (in sim-time and/or in per-kind operation count), an
+// optional core/level filter, a firing probability and a magnitude. The
+// FaultInjector evaluates specs with a per-kind SplitMix64 stream derived
+// from the plan seed, so the same plan + seed + workload always produces the
+// same fault sequence — a prerequisite for reproducible violation traces
+// (tools/safety_fuzz relies on byte-identical reruns).
+//
+// Components never know which plan is active; they ask "does fault K fire
+// here?" at their hook point and apply the returned magnitude. A null
+// injector pointer (the default everywhere) means no faults and zero cost on
+// the hot path beyond one pointer test.
+#ifndef FASTSAFE_SRC_FAULTS_FAULT_INJECTOR_H_
+#define FASTSAFE_SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/simcore/rng.h"
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+enum class FaultKind : int {
+  kInvalidationStall = 0,    // IOMMU invalidation completion delayed
+  kInvalidationDrop,         // invalidation request lost; caller must retry
+  kWalkerLatencySpike,       // extra latency on one page-table walk
+  kIovaExhaustion,           // IOVA allocation transiently fails
+  kFrameAllocFailure,        // physical frame allocation transiently fails
+  kDescCompletionReorder,    // NIC delays a descriptor completion
+  kDescCompletionDuplicate,  // NIC delivers a descriptor completion twice
+  kRootComplexBackpressure,  // RC admission stalls for a burst
+  kDeferredFlushDelay,       // deferred-mode flush postponed past threshold
+  kUseAfterRelease,          // device touches a released persistent buffer
+  kCount,
+};
+
+constexpr const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInvalidationStall:
+      return "invalidation_stall";
+    case FaultKind::kInvalidationDrop:
+      return "invalidation_drop";
+    case FaultKind::kWalkerLatencySpike:
+      return "walker_latency_spike";
+    case FaultKind::kIovaExhaustion:
+      return "iova_exhaustion";
+    case FaultKind::kFrameAllocFailure:
+      return "frame_alloc_failure";
+    case FaultKind::kDescCompletionReorder:
+      return "desc_completion_reorder";
+    case FaultKind::kDescCompletionDuplicate:
+      return "desc_completion_duplicate";
+    case FaultKind::kRootComplexBackpressure:
+      return "root_complex_backpressure";
+    case FaultKind::kDeferredFlushDelay:
+      return "deferred_flush_delay";
+    case FaultKind::kUseAfterRelease:
+      return "use_after_release";
+    case FaultKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+inline constexpr std::uint64_t kFaultNoLimit = ~0ULL;
+
+// One declarative fault rule. A spec fires when the hook point's kind
+// matches, the sim-time and op-count windows contain the sample, the
+// core/level filters accept it, the per-spec fire budget is not exhausted,
+// and the probability draw succeeds.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCount;
+  double probability = 1.0;
+  TimeNs window_start_ns = 0;  // sim-time trigger window [start, end)
+  TimeNs window_end_ns = ~static_cast<TimeNs>(0);
+  std::uint64_t op_start = 0;  // per-kind sample-count window [start, end)
+  std::uint64_t op_end = kFaultNoLimit;
+  std::int32_t target_core = -1;   // -1 matches any core
+  std::int32_t target_level = -1;  // -1 matches any page-table level
+  TimeNs magnitude_ns = 1000;      // stall / delay applied when firing
+  std::uint64_t max_fires = kFaultNoLimit;
+};
+
+struct FaultPlan {
+  std::string name = "baseline";
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+
+  FaultPlan& Add(const FaultSpec& spec) {
+    specs.push_back(spec);
+    return *this;
+  }
+};
+
+struct FaultDecision {
+  bool fire = false;
+  TimeNs magnitude_ns = 0;
+  explicit operator bool() const { return fire; }
+};
+
+class FaultInjector {
+ public:
+  // `stats` may be null; when provided, per-kind injection counters are
+  // published as "faults.injected.<kind>".
+  explicit FaultInjector(const FaultPlan& plan, StatsRegistry* stats = nullptr);
+
+  // Evaluates the plan at one hook point. Each call advances the kind's
+  // sample counter by exactly one, so op-count windows are deterministic.
+  // At most one spec fires per sample (first match in plan order wins).
+  FaultDecision Sample(FaultKind kind, TimeNs now, std::int32_t core = -1,
+                       std::int32_t level = -1);
+
+  std::uint64_t sampled(FaultKind kind) const {
+    return samples_[static_cast<int>(kind)];
+  }
+  std::uint64_t fired(FaultKind kind) const { return fires_[static_cast<int>(kind)]; }
+  std::uint64_t total_fired() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::array<Rng, static_cast<int>(FaultKind::kCount)> rngs_;
+  std::array<std::uint64_t, static_cast<int>(FaultKind::kCount)> samples_{};
+  std::array<std::uint64_t, static_cast<int>(FaultKind::kCount)> fires_{};
+  std::vector<std::uint64_t> spec_fires_;  // parallel to plan_.specs
+  std::array<Counter*, static_cast<int>(FaultKind::kCount)> counters_{};
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,54 @@
+#include "src/faults/invariant_registry.h"
+
+#include <sstream>
+
+namespace fsio {
+
+InvariantRegistry::InvariantRegistry(StatsRegistry* stats) {
+  if (stats != nullptr) {
+    checks_counter_ = stats->Get("invariants.checks");
+    failures_counter_ = stats->Get("invariants.failures");
+  }
+}
+
+void InvariantRegistry::Register(std::string name, CheckFn fn) {
+  checks_.emplace_back(std::move(name), std::move(fn));
+}
+
+std::uint64_t InvariantRegistry::CheckAll(TimeNs now) {
+  std::uint64_t new_failures = 0;
+  for (const auto& [name, fn] : checks_) {
+    ++checks_run_;
+    if (checks_counter_ != nullptr) {
+      checks_counter_->Add();
+    }
+    std::string detail;
+    if (!fn(&detail)) {
+      ReportFailure(name, detail, now);
+      ++new_failures;
+    }
+  }
+  return new_failures;
+}
+
+void InvariantRegistry::ReportFailure(const std::string& name, const std::string& detail,
+                                      TimeNs now) {
+  failures_.push_back(InvariantFailure{now, name, detail});
+  if (failures_counter_ != nullptr) {
+    failures_counter_->Add();
+  }
+}
+
+std::string InvariantRegistry::TraceString() const {
+  std::ostringstream os;
+  for (const InvariantFailure& f : failures_) {
+    os << "t=" << f.time << " invariant=" << f.name;
+    if (!f.detail.empty()) {
+      os << " detail=" << f.detail;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsio

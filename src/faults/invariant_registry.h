@@ -1,0 +1,68 @@
+// Structural-invariant registry.
+//
+// Components register named predicate checks (page-table refcount
+// consistency, chunk accounting sums, no overlapping live IOVA ranges, ...)
+// and the harness runs CheckAll() periodically and at teardown. Components
+// may also report hard failures directly (e.g. the driver detecting a
+// double-unmap) — those are recorded immediately without a registered check.
+//
+// Failures are recorded in observation order with deterministic content so a
+// seeded run's failure trace is byte-stable.
+#ifndef FASTSAFE_SRC_FAULTS_INVARIANT_REGISTRY_H_
+#define FASTSAFE_SRC_FAULTS_INVARIANT_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+struct InvariantFailure {
+  TimeNs time = 0;
+  std::string name;
+  std::string detail;
+};
+
+class InvariantRegistry {
+ public:
+  // A check returns true when the invariant holds; on failure it may fill
+  // `detail` with a deterministic description.
+  using CheckFn = std::function<bool(std::string* detail)>;
+
+  // `stats` may be null; when provided, "invariants.checks" and
+  // "invariants.failures" counters are published.
+  explicit InvariantRegistry(StatsRegistry* stats = nullptr);
+
+  void Register(std::string name, CheckFn fn);
+
+  // Runs every registered check at sim-time `now`; records one failure per
+  // violated invariant and returns the number of new failures.
+  std::uint64_t CheckAll(TimeNs now);
+
+  // Direct hard failure (no registered check): a component observed an
+  // impossible state, e.g. unmap of an already-unmapped mapping.
+  void ReportFailure(const std::string& name, const std::string& detail, TimeNs now);
+
+  const std::vector<InvariantFailure>& failures() const { return failures_; }
+  std::uint64_t failure_count() const { return failures_.size(); }
+  std::uint64_t checks_run() const { return checks_run_; }
+
+  // Deterministic, byte-stable rendering of the failure trace.
+  std::string TraceString() const;
+
+ private:
+  std::vector<std::pair<std::string, CheckFn>> checks_;
+  std::vector<InvariantFailure> failures_;
+  std::uint64_t checks_run_ = 0;
+  Counter* checks_counter_ = nullptr;
+  Counter* failures_counter_ = nullptr;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_FAULTS_INVARIANT_REGISTRY_H_

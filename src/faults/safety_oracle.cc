@@ -1,0 +1,98 @@
+#include "src/faults/safety_oracle.h"
+
+#include <sstream>
+
+namespace fsio {
+
+SafetyOracle::SafetyOracle(StatsRegistry* stats) {
+  if (stats != nullptr) {
+    for (int k = 0; k < static_cast<int>(SafetyViolationKind::kCount); ++k) {
+      counters_[k] = stats->Get(std::string("oracle.violation.") +
+                                SafetyViolationKindName(static_cast<SafetyViolationKind>(k)));
+    }
+    overlap_counter_ = stats->Get("oracle.overlap_maps");
+  }
+}
+
+void SafetyOracle::OnMap(Iova base, std::uint64_t pages) {
+  const std::uint64_t first = PageNumber(base);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    PageState& state = pages_[first + i];
+    if (state.live) {
+      ++overlap_maps_;
+      if (overlap_counter_ != nullptr) {
+        overlap_counter_->Add();
+      }
+      continue;  // keep the existing epoch; the overlap is the anomaly
+    }
+    state.live = true;
+    ++state.epoch;
+    ++live_pages_;
+  }
+}
+
+void SafetyOracle::OnUnmap(Iova base, std::uint64_t pages) {
+  const std::uint64_t first = PageNumber(base);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    auto it = pages_.find(first + i);
+    if (it == pages_.end() || !it->second.live) {
+      continue;  // double-unmap is the driver's invariant to report
+    }
+    it->second.live = false;
+    --live_pages_;
+  }
+}
+
+bool SafetyOracle::IsLive(Iova iova) const {
+  auto it = pages_.find(PageNumber(iova));
+  return it != pages_.end() && it->second.live;
+}
+
+void SafetyOracle::Record(SafetyViolationKind kind, Iova iova, TimeNs now) {
+  auto it = pages_.find(PageNumber(iova));
+  SafetyViolation v;
+  v.time = now;
+  v.iova = iova;
+  v.kind = kind;
+  v.epoch = (it != pages_.end() && it->second.live) ? it->second.epoch : 0;
+  violations_.push_back(v);
+  ++counts_[static_cast<int>(kind)];
+  if (counters_[static_cast<int>(kind)] != nullptr) {
+    counters_[static_cast<int>(kind)]->Add();
+  }
+}
+
+void SafetyOracle::OnDeviceAccess(Iova iova, TimeNs now, const DeviceAccess& access) {
+  // Classification priority: a walk through reclaimed memory is the gravest
+  // (hardware dereferences freed pages), then a stale-but-live pointer, then
+  // plain use-after-unmap of an IOVA the driver gave up.
+  if (access.stale_ptcache_reclaimed) {
+    Record(SafetyViolationKind::kReclaimedTableWalk, iova, now);
+    return;
+  }
+  if (access.stale_ptcache_live) {
+    Record(SafetyViolationKind::kStalePtcachePointer, iova, now);
+    return;
+  }
+  if (!access.translated) {
+    return;  // the IOMMU faulted the access: safety held
+  }
+  auto it = pages_.find(PageNumber(iova));
+  if (it == pages_.end()) {
+    return;  // page unknown to the oracle (unmanaged mapping): no verdict
+  }
+  if (!it->second.live || access.stale_iotlb) {
+    Record(SafetyViolationKind::kUseAfterUnmap, iova, now);
+  }
+}
+
+std::string SafetyOracle::TraceString() const {
+  std::ostringstream os;
+  for (const SafetyViolation& v : violations_) {
+    os << "t=" << v.time << " iova=0x" << std::hex << v.iova << std::dec
+       << " kind=" << SafetyViolationKindName(v.kind) << " epoch=" << v.epoch << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsio

@@ -22,8 +22,24 @@ Iommu::Iommu(const IommuConfig& config, MemorySystem* memory, IoPageTable* page_
       inv_requests_(stats->Get("iommu.inv_requests")),
       stale_iotlb_use_(stats->Get("iommu.stale_iotlb_use")),
       stale_ptcache_use_(stats->Get("iommu.stale_ptcache_use")),
-      inv_queue_wait_ns_(stats->Get("iommu.inv_queue_wait_ns")) {
+      inv_queue_wait_ns_(stats->Get("iommu.inv_queue_wait_ns")),
+      inv_dropped_(stats->Get("iommu.inv_dropped")),
+      inv_stall_ns_(stats->Get("iommu.inv_stall_ns")),
+      walk_stall_ns_(stats->Get("iommu.walk_stall_ns")) {
   ptcaches_ = {&ptcache_l1_, &ptcache_l2_, &ptcache_l3_};
+}
+
+void Iommu::NotifyOracle(Iova iova, TimeNs now, const TranslationResult& result) {
+  if (oracle_ == nullptr) {
+    return;
+  }
+  DeviceAccess access;
+  access.translated = !result.fault;
+  access.iotlb_hit = result.iotlb_hit;
+  access.stale_iotlb = result.stale_iotlb;
+  access.stale_ptcache_live = result.stale_ptcache && !result.stale_ptcache_reclaimed;
+  access.stale_ptcache_reclaimed = result.stale_ptcache_reclaimed;
+  oracle_->OnDeviceAccess(iova, now, access);
 }
 
 TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
@@ -39,8 +55,10 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
       // Deferred-mode hazard: the device just used a mapping that the OS
       // already tore down.
       out.stale_use = true;
+      out.stale_iotlb = true;
       stale_iotlb_use_->Add();
     }
+    NotifyOracle(iova, start, out);
     return out;
   }
   // 2 MB-granularity IOTLB entries (hugepage mappings).
@@ -50,8 +68,10 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
     out.done = start;
     if (config_.track_safety && !page_table_->IsMapped(iova)) {
       out.stale_use = true;
+      out.stale_iotlb = true;
       stale_iotlb_use_->Add();
     }
+    NotifyOracle(iova, start, out);
     return out;
   }
 
@@ -61,11 +81,14 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
       it != pending_walks_.end() && it->second.done > start) {
     out.phys = it->second.phys + (iova & (kPageSize - 1));
     out.done = it->second.done;
+    NotifyOracle(iova, start, out);
     return out;
   }
 
   iotlb_miss_->Add();
-  return WalkAndFill(iova, start);
+  out = WalkAndFill(iova, start);
+  NotifyOracle(iova, start, out);
+  return out;
 }
 
 TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
@@ -77,6 +100,17 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
   // determines how many sequential PTE reads the walk needs.
   int reads = 1;  // the leaf entry read is unavoidable
   bool stale = false;
+  // A cached pointer that disagrees with the current walk path is stale; if
+  // its target table page was reclaimed, hardware would walk freed memory —
+  // the gravest class the safety oracle distinguishes.
+  auto note_stale_ptcache = [&](std::uint64_t cached_id) {
+    stale = true;
+    out.stale_ptcache = true;
+    if (!page_table_->IsLiveTablePage(cached_id)) {
+      out.stale_ptcache_reclaimed = true;
+    }
+    stale_ptcache_use_->Add();
+  };
   if (walk.huge) {
     // 2 MB mapping: the PT-L3 entry IS the leaf, so the deepest usable
     // cache is PTcache-L2.
@@ -88,8 +122,7 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
       reads = 3;
     } else if (auto l2 = ptcache_l2_.Lookup(LevelTag(iova, 2)); l2.has_value()) {
       if (config_.track_safety && *l2 != walk.path_page_id[2]) {
-        stale = true;
-        stale_ptcache_use_->Add();
+        note_stale_ptcache(*l2);
       }
     } else {
       out.l2_missed = true;
@@ -97,8 +130,7 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
       reads = 2;
       if (auto l1 = ptcache_l1_.Lookup(LevelTag(iova, 1)); l1.has_value()) {
         if (config_.track_safety && *l1 != walk.path_page_id[1]) {
-          stale = true;
-          stale_ptcache_use_->Add();
+          note_stale_ptcache(*l1);
         }
       } else {
         out.l1_missed = true;
@@ -111,8 +143,7 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
       if (config_.track_safety && *l3 != walk.path_page_id[3]) {
         // The cached pointer leads to a reclaimed (or replaced) PT-L4 page:
         // hardware would read a stale entry.
-        stale = true;
-        stale_ptcache_use_->Add();
+        note_stale_ptcache(*l3);
       }
     } else {
       out.l3_missed = true;
@@ -120,8 +151,7 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
       reads = 2;
       if (auto l2 = ptcache_l2_.Lookup(LevelTag(iova, 2)); l2.has_value()) {
         if (config_.track_safety && *l2 != walk.path_page_id[2]) {
-          stale = true;
-          stale_ptcache_use_->Add();
+          note_stale_ptcache(*l2);
         }
       } else {
         out.l2_missed = true;
@@ -129,8 +159,7 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
         reads = 3;
         if (auto l1 = ptcache_l1_.Lookup(LevelTag(iova, 1)); l1.has_value()) {
           if (config_.track_safety && *l1 != walk.path_page_id[1]) {
-            stale = true;
-            stale_ptcache_use_->Add();
+            note_stale_ptcache(*l1);
           }
         } else {
           out.l1_missed = true;
@@ -163,6 +192,14 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
   }
   // Leaf read: served from the cache hierarchy (recently written PTE).
   t += config_.leaf_pte_read_ns;
+  if (fault_injector_ != nullptr) {
+    // Injected walker contention: the walk's final read is delayed (DRAM
+    // queueing, walker starvation), holding the walker context busy.
+    if (const FaultDecision d = fault_injector_->Sample(FaultKind::kWalkerLatencySpike, start); d.fire) {
+      t += d.magnitude_ns;
+      walk_stall_ns_->Add(d.magnitude_ns);
+    }
+  }
   walker_free_[walker] = t;
   out.mem_reads = reads;
   mem_reads_->Add(static_cast<std::uint64_t>(reads));
@@ -215,6 +252,15 @@ TimeNs Iommu::InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, Tim
   if (len == 0) {
     return at;
   }
+  if (fault_injector_ != nullptr) {
+    // Injected queue fault: the request is lost before the hardware services
+    // it. No cache state is dropped — the caller must notice the missing
+    // completion (timeout) and resubmit, or safety is genuinely broken.
+    if (fault_injector_->Sample(FaultKind::kInvalidationDrop, at).fire) {
+      inv_dropped_->Add();
+      return kInvalidationDropped;
+    }
+  }
   const Iova end = start + len - 1;
   iotlb_.InvalidateRange(PageNumber(start), PageNumber(end));
   // Hugepage-granularity IOTLB entries covering the range.
@@ -233,7 +279,18 @@ TimeNs Iommu::InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, Tim
   // is never a serialization bottleneck; requests complete a fixed hardware
   // latency after submission. (Cores submit at out-of-order simulated times,
   // so a serialized free-pointer would create artificial cross-core waits.)
-  return at + config_.invalidation_hw_ns;
+  TimeNs done = at + config_.invalidation_hw_ns;
+  if (fault_injector_ != nullptr) {
+    // Injected queue stall: the completion (wait descriptor write-back) is
+    // delayed, e.g. by the walker/invalidation contention of "Bermuda
+    // Triangle" fame. The caches were already invalidated above — only the
+    // CPU-visible completion is late.
+    if (const FaultDecision d = fault_injector_->Sample(FaultKind::kInvalidationStall, at); d.fire) {
+      done += d.magnitude_ns;
+      inv_stall_ns_->Add(d.magnitude_ns);
+    }
+  }
+  return done;
 }
 
 TimeNs Iommu::InvalidateAll(TimeNs at) {

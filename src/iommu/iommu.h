@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "src/cache/set_assoc_cache.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/safety_oracle.h"
 #include "src/mem/address.h"
 #include "src/mem/memory_system.h"
 #include "src/pagetable/io_page_table.h"
@@ -72,6 +74,11 @@ struct IommuConfig {
 // (real IOTLBs keep both granularities; we share one array).
 inline constexpr std::uint64_t kHugeIotlbTagBit = 1ULL << 62;
 
+// Sentinel returned by InvalidateRange when an injected fault loses the
+// request: the hardware never saw it, no cache state was dropped, and the
+// caller must retry (the driver's timeout/backoff path).
+inline constexpr TimeNs kInvalidationDropped = ~static_cast<TimeNs>(0);
+
 // Outcome of one address translation.
 struct TranslationResult {
   TimeNs done = 0;        // time the translated address is available
@@ -83,7 +90,11 @@ struct TranslationResult {
   bool l3_missed = false;
   bool l2_missed = false;
   bool l1_missed = false;
-  bool stale_use = false;  // translation consumed stale cached state
+  bool stale_use = false;  // translation consumed stale cached state (any kind)
+  // Stale-use classification (safety oracle evidence).
+  bool stale_iotlb = false;               // IOTLB entry for an unmapped IOVA
+  bool stale_ptcache = false;             // stale PTcache pointer consumed
+  bool stale_ptcache_reclaimed = false;   // ... and its target was reclaimed
 };
 
 class Iommu {
@@ -114,6 +125,11 @@ class Iommu {
   const SetAssocCache& iotlb() const { return iotlb_; }
   const SetAssocCache& ptcache(int level) const { return *ptcaches_[level - 1]; }
 
+  // Optional fault injection (invalidation stalls/drops, walker latency
+  // spikes) and safety-oracle observation of every device translation.
+  void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+  void SetSafetyOracle(SafetyOracle* oracle) { oracle_ = oracle; }
+
  private:
   struct PendingWalk {
     TimeNs done = 0;
@@ -121,10 +137,14 @@ class Iommu {
   };
 
   TranslationResult WalkAndFill(Iova iova, TimeNs start);
+  // Reports the translation to the safety oracle (no-op without one).
+  void NotifyOracle(Iova iova, TimeNs now, const TranslationResult& result);
 
   IommuConfig config_;
   MemorySystem* memory_;
   IoPageTable* page_table_;
+  FaultInjector* fault_injector_ = nullptr;
+  SafetyOracle* oracle_ = nullptr;
 
   SetAssocCache iotlb_;
   std::vector<SetAssocCache*> ptcaches_;  // [0]=L1, [1]=L2, [2]=L3
@@ -146,6 +166,9 @@ class Iommu {
   Counter* stale_iotlb_use_;
   Counter* stale_ptcache_use_;
   Counter* inv_queue_wait_ns_;
+  Counter* inv_dropped_;
+  Counter* inv_stall_ns_;
+  Counter* walk_stall_ns_;
 };
 
 }  // namespace fsio

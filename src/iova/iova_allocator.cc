@@ -41,6 +41,10 @@ void IovaAllocator::FlushMagazineToTree(Magazine* mag) {
 }
 
 Iova IovaAllocator::Alloc(std::uint32_t core, std::uint64_t pages) {
+  if (fault_injector_ != nullptr &&
+      fault_injector_->Sample(FaultKind::kIovaExhaustion, 0, static_cast<int>(core)).fire) {
+    return kInvalidIova;
+  }
   const std::uint32_t order = OrderFor(pages);
   const std::uint64_t rounded = 1ULL << order;
   if (CacheableOrder(order)) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/faults/fault_injector.h"
 #include "src/iova/rbtree_allocator.h"
 #include "src/mem/address.h"
 #include "src/stats/counters.h"
@@ -49,6 +50,10 @@ class IovaAllocator {
 
   std::uint64_t live_allocations() const { return live_allocations_; }
 
+  // Optional fault injection: kIovaExhaustion makes Alloc fail as if the
+  // IOVA space (or the rcache path) were exhausted.
+  void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+
  private:
   struct Magazine {
     std::vector<std::uint64_t> pfns;  // stack of cached range-start PFNs
@@ -67,6 +72,7 @@ class IovaAllocator {
   void FlushMagazineToTree(Magazine* mag);
 
   IovaAllocatorConfig config_;
+  FaultInjector* fault_injector_ = nullptr;
   RbTreeAllocator tree_;
   // cores x (max_cached_order + 1) caches, core-major.
   std::vector<SizeClassCache> core_caches_;

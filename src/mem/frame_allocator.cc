@@ -6,6 +6,10 @@ FrameAllocator::FrameAllocator(bool scramble, std::uint64_t seed)
     : scramble_(scramble), rng_(seed) {}
 
 PhysAddr FrameAllocator::AllocFrame() {
+  if (fault_injector_ != nullptr &&
+      fault_injector_->Sample(FaultKind::kFrameAllocFailure, 0).fire) {
+    return kNullFrame;
+  }
   ++allocated_;
   ++live_;
   if (!free_list_.empty()) {
@@ -31,6 +35,10 @@ void FrameAllocator::FreeFrame(PhysAddr addr) {
 
 PhysAddr FrameAllocator::AllocHugeFrame() {
   constexpr std::uint64_t kPagesPerHuge = 512;
+  if (fault_injector_ != nullptr &&
+      fault_injector_->Sample(FaultKind::kFrameAllocFailure, 0).fire) {
+    return kNullFrame;
+  }
   allocated_ += kPagesPerHuge;
   live_ += kPagesPerHuge;
   if (!huge_free_list_.empty()) {

@@ -12,10 +12,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/faults/fault_injector.h"
 #include "src/mem/address.h"
 #include "src/simcore/rng.h"
 
 namespace fsio {
+
+// Frame 0 is reserved; AllocFrame/AllocHugeFrame return it only when an
+// injected kFrameAllocFailure fault makes the allocation fail.
+inline constexpr PhysAddr kNullFrame = 0;
 
 class FrameAllocator {
  public:
@@ -37,7 +42,12 @@ class FrameAllocator {
   std::uint64_t allocated() const { return allocated_; }
   std::uint64_t live() const { return live_; }
 
+  // Optional fault injection: kFrameAllocFailure makes AllocFrame /
+  // AllocHugeFrame return kNullFrame (transient memory pressure).
+  void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+
  private:
+  FaultInjector* fault_injector_ = nullptr;
   bool scramble_;
   Rng rng_;
   std::uint64_t next_frame_ = 1;  // frame 0 reserved (null)

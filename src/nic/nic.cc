@@ -19,7 +19,9 @@ Nic::Nic(const NicConfig& config, std::uint32_t cores, EventQueue* ev, RootCompl
       tx_packets_(stats->Get("nic.tx_packets")),
       tx_bytes_(stats->Get("nic.tx_bytes")),
       tx_drops_(stats->Get("nic.tx_drops")),
-      desc_fetches_(stats->Get("nic.desc_fetches")) {}
+      desc_fetches_(stats->Get("nic.desc_fetches")),
+      completion_reorders_(stats->Get("nic.completion_reorders")),
+      completion_duplicates_(stats->Get("nic.completion_duplicates")) {}
 
 void Nic::SetRingIova(std::uint32_t core, Iova base, std::uint64_t pages) {
   RxRing& ring = rings_[core % rings_.size()];
@@ -99,6 +101,33 @@ void Nic::RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& de
       ring.descs.pop_front();
     }
     if (desc_complete_) {
+      if (fault_injector_ != nullptr) {
+        const TimeNs now = ev_->now();
+        if (const FaultDecision d =
+                fault_injector_->Sample(FaultKind::kDescCompletionReorder, now,
+                                        static_cast<int>(core));
+            d.fire) {
+          // Completion delayed past younger descriptors' completions: the
+          // driver sees CQEs out of posting order.
+          completion_reorders_->Add();
+          auto mappings = desc->mappings;
+          ev_->ScheduleAfter(d.magnitude_ns, [this, core, mappings] {
+            desc_complete_(core, mappings);
+          });
+          return;
+        }
+        if (fault_injector_
+                ->Sample(FaultKind::kDescCompletionDuplicate, now, static_cast<int>(core))
+                .fire) {
+          // The same CQE is signalled twice; the second arrives later. The
+          // driver's unmap path must detect the double-unmap.
+          completion_duplicates_->Add();
+          auto mappings = desc->mappings;
+          ev_->ScheduleAfter(1, [this, core, mappings] {
+            desc_complete_(core, mappings);
+          });
+        }
+      }
       desc_complete_(core, desc->mappings);
     }
   }

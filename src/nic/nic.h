@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/driver/dma_api.h"
+#include "src/faults/fault_injector.h"
 #include "src/pcie/root_complex.h"
 #include "src/simcore/event_queue.h"
 #include "src/stats/counters.h"
@@ -61,6 +62,11 @@ class Nic {
 
   Nic(const NicConfig& config, std::uint32_t cores, EventQueue* ev, RootComplex* rc,
       StatsRegistry* stats);
+
+  // Optional fault injection: kDescCompletionReorder delays a descriptor
+  // completion, kDescCompletionDuplicate delivers the same completion twice
+  // (misbehaving-device model; the driver must tolerate both).
+  void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
 
   void SetDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void SetDescComplete(DescCompleteFn fn) { desc_complete_ = std::move(fn); }
@@ -133,6 +139,7 @@ class Nic {
   NicConfig config_;
   EventQueue* ev_;
   RootComplex* rc_;
+  FaultInjector* fault_injector_ = nullptr;
 
   DeliverFn deliver_;
   DescCompleteFn desc_complete_;
@@ -165,6 +172,8 @@ class Nic {
   Counter* tx_bytes_;
   Counter* tx_drops_;
   Counter* desc_fetches_;
+  Counter* completion_reorders_;
+  Counter* completion_duplicates_;
 };
 
 }  // namespace fsio

@@ -1,5 +1,7 @@
 #include "src/pagetable/io_page_table.h"
 
+#include <sstream>
+
 namespace fsio {
 
 IoPageTable::IoPageTable() { root_.reset(NewPage(1)); }
@@ -166,5 +168,78 @@ WalkResult IoPageTable::Walk(Iova iova) const {
 }
 
 bool IoPageTable::IsMapped(Iova iova) const { return Walk(iova).present; }
+
+namespace {
+
+// Recursive walker for CheckConsistency. Returns false on the first
+// structural defect found.
+struct ConsistencyScan {
+  std::uint64_t leaf_pages = 0;
+  std::unordered_set<std::uint64_t> reachable_ids;
+};
+
+}  // namespace
+
+bool IoPageTable::CheckConsistency(std::string* detail) const {
+  ConsistencyScan scan;
+  std::string defect;
+  // Iterative DFS to keep this non-recursive over the member struct.
+  std::vector<const TablePage*> stack = {root_.get()};
+  while (!stack.empty() && defect.empty()) {
+    const TablePage* page = stack.back();
+    stack.pop_back();
+    scan.reachable_ids.insert(page->id);
+    std::uint32_t present = 0;
+    for (const Entry& entry : page->entries) {
+      if (!entry.present) {
+        continue;
+      }
+      ++present;
+      if (entry.huge) {
+        if (page->level != 3) {
+          std::ostringstream os;
+          os << "huge entry at level " << page->level << " (page " << page->id << ")";
+          defect = os.str();
+          break;
+        }
+        scan.leaf_pages += LevelEntrySpan(3) / kPageSize;
+      } else if (page->level == kPtLevels) {
+        ++scan.leaf_pages;
+      } else {
+        if (entry.child == nullptr) {
+          std::ostringstream os;
+          os << "present non-leaf entry without child (page " << page->id << ")";
+          defect = os.str();
+          break;
+        }
+        stack.push_back(entry.child.get());
+      }
+    }
+    if (defect.empty() && present != page->valid_count) {
+      std::ostringstream os;
+      os << "page " << page->id << " valid_count=" << page->valid_count
+         << " but present entries=" << present;
+      defect = os.str();
+    }
+  }
+  if (defect.empty() && scan.leaf_pages != mapped_pages_) {
+    std::ostringstream os;
+    os << "leaf sum=" << scan.leaf_pages << " but mapped_pages=" << mapped_pages_;
+    defect = os.str();
+  }
+  if (defect.empty() && scan.reachable_ids != live_page_ids_) {
+    std::ostringstream os;
+    os << "live page-id set (" << live_page_ids_.size() << ") != reachable set ("
+       << scan.reachable_ids.size() << ")";
+    defect = os.str();
+  }
+  if (!defect.empty()) {
+    if (detail != nullptr) {
+      *detail = defect;
+    }
+    return false;
+  }
+  return true;
+}
 
 }  // namespace fsio

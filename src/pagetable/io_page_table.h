@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -77,6 +78,12 @@ class IoPageTable {
   bool IsLiveTablePage(std::uint64_t page_id) const {
     return live_page_ids_.contains(page_id);
   }
+
+  // Structural self-check: every table page's valid_count equals its number
+  // of present entries, the sum of leaf mappings equals mapped_pages(), and
+  // the live-page-id set matches exactly the pages reachable from the root.
+  // On failure returns false and writes a description to `detail`.
+  bool CheckConsistency(std::string* detail) const;
 
   std::uint64_t mapped_pages() const { return mapped_pages_; }
   std::uint64_t live_table_pages() const { return live_page_ids_.size(); }

@@ -11,7 +11,21 @@ RootComplex::RootComplex(const PcieConfig& config, Iommu* iommu, MemorySystem* m
       read_tlps_(stats->Get("pcie.read_tlps")),
       wire_bytes_(stats->Get("pcie.wire_bytes")),
       stall_ns_(stats->Get("pcie.stall_ns")),
-      faults_(stats->Get("pcie.faults")) {}
+      faults_(stats->Get("pcie.faults")),
+      backpressure_bursts_(stats->Get("pcie.backpressure_bursts")) {}
+
+TimeNs RootComplex::ApplyBackpressure(TimeNs start) {
+  if (fault_injector_ != nullptr) {
+    if (const FaultDecision d =
+            fault_injector_->Sample(FaultKind::kRootComplexBackpressure, start);
+        d.fire) {
+      backpressure_bursts_->Add();
+      stall_ns_->Add(d.magnitude_ns);
+      return start + d.magnitude_ns;
+    }
+  }
+  return start;
+}
 
 TimeNs RootComplex::WaitForBufferSpace(TimeNs t, std::uint32_t bytes) {
   // Free everything already committed by time t.
@@ -52,6 +66,7 @@ TimeNs RootComplex::TranslateAt(Iova iova, TimeNs at, bool* fault) {
 
 DmaTiming RootComplex::DmaWrite(TimeNs start, const std::vector<DmaSegment>& segments) {
   DmaTiming timing;
+  start = ApplyBackpressure(start);
   TimeNs t = start;
   for (const DmaSegment& seg : segments) {
     std::uint32_t off = 0;
@@ -113,6 +128,7 @@ DmaTiming RootComplex::DmaWrite(TimeNs start, const std::vector<DmaSegment>& seg
 
 DmaTiming RootComplex::DmaRead(TimeNs start, const std::vector<DmaSegment>& segments) {
   DmaTiming timing;
+  start = ApplyBackpressure(start);
   TimeNs t = start;
   TimeNs last_completion = start;
   for (const DmaSegment& seg : segments) {

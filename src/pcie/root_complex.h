@@ -27,6 +27,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/faults/fault_injector.h"
 #include "src/iommu/iommu.h"
 #include "src/mem/address.h"
 #include "src/mem/memory_system.h"
@@ -78,7 +79,14 @@ class RootComplex {
 
   const PcieConfig& config() const { return config_; }
 
+  // Optional fault injection: kRootComplexBackpressure stalls the upstream
+  // link at the start of a DMA (credit starvation burst).
+  void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+
  private:
+  // Applies an injected backpressure burst to the DMA's start time.
+  TimeNs ApplyBackpressure(TimeNs start);
+
   // Blocks until the RC buffer can admit `bytes` at or after `t`; returns
   // the admission time.
   TimeNs WaitForBufferSpace(TimeNs t, std::uint32_t bytes);
@@ -88,6 +96,7 @@ class RootComplex {
   PcieConfig config_;
   Iommu* iommu_;
   MemorySystem* memory_;
+  FaultInjector* fault_injector_ = nullptr;
 
   TimeNs upstream_link_free_ = 0;    // NIC -> RC (writes + read requests)
   TimeNs downstream_link_free_ = 0;  // RC -> NIC (read completions)
@@ -107,6 +116,7 @@ class RootComplex {
   Counter* wire_bytes_;
   Counter* stall_ns_;
   Counter* faults_;
+  Counter* backpressure_bursts_;
 };
 
 }  // namespace fsio

@@ -1,0 +1,477 @@
+// Tests for the fault-injection harness and the end-to-end DMA safety
+// oracle: injector determinism and trigger windows, oracle violation
+// classification, the driver's invalidation retry/backoff/fallback path,
+// double-unmap detection, allocator-fault masking, and the NIC's injected
+// completion misbehaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/dma_api.h"
+#include "src/driver/protection.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/invariant_registry.h"
+#include "src/faults/safety_oracle.h"
+#include "src/iommu/iommu.h"
+#include "src/iova/iova_allocator.h"
+#include "src/mem/frame_allocator.h"
+#include "src/mem/memory_system.h"
+#include "src/nic/nic.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/pcie/root_complex.h"
+#include "src/simcore/event_queue.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+namespace {
+
+FaultSpec Spec(FaultKind kind) {
+  FaultSpec spec;
+  spec.kind = kind;
+  return spec;
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  FaultSpec spec = Spec(FaultKind::kWalkerLatencySpike);
+  spec.probability = 0.5;
+  plan.Add(spec);
+
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 1000; ++i) {
+    const FaultDecision da = a.Sample(FaultKind::kWalkerLatencySpike, i * 100);
+    const FaultDecision db = b.Sample(FaultKind::kWalkerLatencySpike, i * 100);
+    ASSERT_EQ(da.fire, db.fire) << "diverged at sample " << i;
+  }
+  EXPECT_GT(a.fired(FaultKind::kWalkerLatencySpike), 0u);
+  EXPECT_LT(a.fired(FaultKind::kWalkerLatencySpike), 1000u);
+}
+
+TEST(FaultInjectorTest, PerKindStreamsAreIndependent) {
+  FaultPlan plan;
+  plan.seed = 7;
+  FaultSpec spec = Spec(FaultKind::kInvalidationStall);
+  spec.probability = 0.5;
+  plan.Add(spec);
+
+  // Interleaving samples of a different kind must not perturb the stall
+  // stream (each kind draws from its own SplitMix64 stream).
+  FaultInjector pure(plan);
+  FaultInjector mixed(plan);
+  std::vector<bool> pure_fires;
+  std::vector<bool> mixed_fires;
+  for (int i = 0; i < 200; ++i) {
+    pure_fires.push_back(pure.Sample(FaultKind::kInvalidationStall, i).fire);
+    mixed.Sample(FaultKind::kWalkerLatencySpike, i);
+    mixed_fires.push_back(mixed.Sample(FaultKind::kInvalidationStall, i).fire);
+  }
+  EXPECT_EQ(pure_fires, mixed_fires);
+}
+
+TEST(FaultInjectorTest, WindowsAndBudgetsFilter) {
+  FaultPlan plan;
+  FaultSpec timed = Spec(FaultKind::kInvalidationStall);
+  timed.window_start_ns = 1000;
+  timed.window_end_ns = 2000;
+  plan.Add(timed);
+  FaultSpec counted = Spec(FaultKind::kInvalidationDrop);
+  counted.op_start = 2;
+  counted.op_end = 4;
+  plan.Add(counted);
+  FaultSpec budgeted = Spec(FaultKind::kWalkerLatencySpike);
+  budgeted.max_fires = 2;
+  plan.Add(budgeted);
+  FaultSpec cored = Spec(FaultKind::kIovaExhaustion);
+  cored.target_core = 3;
+  plan.Add(cored);
+
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationStall, 999).fire);
+  EXPECT_TRUE(inj.Sample(FaultKind::kInvalidationStall, 1000).fire);
+  EXPECT_TRUE(inj.Sample(FaultKind::kInvalidationStall, 1999).fire);
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationStall, 2000).fire);
+
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);  // op 0
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);  // op 1
+  EXPECT_TRUE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);   // op 2
+  EXPECT_TRUE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);   // op 3
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);  // op 4
+
+  EXPECT_TRUE(inj.Sample(FaultKind::kWalkerLatencySpike, 0).fire);
+  EXPECT_TRUE(inj.Sample(FaultKind::kWalkerLatencySpike, 0).fire);
+  EXPECT_FALSE(inj.Sample(FaultKind::kWalkerLatencySpike, 0).fire);  // budget spent
+
+  EXPECT_FALSE(inj.Sample(FaultKind::kIovaExhaustion, 0, /*core=*/1).fire);
+  EXPECT_TRUE(inj.Sample(FaultKind::kIovaExhaustion, 0, /*core=*/3).fire);
+}
+
+TEST(SafetyOracleTest, EpochsOverlapsAndTrace) {
+  SafetyOracle oracle;
+  oracle.OnMap(0, 2);
+  EXPECT_EQ(oracle.live_pages(), 2u);
+  oracle.OnMap(0, 1);  // overlapping live map
+  EXPECT_EQ(oracle.overlap_maps(), 1u);
+  oracle.OnUnmap(0, 2);
+  EXPECT_EQ(oracle.live_pages(), 0u);
+  oracle.OnMap(0, 1);  // remap bumps the epoch
+
+  DeviceAccess access;
+  access.translated = true;
+  oracle.OnDeviceAccess(kPageSize, 500, access);  // page 1 is dead
+  ASSERT_EQ(oracle.total_violations(), 1u);
+  EXPECT_EQ(oracle.count(SafetyViolationKind::kUseAfterUnmap), 1u);
+  EXPECT_EQ(oracle.violations()[0].iova, kPageSize);
+  EXPECT_EQ(oracle.TraceString(),
+            "t=500 iova=0x1000 kind=use_after_unmap epoch=0\n");
+
+  // Unknown pages (never mapped) yield no verdict, faulted accesses either.
+  oracle.OnDeviceAccess(100 * kPageSize, 600, access);
+  DeviceAccess faulted;
+  faulted.translated = false;
+  oracle.OnDeviceAccess(kPageSize, 700, faulted);
+  EXPECT_EQ(oracle.total_violations(), 1u);
+}
+
+TEST(InvariantRegistryTest, ChecksAndHardFailures) {
+  InvariantRegistry registry;
+  bool healthy = true;
+  registry.Register("test.flag", [&healthy](std::string* detail) {
+    if (!healthy) {
+      *detail = "flag down";
+    }
+    return healthy;
+  });
+  EXPECT_EQ(registry.CheckAll(10), 0u);
+  healthy = false;
+  EXPECT_EQ(registry.CheckAll(20), 1u);
+  registry.ReportFailure("test.direct", "observed impossible state", 30);
+  EXPECT_EQ(registry.failure_count(), 2u);
+  EXPECT_EQ(registry.TraceString(),
+            "t=20 invariant=test.flag detail=flag down\n"
+            "t=30 invariant=test.direct detail=observed impossible state\n");
+}
+
+TEST(IoPageTableTest, CheckConsistencyTracksLifecycle) {
+  IoPageTable table;
+  std::string detail;
+  EXPECT_TRUE(table.CheckConsistency(&detail)) << detail;
+  for (int i = 0; i < 600; ++i) {
+    table.Map(static_cast<Iova>(i) * kPageSize, 0x1000'0000 + i * kPageSize);
+  }
+  EXPECT_TRUE(table.CheckConsistency(&detail)) << detail;
+  table.Unmap(0, 512 * kPageSize);  // full PT-L4 span: reclaims the page
+  EXPECT_TRUE(table.CheckConsistency(&detail)) << detail;
+  EXPECT_GT(table.total_table_pages_reclaimed(), 0u);
+}
+
+// Driver-level fixture: the full map path with injector, oracle and
+// invariant registry wired through every layer.
+class FaultedDriverTest : public ::testing::Test {
+ protected:
+  void Build(ProtectionMode mode, const FaultPlan& plan,
+             DmaApiConfig dma_config = DmaApiConfig{}) {
+    dma_config.mode = mode;
+    stats_ = std::make_unique<StatsRegistry>();
+    injector_ = std::make_unique<FaultInjector>(plan, stats_.get());
+    oracle_ = std::make_unique<SafetyOracle>(stats_.get());
+    registry_ = std::make_unique<InvariantRegistry>(stats_.get());
+    memory_ = std::make_unique<MemorySystem>(MemoryConfig{}, stats_.get());
+    page_table_ = std::make_unique<IoPageTable>();
+    iommu_ = std::make_unique<Iommu>(IommuConfig{}, memory_.get(), page_table_.get(),
+                                     stats_.get());
+    iommu_->SetFaultInjector(injector_.get());
+    iommu_->SetSafetyOracle(oracle_.get());
+    IovaAllocatorConfig iova_config;
+    iova_config.num_cores = 4;
+    iova_ = std::make_unique<IovaAllocator>(iova_config, stats_.get());
+    iova_->SetFaultInjector(injector_.get());
+    dma_ = std::make_unique<DmaApi>(dma_config, iova_.get(), page_table_.get(), iommu_.get(),
+                                    stats_.get());
+    dma_->SetFaultInjector(injector_.get());
+    dma_->SetSafetyOracle(oracle_.get());
+    dma_->RegisterInvariants(registry_.get());
+  }
+
+  std::vector<PhysAddr> Frames(int n, PhysAddr base = 0x10000000) {
+    std::vector<PhysAddr> frames;
+    for (int i = 0; i < n; ++i) {
+      frames.push_back(base + static_cast<PhysAddr>(i) * kPageSize);
+    }
+    return frames;
+  }
+
+  std::unique_ptr<StatsRegistry> stats_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<SafetyOracle> oracle_;
+  std::unique_ptr<InvariantRegistry> registry_;
+  std::unique_ptr<MemorySystem> memory_;
+  std::unique_ptr<IoPageTable> page_table_;
+  std::unique_ptr<Iommu> iommu_;
+  std::unique_ptr<IovaAllocator> iova_;
+  std::unique_ptr<DmaApi> dma_;
+};
+
+TEST_F(FaultedDriverTest, OracleFlagsDeferredUseAfterUnmap) {
+  Build(ProtectionMode::kDeferred, FaultPlan{});
+  const auto result = dma_->MapPages(0, Frames(4));
+  ASSERT_EQ(result.mappings.size(), 4u);
+  const Iova iova = result.mappings[0].iova;
+  iommu_->Translate(iova, 100);  // warm the IOTLB
+  dma_->UnmapDescriptor(0, result.mappings, 200);  // below flush threshold
+  const TranslationResult stale = iommu_->Translate(iova, 300);
+  EXPECT_TRUE(stale.iotlb_hit);
+  EXPECT_TRUE(stale.stale_iotlb);
+  ASSERT_EQ(oracle_->total_violations(), 1u);
+  EXPECT_EQ(oracle_->count(SafetyViolationKind::kUseAfterUnmap), 1u);
+  EXPECT_EQ(oracle_->violations()[0].iova, iova);
+}
+
+TEST_F(FaultedDriverTest, OracleFlagsReclaimedTableWalk) {
+  // 512-page descriptors span one full PT-L4 page, so a single-call unmap
+  // reclaims it. With the reclamation invalidation "forgotten" (injected
+  // driver bug) and PTcaches preserved (F&S), the next walk consumes a
+  // cached pointer into the reclaimed page.
+  DmaApiConfig config;
+  config.pages_per_chunk = 512;
+  config.inject_skip_reclaim_invalidation = true;
+  Build(ProtectionMode::kFastSafe, FaultPlan{}, config);
+  const auto result = dma_->MapPages(0, Frames(512));
+  ASSERT_EQ(result.mappings.size(), 512u);
+  const Iova iova = result.mappings[0].iova;
+  iommu_->Translate(iova, 100);  // caches the PT-L4 pointer in PTcache-L3
+  dma_->UnmapDescriptor(0, result.mappings, 200);
+  iommu_->Translate(iova, 300'000);
+  EXPECT_GE(oracle_->count(SafetyViolationKind::kReclaimedTableWalk), 1u);
+}
+
+TEST_F(FaultedDriverTest, InvalidationStallTriggersRetryAndStaysSafe) {
+  for (ProtectionMode mode : {ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
+    FaultPlan plan;
+    FaultSpec stall = Spec(FaultKind::kInvalidationStall);
+    stall.magnitude_ns = 200'000;  // far beyond the 50 us wait deadline
+    stall.max_fires = 1;
+    plan.Add(stall);
+    Build(mode, plan);
+
+    const auto result = dma_->MapPages(0, Frames(4));
+    const Iova iova = result.mappings[0].iova;
+    iommu_->Translate(iova, 100);
+    const auto unmap = dma_->UnmapDescriptor(0, result.mappings, 1'000);
+    EXPECT_GE(stats_->Value("dma.inv_retries"), 1u) << ProtectionModeName(mode);
+    EXPECT_GE(stats_->Value("dma.inv_timeouts"), 1u) << ProtectionModeName(mode);
+    // The timed-out wait plus backoff is charged to the calling CPU.
+    EXPECT_GT(unmap.cpu_ns, DmaApiConfig{}.inv_wait_timeout_ns) << ProtectionModeName(mode);
+    // Safety: the stalled request still dropped the IOTLB entries, and the
+    // retry completed before the unmap returned.
+    const TranslationResult after = iommu_->Translate(iova, unmap.hw_done + 1'000'000);
+    EXPECT_TRUE(after.fault) << ProtectionModeName(mode);
+    EXPECT_EQ(oracle_->total_violations(), 0u) << ProtectionModeName(mode);
+    EXPECT_EQ(registry_->failure_count(), 0u) << ProtectionModeName(mode);
+  }
+}
+
+TEST_F(FaultedDriverTest, DroppedInvalidationIsRetriedUntilDelivered) {
+  FaultPlan plan;
+  FaultSpec drop = Spec(FaultKind::kInvalidationDrop);
+  drop.max_fires = 2;
+  plan.Add(drop);
+  Build(ProtectionMode::kFastSafe, plan);
+
+  const auto result = dma_->MapPages(0, Frames(4));
+  const Iova iova = result.mappings[0].iova;
+  iommu_->Translate(iova, 100);
+  dma_->UnmapDescriptor(0, result.mappings, 1'000);
+  EXPECT_EQ(stats_->Value("iommu.inv_dropped"), 2u);
+  EXPECT_EQ(stats_->Value("dma.inv_retries"), 2u);
+  EXPECT_EQ(stats_->Value("dma.inv_fallback_flushes"), 0u);
+  // The third (delivered) request dropped the stale IOTLB entry.
+  EXPECT_TRUE(iommu_->Translate(iova, 1'000'000).fault);
+  EXPECT_EQ(oracle_->total_violations(), 0u);
+}
+
+TEST_F(FaultedDriverTest, AllRetriesDroppedFallsBackToGlobalFlush) {
+  FaultPlan plan;
+  plan.Add(Spec(FaultKind::kInvalidationDrop));  // every request lost
+  DmaApiConfig config;
+  config.inv_max_retries = 2;
+  Build(ProtectionMode::kFastSafe, plan, config);
+
+  const auto result = dma_->MapPages(0, Frames(4));
+  const Iova iova = result.mappings[0].iova;
+  iommu_->Translate(iova, 100);
+  dma_->UnmapDescriptor(0, result.mappings, 1'000);
+  EXPECT_EQ(stats_->Value("dma.inv_fallback_flushes"), 1u);
+  EXPECT_EQ(stats_->Value("iommu.inv_dropped"), 3u);  // initial + 2 retries
+  // The global flush (never dropped) preserved safety.
+  EXPECT_TRUE(iommu_->Translate(iova, 1'000'000).fault);
+  EXPECT_EQ(oracle_->total_violations(), 0u);
+}
+
+TEST_F(FaultedDriverTest, StrictDoubleUnmapIsDetectedAndMasked) {
+  Build(ProtectionMode::kFastSafe, FaultPlan{});
+  const auto result = dma_->MapPages(0, Frames(64));
+  ASSERT_EQ(result.mappings.size(), 64u);
+  dma_->UnmapDescriptor(0, result.mappings, 1'000);
+  const std::uint64_t live_after_first = iova_->live_allocations();
+  const std::uint64_t inv_after_first = stats_->Value("dma.inv_requests");
+
+  // Duplicate completion: the same descriptor is unmapped again.
+  dma_->UnmapDescriptor(0, result.mappings, 2'000);
+  EXPECT_EQ(stats_->Value("dma.double_unmap"), 1u);
+  ASSERT_EQ(registry_->failure_count(), 1u);
+  EXPECT_EQ(registry_->failures()[0].name, "dma.double_unmap");
+  // Masked: no second IOVA free, no extra invalidation, books still sane.
+  EXPECT_EQ(iova_->live_allocations(), live_after_first);
+  EXPECT_EQ(stats_->Value("dma.inv_requests"), inv_after_first);
+  std::string detail;
+  EXPECT_TRUE(dma_->CheckChunkAccounting(&detail)) << detail;
+  EXPECT_TRUE(page_table_->CheckConsistency(&detail)) << detail;
+}
+
+TEST_F(FaultedDriverTest, DeferredDoubleUnmapIsDetectedAndMasked) {
+  Build(ProtectionMode::kDeferred, FaultPlan{});
+  const auto result = dma_->MapPages(0, Frames(4));
+  dma_->UnmapDescriptor(0, result.mappings, 1'000);
+  EXPECT_EQ(dma_->deferred_pending(), 4u);
+  dma_->UnmapDescriptor(0, result.mappings, 2'000);
+  EXPECT_EQ(stats_->Value("dma.double_unmap"), 4u);  // one per page
+  // Masked: the IOVAs are not queued for freeing a second time.
+  EXPECT_EQ(dma_->deferred_pending(), 4u);
+}
+
+TEST_F(FaultedDriverTest, IovaExhaustionIsMaskedByRetry) {
+  FaultPlan plan;
+  FaultSpec fail = Spec(FaultKind::kIovaExhaustion);
+  fail.max_fires = 3;
+  plan.Add(fail);
+  Build(ProtectionMode::kFastSafe, plan);
+
+  const auto result = dma_->MapPages(0, Frames(64));
+  EXPECT_EQ(result.mappings.size(), 64u);  // the 4th attempt succeeded
+  EXPECT_EQ(stats_->Value("dma.fault_masked"), 1u);
+  EXPECT_EQ(stats_->Value("dma.alloc_failures"), 0u);
+}
+
+TEST_F(FaultedDriverTest, IovaExhaustionBeyondRetriesDegradesGracefully) {
+  FaultPlan plan;
+  plan.Add(Spec(FaultKind::kIovaExhaustion));  // every allocation fails
+  Build(ProtectionMode::kFastSafe, plan);
+
+  const auto result = dma_->MapPages(0, Frames(64));
+  EXPECT_TRUE(result.mappings.empty());
+  EXPECT_EQ(stats_->Value("dma.alloc_failures"), 1u);
+  EXPECT_EQ(page_table_->mapped_pages(), 0u);
+}
+
+TEST(FrameAllocatorFaultTest, InjectedFailureReturnsNullFrameOnce) {
+  FaultPlan plan;
+  FaultSpec fail;
+  fail.kind = FaultKind::kFrameAllocFailure;
+  fail.max_fires = 1;
+  plan.Add(fail);
+  FaultInjector injector(plan);
+  FrameAllocator frames;
+  frames.SetFaultInjector(&injector);
+
+  EXPECT_EQ(frames.AllocFrame(), kNullFrame);
+  EXPECT_EQ(frames.allocated(), 0u);  // failed attempt is not counted
+  const PhysAddr ok = frames.AllocFrame();
+  EXPECT_NE(ok, kNullFrame);
+  EXPECT_EQ(frames.allocated(), 1u);
+}
+
+// NIC completion-path fixture: a minimal Rx datapath (no IOMMU) driving
+// RetireIfComplete through real wire arrivals.
+class NicFaultTest : public ::testing::Test {
+ protected:
+  void Build(const FaultPlan& plan) {
+    stats_ = std::make_unique<StatsRegistry>();
+    injector_ = std::make_unique<FaultInjector>(plan, stats_.get());
+    memory_ = std::make_unique<MemorySystem>(MemoryConfig{}, stats_.get());
+    rc_ = std::make_unique<RootComplex>(PcieConfig{}, nullptr, memory_.get(), stats_.get());
+    NicConfig config;
+    config.model_descriptor_fetch = false;
+    nic_ = std::make_unique<Nic>(config, 1, &ev_, rc_.get(), stats_.get());
+    nic_->SetFaultInjector(injector_.get());
+    nic_->SetDescComplete([this](std::uint32_t, std::vector<DmaMapping>) {
+      completions_.push_back(ev_.now());
+    });
+  }
+
+  // Posts a one-page descriptor and delivers one packet that consumes it.
+  // Returns the sim-time at which the packet was handed to the NIC.
+  TimeNs RunOnePacket() {
+    const TimeNs start = ev_.now();
+    nic_->PostRxDescriptor(0, {DmaMapping{0x10000, 0x10000, 0}});
+    Packet packet;
+    packet.payload = 1000;
+    nic_->OnWireArrival(packet);
+    ev_.RunAll();
+    return start;
+  }
+
+  EventQueue ev_;
+  std::unique_ptr<StatsRegistry> stats_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<MemorySystem> memory_;
+  std::unique_ptr<RootComplex> rc_;
+  std::unique_ptr<Nic> nic_;
+  std::vector<TimeNs> completions_;
+};
+
+TEST_F(NicFaultTest, DuplicateCompletionIsDeliveredTwice) {
+  FaultPlan plan;
+  FaultSpec dup;
+  dup.kind = FaultKind::kDescCompletionDuplicate;
+  dup.max_fires = 1;
+  plan.Add(dup);
+  Build(plan);
+  RunOnePacket();
+  EXPECT_EQ(completions_.size(), 2u);
+  EXPECT_EQ(stats_->Value("nic.completion_duplicates"), 1u);
+}
+
+TEST_F(NicFaultTest, ReorderDelaysTheCompletion) {
+  FaultPlan plan;
+  FaultSpec reorder;
+  reorder.kind = FaultKind::kDescCompletionReorder;
+  reorder.magnitude_ns = 50'000;
+  reorder.max_fires = 1;
+  plan.Add(reorder);
+  Build(plan);
+  TimeNs start = RunOnePacket();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_GE(completions_[0], start + 50'000u);
+  EXPECT_EQ(stats_->Value("nic.completion_reorders"), 1u);
+
+  // Without the fault budget, the next completion is prompt.
+  completions_.clear();
+  start = RunOnePacket();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_LT(completions_[0], start + 50'000u);
+}
+
+TEST(RootComplexFaultTest, BackpressureBurstStallsAdmission) {
+  StatsRegistry stats;
+  FaultPlan plan;
+  FaultSpec bp;
+  bp.kind = FaultKind::kRootComplexBackpressure;
+  bp.magnitude_ns = 10'000;
+  bp.max_fires = 1;
+  plan.Add(bp);
+  FaultInjector injector(plan, &stats);
+  MemorySystem memory(MemoryConfig{}, &stats);
+  RootComplex rc(PcieConfig{}, nullptr, &memory, &stats);
+  rc.SetFaultInjector(&injector);
+
+  const DmaTiming hit = rc.DmaWrite(0, {DmaSegment{0x1000, 256}});
+  EXPECT_GE(hit.link_done, 10'000u);
+  EXPECT_EQ(stats.Value("pcie.backpressure_bursts"), 1u);
+}
+
+}  // namespace
+}  // namespace fsio
