@@ -5,7 +5,6 @@
 // throughput at 5 flows — the headline gap should be robust, and the table
 // shows which knobs it actually depends on.
 #include <functional>
-#include <iostream>
 #include <string>
 #include <vector>
 
@@ -18,7 +17,7 @@ int main() {
     std::string name;
     std::function<void(TestbedConfig*)> apply;
   };
-  const std::vector<Variant> variants = {
+  std::vector<Variant> variants = {
       {"baseline", [](TestbedConfig*) {}},
       {"walkers=2",
        [](TestbedConfig* c) { c->host.iommu.num_walkers = 2; }},
@@ -44,32 +43,36 @@ int main() {
       {"no IOVA free migration",
        [](TestbedConfig* c) { c->host.dma.free_migration_fraction = 0.0; }},
   };
+  if (bench::SmokeMode()) {
+    variants.resize(1);
+  }
+
+  // Each (variant, mode) pair is an independent sweep point.
+  struct Cell {
+    double gbps = 0;
+    double reads = 0;
+  };
+  const ProtectionMode modes[] = {ProtectionMode::kStrict, ProtectionMode::kFastSafe};
+  const auto cells = bench::ParallelSweep<Cell>(variants.size() * 2, [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = modes[i % 2];
+    config.cores = 5;
+    variants[i / 2].apply(&config);
+    const auto run = bench::RunIperf(config, 5);
+    return Cell{run.window.goodput_gbps, run.window.mem_reads_per_page};
+  });
 
   Table table({"variant", "strict_gbps", "fs_gbps", "strict_reads/pg", "fs_reads/pg"});
-  for (const Variant& variant : variants) {
-    double gbps[2];
-    double reads[2];
-    int i = 0;
-    for (ProtectionMode mode : {ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 5;
-      variant.apply(&config);
-      const auto run = bench::RunIperf(config, 5);
-      gbps[i] = run.window.goodput_gbps;
-      reads[i] = run.window.mem_reads_per_page;
-      ++i;
-    }
+  for (std::size_t v = 0; v < variants.size(); ++v) {
     table.BeginRow();
-    table.AddCell(variant.name);
-    table.AddNumber(gbps[0], 1);
-    table.AddNumber(gbps[1], 1);
-    table.AddNumber(reads[0], 2);
-    table.AddNumber(reads[1], 2);
+    table.AddCell(variants[v].name);
+    table.AddNumber(cells[v * 2].gbps, 1);
+    table.AddNumber(cells[v * 2 + 1].gbps, 1);
+    table.AddNumber(cells[v * 2].reads, 2);
+    table.AddNumber(cells[v * 2 + 1].reads, 2);
   }
-  std::cout << "Model ablation: strict vs F&S (iperf, 5 flows) under simulator variants\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+  bench::EmitFigure(
+      "Model ablation: strict vs F&S (iperf, 5 flows) under simulator variants\n\n",
+      table);
   return 0;
 }

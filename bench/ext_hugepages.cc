@@ -8,7 +8,8 @@
 //   hugepage-persistent  Farshin et al. [16]: permanently mapped hugepage
 //                        pools. Near-zero protection cost but the device
 //                        keeps access to recycled buffers (weaker safety).
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/figure_common.h"
 
@@ -27,33 +28,47 @@ int main() {
       {"fast-and-safe+huge", ProtectionMode::kFastSafe, true, "strict"},
       {"hugepage-persistent", ProtectionMode::kHugepagePersistent, false, "weak"},
   };
-  Table table({"config", "safety", "gbps", "iotlb/pg", "reads/pg", "inv_req/pg"});
+
+  struct Point {
+    Cfg cfg;
+    std::uint32_t flows;
+  };
+  std::vector<Point> points;
   for (const Cfg& cfg : cfgs) {
-    for (std::uint32_t flows : {5u, 40u}) {
-      TestbedConfig config;
-      config.mode = cfg.mode;
-      config.cores = 5;
-      config.host.use_hugepages = cfg.huge;
-      const auto run = bench::RunIperf(config, flows);
-      const double inv =
-          run.window.pages_of_data > 0
-              ? static_cast<double>(run.window.raw_rx_host.at("dma.inv_requests")) /
-                    static_cast<double>(run.window.pages_of_data)
-              : 0.0;
-      table.BeginRow();
-      table.AddCell(std::string(cfg.name) + "/" + std::to_string(flows) + "f");
-      table.AddCell(cfg.safety);
-      table.AddNumber(run.window.goodput_gbps, 1);
-      table.AddNumber(run.window.iotlb_miss_per_page, 3);
-      table.AddNumber(run.window.mem_reads_per_page, 3);
-      table.AddNumber(inv, 3);
+    for (std::uint32_t flows : bench::Sweep({5u, 40u})) {
+      points.push_back(Point{cfg, flows});
     }
   }
-  std::cout << "Extension: hugepages x F&S (the paper's §5 future-work direction)\n"
-               "F&S+huge keeps strict safety while cutting IOTLB misses ~5x further;\n"
-               "persistent hugepages (related work) are marginally cheaper but weak.\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+
+  const auto runs = bench::ParallelSweep<bench::IperfRun>(points.size(), [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = points[i].cfg.mode;
+    config.cores = 5;
+    config.host.use_hugepages = points[i].cfg.huge;
+    return bench::RunIperf(config, points[i].flows);
+  });
+
+  Table table({"config", "safety", "gbps", "iotlb/pg", "reads/pg", "inv_req/pg"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& run = runs[i];
+    const double inv =
+        run.window.pages_of_data > 0
+            ? static_cast<double>(run.window.raw_rx_host.at("dma.inv_requests")) /
+                  static_cast<double>(run.window.pages_of_data)
+            : 0.0;
+    table.BeginRow();
+    table.AddCell(std::string(points[i].cfg.name) + "/" + std::to_string(points[i].flows) +
+                  "f");
+    table.AddCell(points[i].cfg.safety);
+    table.AddNumber(run.window.goodput_gbps, 1);
+    table.AddNumber(run.window.iotlb_miss_per_page, 3);
+    table.AddNumber(run.window.mem_reads_per_page, 3);
+    table.AddNumber(inv, 3);
+  }
+  bench::EmitFigure(
+      "Extension: hugepages x F&S (the paper's §5 future-work direction)\n"
+      "F&S+huge keeps strict safety while cutting IOTLB misses ~5x further;\n"
+      "persistent hugepages (related work) are marginally cheaper but weak.\n\n",
+      table);
   return 0;
 }

@@ -6,44 +6,56 @@
 // lose their leverage (invalidations must stay at descriptor = page
 // granularity), and leaves the evaluation to future work. This bench runs
 // it: iperf at 5 flows with pages-per-descriptor in {1, 8, 64}.
-#include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/figure_common.h"
 
 int main() {
   using namespace fsio;
-  Table table({"mode", "pages/desc", "gbps", "iotlb/pg", "l3/pg", "reads/pg",
-               "inv_req/pg"});
 
+  struct Point {
+    ProtectionMode mode;
+    std::uint32_t pages;
+  };
+  std::vector<Point> points;
   for (ProtectionMode mode :
        {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-    for (std::uint32_t pages : {1u, 8u, 64u}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 5;
-      config.host.pages_per_desc = pages;
-      const auto run = bench::RunIperf(config, 5);
-      const double inv =
-          run.window.pages_of_data > 0
-              ? static_cast<double>(run.window.raw_rx_host.at("dma.inv_requests")) /
-                    static_cast<double>(run.window.pages_of_data)
-              : 0.0;
-      table.BeginRow();
-      table.AddCell(ProtectionModeName(mode));
-      table.AddCell(std::to_string(pages));
-      table.AddNumber(run.window.goodput_gbps, 1);
-      table.AddNumber(run.window.iotlb_miss_per_page, 2);
-      table.AddNumber(run.window.l3_miss_per_page, 3);
-      table.AddNumber(run.window.mem_reads_per_page, 2);
-      table.AddNumber(inv, 2);
+    for (std::uint32_t pages : bench::Sweep({1u, 8u, 64u})) {
+      points.push_back(Point{mode, pages});
     }
   }
-  std::cout << "Extension: F&S with single-page descriptors (paper leaves this to\n"
-               "future work). Expected: preservation + contiguity still help; the\n"
-               "batched-invalidation benefit shrinks as pages/descriptor -> 1.\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+
+  const auto runs = bench::ParallelSweep<bench::IperfRun>(points.size(), [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = points[i].mode;
+    config.cores = 5;
+    config.host.pages_per_desc = points[i].pages;
+    return bench::RunIperf(config, 5);
+  });
+
+  Table table({"mode", "pages/desc", "gbps", "iotlb/pg", "l3/pg", "reads/pg",
+               "inv_req/pg"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& run = runs[i];
+    const double inv =
+        run.window.pages_of_data > 0
+            ? static_cast<double>(run.window.raw_rx_host.at("dma.inv_requests")) /
+                  static_cast<double>(run.window.pages_of_data)
+            : 0.0;
+    table.BeginRow();
+    table.AddCell(ProtectionModeName(points[i].mode));
+    table.AddCell(std::to_string(points[i].pages));
+    table.AddNumber(run.window.goodput_gbps, 1);
+    table.AddNumber(run.window.iotlb_miss_per_page, 2);
+    table.AddNumber(run.window.l3_miss_per_page, 3);
+    table.AddNumber(run.window.mem_reads_per_page, 2);
+    table.AddNumber(inv, 2);
+  }
+  bench::EmitFigure(
+      "Extension: F&S with single-page descriptors (paper leaves this to\n"
+      "future work). Expected: preservation + contiguity still help; the\n"
+      "batched-invalidation benefit shrinks as pages/descriptor -> 1.\n\n",
+      table);
   return 0;
 }

@@ -4,26 +4,18 @@
 // Linux strict. Paper results: 20-65% throughput loss, up to 4% drops,
 // 1.30-2.20 IOTLB misses/page, PTcache misses growing with flows, and
 // degrading PTcache-L3 locality.
-#include <iostream>
-
 #include "bench/figure_common.h"
 
 int main() {
   using namespace fsio;
-  Table table(bench::IperfHeaders("flows"));
-  for (ProtectionMode mode : {ProtectionMode::kOff, ProtectionMode::kStrict}) {
-    for (std::uint32_t flows : {5u, 10u, 20u, 40u}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 5;
-      const auto run = bench::RunIperf(config, flows);
-      bench::AddIperfRow(&table, ProtectionModeName(mode), std::to_string(flows), run);
-    }
-  }
-  std::cout << "Figure 2: memory protection overheads vs number of flows\n"
-               "(iperf, 4KB MTU, ring 256, 5 cores; paper: 80->35 Gbps for strict)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+  bench::RunIperfFigure<std::uint32_t>(
+      "Figure 2: memory protection overheads vs number of flows\n"
+      "(iperf, 4KB MTU, ring 256, 5 cores; paper: 80->35 Gbps for strict)\n\n",
+      "flows", {ProtectionMode::kOff, ProtectionMode::kStrict},
+      bench::Sweep({5u, 10u, 20u, 40u}), /*flows_or_zero=*/0,
+      [](TestbedConfig* config, std::uint32_t flows, std::uint32_t* out_flows) {
+        config->cores = 5;
+        *out_flows = flows;
+      });
   return 0;
 }

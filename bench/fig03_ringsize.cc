@@ -4,27 +4,18 @@
 // results: growing PTcache-L3 misses (larger IOVA working set), roughly
 // constant IOTLB misses, up to ~15 additional percentage points of
 // throughput degradation at 2048.
-#include <iostream>
-
 #include "bench/figure_common.h"
 
 int main() {
   using namespace fsio;
-  Table table(bench::IperfHeaders("ring"));
-  for (ProtectionMode mode : {ProtectionMode::kOff, ProtectionMode::kStrict}) {
-    for (std::uint32_t ring : {256u, 512u, 1024u, 2048u}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 5;
-      config.ring_size_pkts = ring;
-      const auto run = bench::RunIperf(config, 5);
-      bench::AddIperfRow(&table, ProtectionModeName(mode), std::to_string(ring), run);
-    }
-  }
-  std::cout << "Figure 3: memory protection overheads vs ring buffer size\n"
-               "(iperf, 5 flows, 4KB MTU; paper: L3 misses grow with the working set)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+  bench::RunIperfFigure<std::uint32_t>(
+      "Figure 3: memory protection overheads vs ring buffer size\n"
+      "(iperf, 5 flows, 4KB MTU; paper: L3 misses grow with the working set)\n\n",
+      "ring", {ProtectionMode::kOff, ProtectionMode::kStrict},
+      bench::Sweep({256u, 512u, 1024u, 2048u}), /*flows_or_zero=*/5,
+      [](TestbedConfig* config, std::uint32_t ring, std::uint32_t*) {
+        config->cores = 5;
+        config->ring_size_pkts = ring;
+      });
   return 0;
 }

@@ -4,27 +4,19 @@
 // eliminates drops, halves IOTLB misses at 40 flows (fewer ACKs), brings
 // PTcache-L1/L2 misses to zero and PTcache-L3 misses below 0.045/page, and
 // keeps IOVA locality flat.
-#include <iostream>
-
 #include "bench/figure_common.h"
 
 int main() {
   using namespace fsio;
-  Table table(bench::IperfHeaders("flows"));
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-    for (std::uint32_t flows : {5u, 10u, 20u, 40u}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 5;
-      const auto run = bench::RunIperf(config, flows);
-      bench::AddIperfRow(&table, ProtectionModeName(mode), std::to_string(flows), run);
-    }
-  }
-  std::cout << "Figure 7: F&S near-completely eliminates protection overheads vs flows\n"
-               "(expected: fast-and-safe == iommu-off, l1/l2/l3 misses ~ 0)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+  bench::RunIperfFigure<std::uint32_t>(
+      "Figure 7: F&S near-completely eliminates protection overheads vs flows\n"
+      "(expected: fast-and-safe == iommu-off, l1/l2/l3 misses ~ 0)\n\n",
+      "flows",
+      {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe},
+      bench::Sweep({5u, 10u, 20u, 40u}), /*flows_or_zero=*/0,
+      [](TestbedConfig* config, std::uint32_t flows, std::uint32_t* out_flows) {
+        config->cores = 5;
+        *out_flows = flows;
+      });
   return 0;
 }

@@ -3,28 +3,19 @@
 // Paper results: F&S holds line rate as the IOVA working set grows (at most
 // 0.053 PTcache-L3 misses/page) with a tiny CPU-bound gap at ring 2048
 // (§4.4); locality stays flat because it is guaranteed per descriptor.
-#include <iostream>
-
 #include "bench/figure_common.h"
 
 int main() {
   using namespace fsio;
-  Table table(bench::IperfHeaders("ring"));
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-    for (std::uint32_t ring : {256u, 512u, 1024u, 2048u}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 5;
-      config.ring_size_pkts = ring;
-      const auto run = bench::RunIperf(config, 5);
-      bench::AddIperfRow(&table, ProtectionModeName(mode), std::to_string(ring), run);
-    }
-  }
-  std::cout << "Figure 8: F&S maintains locality as the IO working set grows\n"
-               "(expected: fast-and-safe ~ iommu-off at every ring size)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+  bench::RunIperfFigure<std::uint32_t>(
+      "Figure 8: F&S maintains locality as the IO working set grows\n"
+      "(expected: fast-and-safe ~ iommu-off at every ring size)\n\n",
+      "ring",
+      {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe},
+      bench::Sweep({256u, 512u, 1024u, 2048u}), /*flows_or_zero=*/5,
+      [](TestbedConfig* config, std::uint32_t ring, std::uint32_t*) {
+        config->cores = 5;
+        config->ring_size_pkts = ring;
+      });
   return 0;
 }

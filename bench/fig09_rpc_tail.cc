@@ -5,7 +5,6 @@
 // flows. Paper results: strict mode inflates P99/P99.9 by orders of
 // magnitude (NIC queue buildup + retransmission timeouts); F&S stays within
 // 1.17x of IOMMU-off (1.42x at P99.99).
-#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,48 +15,63 @@
 
 int main() {
   using namespace fsio;
-  Table table({"mode", "rpc_bytes", "rpcs", "p50_us", "p90_us", "p99_us", "p99.9_us"});
 
+  struct Point {
+    ProtectionMode mode;
+    std::uint64_t size;
+  };
+  std::vector<Point> points;
   for (ProtectionMode mode :
        {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-    for (std::uint64_t size : {128ull, 1024ull, 4096ull, 16384ull, 32768ull}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 6;  // 5 iperf + 1 RPC core
-      Testbed testbed(config);
-      StartIperf(&testbed, 5);
-      std::vector<std::unique_ptr<RequestResponseApp>> rpcs;
-      for (int i = 0; i < 4; ++i) {
-        rpcs.push_back(std::make_unique<RequestResponseApp>(
-            &testbed, NetperfRpcConfig(size, /*rpc_core=*/5)));
-      }
-      for (auto& rpc : rpcs) {
-        rpc->Start();
-      }
-      testbed.RunUntil(15 * kNsPerMs);
-      for (auto& rpc : rpcs) {
-        rpc->mutable_latency().Reset();
-      }
-      testbed.RunUntil(testbed.ev().now() + 80 * kNsPerMs);
-
-      Histogram merged;
-      for (auto& rpc : rpcs) {
-        merged.Merge(rpc->latency());
-      }
-      table.BeginRow();
-      table.AddCell(ProtectionModeName(mode));
-      table.AddInteger(static_cast<long long>(size));
-      table.AddInteger(static_cast<long long>(merged.count()));
-      table.AddNumber(static_cast<double>(merged.Percentile(50)) / 1000.0, 1);
-      table.AddNumber(static_cast<double>(merged.Percentile(90)) / 1000.0, 1);
-      table.AddNumber(static_cast<double>(merged.Percentile(99)) / 1000.0, 1);
-      table.AddNumber(static_cast<double>(merged.Percentile(99.9)) / 1000.0, 1);
+    for (std::uint64_t size : bench::Sweep({128ull, 1024ull, 4096ull, 16384ull, 32768ull})) {
+      points.push_back(Point{mode, size});
     }
   }
-  std::cout << "Figure 9: RPC tail latency colocated with iperf\n"
-               "(expected: strict inflates tails; fast-and-safe ~ iommu-off)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+
+  const TimeNs rpc_warmup = bench::SmokeMode() ? 3 * kNsPerMs : 15 * kNsPerMs;
+  const TimeNs rpc_window = bench::SmokeMode() ? 5 * kNsPerMs : 80 * kNsPerMs;
+
+  const auto merged = bench::ParallelSweep<Histogram>(points.size(), [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = points[i].mode;
+    config.cores = 6;  // 5 iperf + 1 RPC core
+    Testbed testbed(config);
+    StartIperf(&testbed, 5);
+    std::vector<std::unique_ptr<RequestResponseApp>> rpcs;
+    for (int r = 0; r < 4; ++r) {
+      rpcs.push_back(std::make_unique<RequestResponseApp>(
+          &testbed, NetperfRpcConfig(points[i].size, /*rpc_core=*/5)));
+    }
+    for (auto& rpc : rpcs) {
+      rpc->Start();
+    }
+    testbed.RunUntil(rpc_warmup);
+    for (auto& rpc : rpcs) {
+      rpc->mutable_latency().Reset();
+    }
+    testbed.RunUntil(testbed.ev().now() + rpc_window);
+
+    Histogram out;
+    for (auto& rpc : rpcs) {
+      out.Merge(rpc->latency());
+    }
+    return out;
+  });
+
+  Table table({"mode", "rpc_bytes", "rpcs", "p50_us", "p90_us", "p99_us", "p99.9_us"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.BeginRow();
+    table.AddCell(ProtectionModeName(points[i].mode));
+    table.AddInteger(static_cast<long long>(points[i].size));
+    table.AddInteger(static_cast<long long>(merged[i].count()));
+    table.AddNumber(static_cast<double>(merged[i].Percentile(50)) / 1000.0, 1);
+    table.AddNumber(static_cast<double>(merged[i].Percentile(90)) / 1000.0, 1);
+    table.AddNumber(static_cast<double>(merged[i].Percentile(99)) / 1000.0, 1);
+    table.AddNumber(static_cast<double>(merged[i].Percentile(99.9)) / 1000.0, 1);
+  }
+  bench::EmitFigure(
+      "Figure 9: RPC tail latency colocated with iperf\n"
+      "(expected: strict inflates tails; fast-and-safe ~ iommu-off)\n\n",
+      table);
   return 0;
 }

@@ -4,59 +4,48 @@
 // strict loses 38-70% (worse at small values, where per-request replies
 // inflate IOTLB contention); F&S matches IOMMU-off except a small gap at
 // 4 KB values.
-#include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/figure_common.h"
 #include "src/apps/redis.h"
 
 int main() {
   using namespace fsio;
-  Table table({"mode", "value_kb", "set_gbps", "kops/s", "iotlb/pg", "reads/pg"});
 
+  struct Point {
+    ProtectionMode mode;
+    std::uint64_t value_kb;
+  };
+  std::vector<Point> points;
   for (ProtectionMode mode :
        {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-    for (std::uint64_t value_kb : {4ull, 8ull, 16ull, 32ull, 64ull, 128ull}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 8;
-      config.mtu_bytes = 9000;
-      Testbed testbed(config);
-      auto apps = MakeApps(&testbed, RedisSetConfig(value_kb * 1024), 8, config.cores);
-      for (auto& app : apps) {
-        app->Start();
-      }
-      testbed.RunUntil(bench::kWarmupNs);
-      std::uint64_t bytes0 = 0;
-      std::uint64_t ops0 = 0;
-      for (auto& app : apps) {
-        bytes0 += app->request_bytes_delivered();
-        ops0 += app->completed();
-      }
-      const auto window = testbed.MeasureWindow(1, bench::kWindowNs);
-      std::uint64_t bytes1 = 0;
-      std::uint64_t ops1 = 0;
-      for (auto& app : apps) {
-        bytes1 += app->request_bytes_delivered();
-        ops1 += app->completed();
-      }
-      table.BeginRow();
-      table.AddCell(ProtectionModeName(mode));
-      table.AddInteger(static_cast<long long>(value_kb));
-      table.AddNumber(static_cast<double>(bytes1 - bytes0) * 8.0 /
-                          static_cast<double>(bench::kWindowNs),
-                      1);
-      table.AddNumber(static_cast<double>(ops1 - ops0) /
-                          (static_cast<double>(bench::kWindowNs) / 1e9) / 1000.0,
-                      1);
-      table.AddNumber(window.iotlb_miss_per_page, 2);
-      table.AddNumber(window.mem_reads_per_page, 2);
+    for (std::uint64_t value_kb : bench::Sweep({4ull, 8ull, 16ull, 32ull, 64ull, 128ull})) {
+      points.push_back(Point{mode, value_kb});
     }
   }
-  std::cout << "Figure 11a: Redis 100% SET throughput vs value size\n"
-               "(expected: strict -38..70%, worst at small values; F&S ~ off)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+
+  const auto runs = bench::ParallelSweep<bench::AppsRun>(points.size(), [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = points[i].mode;
+    config.cores = 8;
+    config.mtu_bytes = 9000;
+    return bench::RunApps(config, RedisSetConfig(points[i].value_kb * 1024), 8);
+  });
+
+  Table table({"mode", "value_kb", "set_gbps", "kops/s", "iotlb/pg", "reads/pg"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.BeginRow();
+    table.AddCell(ProtectionModeName(points[i].mode));
+    table.AddInteger(static_cast<long long>(points[i].value_kb));
+    table.AddNumber(runs[i].request_gbps, 1);
+    table.AddNumber(runs[i].ops_per_s / 1000.0, 1);
+    table.AddNumber(runs[i].window.iotlb_miss_per_page, 2);
+    table.AddNumber(runs[i].window.mem_reads_per_page, 2);
+  }
+  bench::EmitFigure(
+      "Figure 11a: Redis 100% SET throughput vs value size\n"
+      "(expected: strict -38..70%, worst at small values; F&S ~ off)\n\n",
+      table);
   return 0;
 }

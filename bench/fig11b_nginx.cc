@@ -4,59 +4,48 @@
 // instance per core. Paper results: IOMMU-off tops out near 90 Gbps
 // (application overhead); strict loses 65-70% across all page sizes; F&S
 // fully recovers the IOMMU-off throughput.
-#include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/figure_common.h"
 #include "src/apps/nginx.h"
 
 int main() {
   using namespace fsio;
-  Table table({"mode", "page_kb", "gbps", "pages/s"});
 
+  struct Point {
+    ProtectionMode mode;
+    std::uint64_t page_kb;
+  };
+  std::vector<Point> points;
   for (ProtectionMode mode :
        {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-    for (std::uint64_t page_kb : {128ull, 256ull, 512ull, 1024ull, 2048ull}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 8;
-      config.mtu_bytes = 9000;
-      Testbed testbed(config);
-      // Server on host 1 (the measured host, transmitting pages), clients on
-      // host 0: NginxGetConfig defaults have the server on host 1.
-      auto apps = MakeApps(&testbed, NginxGetConfig(page_kb * 1024), 8, config.cores);
-      for (auto& app : apps) {
-        app->Start();
-      }
-      testbed.RunUntil(bench::kWarmupNs);
-      std::uint64_t bytes0 = 0;
-      std::uint64_t ops0 = 0;
-      for (auto& app : apps) {
-        bytes0 += app->response_bytes_delivered();
-        ops0 += app->completed();
-      }
-      testbed.RunUntil(testbed.ev().now() + bench::kWindowNs);
-      std::uint64_t bytes1 = 0;
-      std::uint64_t ops1 = 0;
-      for (auto& app : apps) {
-        bytes1 += app->response_bytes_delivered();
-        ops1 += app->completed();
-      }
-      table.BeginRow();
-      table.AddCell(ProtectionModeName(mode));
-      table.AddInteger(static_cast<long long>(page_kb));
-      table.AddNumber(static_cast<double>(bytes1 - bytes0) * 8.0 /
-                          static_cast<double>(bench::kWindowNs),
-                      1);
-      table.AddNumber(static_cast<double>(ops1 - ops0) /
-                          (static_cast<double>(bench::kWindowNs) / 1e9),
-                      0);
+    for (std::uint64_t page_kb : bench::Sweep({128ull, 256ull, 512ull, 1024ull, 2048ull})) {
+      points.push_back(Point{mode, page_kb});
     }
   }
-  std::cout << "Figure 11b: Nginx throughput vs web page size\n"
-               "(expected: off ~ 90 Gbps app-limited; strict -65..70%; F&S ~ off)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+
+  const auto runs = bench::ParallelSweep<bench::AppsRun>(points.size(), [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = points[i].mode;
+    config.cores = 8;
+    config.mtu_bytes = 9000;
+    // Server on host 1 (the measured host, transmitting pages), clients on
+    // host 0: NginxGetConfig defaults have the server on host 1.
+    return bench::RunApps(config, NginxGetConfig(points[i].page_kb * 1024), 8);
+  });
+
+  Table table({"mode", "page_kb", "gbps", "pages/s"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.BeginRow();
+    table.AddCell(ProtectionModeName(points[i].mode));
+    table.AddInteger(static_cast<long long>(points[i].page_kb));
+    table.AddNumber(runs[i].response_gbps, 1);
+    table.AddNumber(runs[i].ops_per_s, 0);
+  }
+  bench::EmitFigure(
+      "Figure 11b: Nginx throughput vs web page size\n"
+      "(expected: off ~ 90 Gbps app-limited; strict -65..70%; F&S ~ off)\n\n",
+      table);
   return 0;
 }

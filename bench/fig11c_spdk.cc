@@ -4,58 +4,47 @@
 // from a storage server. Paper results: strict caps near ~60 Gbps; F&S
 // matches IOMMU-off except a small gap at 32 KB (request-packet IOTLB
 // contention).
-#include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/figure_common.h"
 #include "src/apps/spdk.h"
 
 int main() {
   using namespace fsio;
-  Table table({"mode", "block_kb", "gbps", "kiops"});
 
+  struct Point {
+    ProtectionMode mode;
+    std::uint64_t block_kb;
+  };
+  std::vector<Point> points;
   for (ProtectionMode mode :
        {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
-    for (std::uint64_t block_kb : {32ull, 64ull, 128ull, 256ull}) {
-      TestbedConfig config;
-      config.mode = mode;
-      config.cores = 8;
-      config.mtu_bytes = 9000;
-      Testbed testbed(config);
-      // SPDK config puts the measured client on host 1.
-      auto apps = MakeApps(&testbed, SpdkReadConfig(block_kb * 1024), 8, config.cores);
-      for (auto& app : apps) {
-        app->Start();
-      }
-      testbed.RunUntil(bench::kWarmupNs);
-      std::uint64_t bytes0 = 0;
-      std::uint64_t ops0 = 0;
-      for (auto& app : apps) {
-        bytes0 += app->response_bytes_delivered();
-        ops0 += app->completed();
-      }
-      testbed.RunUntil(testbed.ev().now() + bench::kWindowNs);
-      std::uint64_t bytes1 = 0;
-      std::uint64_t ops1 = 0;
-      for (auto& app : apps) {
-        bytes1 += app->response_bytes_delivered();
-        ops1 += app->completed();
-      }
-      table.BeginRow();
-      table.AddCell(ProtectionModeName(mode));
-      table.AddInteger(static_cast<long long>(block_kb));
-      table.AddNumber(static_cast<double>(bytes1 - bytes0) * 8.0 /
-                          static_cast<double>(bench::kWindowNs),
-                      1);
-      table.AddNumber(static_cast<double>(ops1 - ops0) /
-                          (static_cast<double>(bench::kWindowNs) / 1e9) / 1000.0,
-                      1);
+    for (std::uint64_t block_kb : bench::Sweep({32ull, 64ull, 128ull, 256ull})) {
+      points.push_back(Point{mode, block_kb});
     }
   }
-  std::cout << "Figure 11c: SPDK read throughput vs block size (IO depth 8)\n"
-               "(expected: strict <= ~60 Gbps; F&S ~ off, small gap at 32 KB)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+
+  const auto runs = bench::ParallelSweep<bench::AppsRun>(points.size(), [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = points[i].mode;
+    config.cores = 8;
+    config.mtu_bytes = 9000;
+    // SPDK config puts the measured client on host 1.
+    return bench::RunApps(config, SpdkReadConfig(points[i].block_kb * 1024), 8);
+  });
+
+  Table table({"mode", "block_kb", "gbps", "kiops"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.BeginRow();
+    table.AddCell(ProtectionModeName(points[i].mode));
+    table.AddInteger(static_cast<long long>(points[i].block_kb));
+    table.AddNumber(runs[i].response_gbps, 1);
+    table.AddNumber(runs[i].ops_per_s / 1000.0, 1);
+  }
+  bench::EmitFigure(
+      "Figure 11c: SPDK read throughput vs block size (IO depth 8)\n"
+      "(expected: strict <= ~60 Gbps; F&S ~ off, small gap at 32 KB)\n\n",
+      table);
   return 0;
 }

@@ -7,53 +7,40 @@
 //   (iv)  Linux + F&S (all three ideas)
 // Paper result: A alone and B alone each leave large PTcache miss rates;
 // only the combination reaches full throughput.
-#include <iostream>
+#include <vector>
 
 #include "bench/figure_common.h"
 #include "src/apps/redis.h"
 
 int main() {
   using namespace fsio;
-  Table table({"config", "set_gbps", "iotlb/pg", "l1/pg", "l2/pg", "l3/pg", "reads/pg"});
 
-  const ProtectionMode configs[] = {ProtectionMode::kStrict, ProtectionMode::kStrictPreserve,
-                                    ProtectionMode::kStrictContig, ProtectionMode::kFastSafe,
-                                    ProtectionMode::kOff};
-  for (ProtectionMode mode : configs) {
+  const std::vector<ProtectionMode> configs =
+      bench::Sweep({ProtectionMode::kStrict, ProtectionMode::kStrictPreserve,
+                    ProtectionMode::kStrictContig, ProtectionMode::kFastSafe,
+                    ProtectionMode::kOff});
+  const auto runs = bench::ParallelSweep<bench::AppsRun>(configs.size(), [&](std::size_t i) {
     TestbedConfig config;
-    config.mode = mode;
+    config.mode = configs[i];
     config.cores = 8;
     config.mtu_bytes = 9000;
-    Testbed testbed(config);
-    auto apps = MakeApps(&testbed, RedisSetConfig(8 * 1024), 8, config.cores);
-    for (auto& app : apps) {
-      app->Start();
-    }
-    testbed.RunUntil(bench::kWarmupNs);
-    std::uint64_t bytes0 = 0;
-    for (auto& app : apps) {
-      bytes0 += app->request_bytes_delivered();
-    }
-    const auto window = testbed.MeasureWindow(1, bench::kWindowNs);
-    std::uint64_t bytes1 = 0;
-    for (auto& app : apps) {
-      bytes1 += app->request_bytes_delivered();
-    }
+    return bench::RunApps(config, RedisSetConfig(8 * 1024), 8);
+  });
+
+  Table table({"config", "set_gbps", "iotlb/pg", "l1/pg", "l2/pg", "l3/pg", "reads/pg"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
     table.BeginRow();
-    table.AddCell(ProtectionModeName(mode));
-    table.AddNumber(static_cast<double>(bytes1 - bytes0) * 8.0 /
-                        static_cast<double>(bench::kWindowNs),
-                    1);
-    table.AddNumber(window.iotlb_miss_per_page, 2);
-    table.AddNumber(window.l1_miss_per_page, 3);
-    table.AddNumber(window.l2_miss_per_page, 3);
-    table.AddNumber(window.l3_miss_per_page, 3);
-    table.AddNumber(window.mem_reads_per_page, 2);
+    table.AddCell(ProtectionModeName(configs[i]));
+    table.AddNumber(runs[i].request_gbps, 1);
+    table.AddNumber(runs[i].window.iotlb_miss_per_page, 2);
+    table.AddNumber(runs[i].window.l1_miss_per_page, 3);
+    table.AddNumber(runs[i].window.l2_miss_per_page, 3);
+    table.AddNumber(runs[i].window.l3_miss_per_page, 3);
+    table.AddNumber(runs[i].window.mem_reads_per_page, 2);
   }
-  std::cout << "Figure 12: necessity of each F&S idea (Redis SET, 8 KB values)\n"
-               "(expected: strict < strict+A, strict+B < fast-and-safe ~ off)\n\n";
-  table.Print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.PrintCsv(std::cout);
+  bench::EmitFigure(
+      "Figure 12: necessity of each F&S idea (Redis SET, 8 KB values)\n"
+      "(expected: strict < strict+A, strict+B < fast-and-safe ~ off)\n\n",
+      table);
   return 0;
 }

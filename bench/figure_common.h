@@ -3,24 +3,63 @@
 // Every fig*_ binary regenerates one of the paper's figures: it sweeps the
 // figure's x-axis, runs the testbed for a warmup + measurement window, and
 // prints the same series the paper plots (plus a CSV block for plotting).
+//
+// Sweep points are independent deterministic simulations, so they run on the
+// shared SweepRunner thread pool (src/core/sweep_runner.h): build the point
+// list, ParallelSweep() the runs, then emit rows serially in point order —
+// output is byte-identical to a serial sweep. FSIO_SWEEP_THREADS=1 forces
+// serial execution; FSIO_BENCH_SMOKE=1 shrinks every sweep axis to its first
+// value and the measurement windows to a CI-budget-friendly size.
 #ifndef FASTSAFE_BENCH_FIGURE_COMMON_H_
 #define FASTSAFE_BENCH_FIGURE_COMMON_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/apps/iperf.h"
+#include "src/apps/request_response.h"
+#include "src/core/sweep_runner.h"
 #include "src/core/testbed.h"
 #include "src/stats/table.h"
 
 namespace fsio {
 namespace bench {
 
+// CI smoke mode: one tiny sweep point per axis, short windows.
+inline bool SmokeMode() { return std::getenv("FSIO_BENCH_SMOKE") != nullptr; }
+
 inline constexpr TimeNs kWarmupNs = 20 * kNsPerMs;
 inline constexpr TimeNs kWindowNs = 40 * kNsPerMs;
+
+inline TimeNs WarmupNs() { return SmokeMode() ? 2 * kNsPerMs : kWarmupNs; }
+inline TimeNs WindowNs() { return SmokeMode() ? 3 * kNsPerMs : kWindowNs; }
+
+// Sweep-axis values; truncated to the first value in smoke mode.
+template <typename T>
+inline std::vector<T> Sweep(std::initializer_list<T> values) {
+  std::vector<T> out(values);
+  if (SmokeMode() && out.size() > 1) {
+    out.resize(1);
+  }
+  return out;
+}
+
+// Runs fn(i) for every sweep point on the shared thread pool and returns the
+// results in point order. Result must be default-constructible.
+template <typename Result, typename Fn>
+inline std::vector<Result> ParallelSweep(std::size_t n, Fn&& fn) {
+  return SweepRunner().Map<Result>(n, std::forward<Fn>(fn));
+}
+
+// One emission path for every bench: aligned table plus CSV block.
+inline void EmitFigure(const std::string& title, const Table& table) {
+  EmitTable(std::cout, table, TableFormat::kHumanWithCsv, title);
+}
 
 // Locality summary of the Rx host's IOVA allocation trace (Figs 2e/3e/7e/8e).
 struct LocalitySummary {
@@ -53,7 +92,13 @@ struct IperfRun {
 };
 
 inline IperfRun RunIperf(TestbedConfig config, std::uint32_t flows,
-                         TimeNs warmup = kWarmupNs, TimeNs window = kWindowNs) {
+                         TimeNs warmup = 0, TimeNs window = 0) {
+  if (warmup == 0) {
+    warmup = WarmupNs();
+  }
+  if (window == 0) {
+    window = WindowNs();
+  }
   config.track_l3_locality = true;
   Testbed testbed(config);
   StartIperf(&testbed, flows);
@@ -83,6 +128,80 @@ inline void AddIperfRow(Table* table, const std::string& mode, const std::string
 inline std::vector<std::string> IperfHeaders(const std::string& x_name) {
   return {"mode",        x_name,       "gbps",        "drop_%",     "iotlb/pg", "l1/pg",
           "l2/pg",       "l3/pg",      "reads/pg",    "tx_pkt/pg",  "loc_p50",  "loc_p99"};
+}
+
+// Runs a request/response application point (Redis/Nginx/SPDK/ablation) and
+// reports application throughput plus the receive-window metrics.
+struct AppsRun {
+  double request_gbps = 0.0;   // request payload bytes delivered to the server
+  double response_gbps = 0.0;  // response payload bytes delivered to clients
+  double ops_per_s = 0.0;      // completed request/response round trips
+  WindowResult window;         // measured on the server/measured host (host 1)
+};
+
+inline AppsRun RunApps(const TestbedConfig& config, const RequestResponseConfig& app_config,
+                       std::uint32_t n) {
+  Testbed testbed(config);
+  auto apps = MakeApps(&testbed, app_config, n, config.cores);
+  for (auto& app : apps) {
+    app->Start();
+  }
+  testbed.RunUntil(WarmupNs());
+  std::uint64_t request_bytes0 = 0;
+  std::uint64_t response_bytes0 = 0;
+  std::uint64_t ops0 = 0;
+  for (auto& app : apps) {
+    request_bytes0 += app->request_bytes_delivered();
+    response_bytes0 += app->response_bytes_delivered();
+    ops0 += app->completed();
+  }
+  AppsRun run;
+  run.window = testbed.MeasureWindow(1, WindowNs());
+  std::uint64_t request_bytes1 = 0;
+  std::uint64_t response_bytes1 = 0;
+  std::uint64_t ops1 = 0;
+  for (auto& app : apps) {
+    request_bytes1 += app->request_bytes_delivered();
+    response_bytes1 += app->response_bytes_delivered();
+    ops1 += app->completed();
+  }
+  const double window_ns = static_cast<double>(WindowNs());
+  run.request_gbps = static_cast<double>(request_bytes1 - request_bytes0) * 8.0 / window_ns;
+  run.response_gbps = static_cast<double>(response_bytes1 - response_bytes0) * 8.0 / window_ns;
+  run.ops_per_s = static_cast<double>(ops1 - ops0) / (window_ns / 1e9);
+  return run;
+}
+
+// The canonical mode-x-iperf sweep shared by Figs 2/3/7/8: runs every
+// (mode, x) point in parallel and emits rows in the serial order.
+template <typename X, typename MakeConfig>
+inline void RunIperfFigure(const std::string& title, const std::string& x_name,
+                           const std::vector<ProtectionMode>& modes,
+                           const std::vector<X>& xs, std::uint32_t flows_or_zero,
+                           MakeConfig make_config) {
+  struct Point {
+    ProtectionMode mode;
+    X x;
+  };
+  std::vector<Point> points;
+  for (ProtectionMode mode : modes) {
+    for (const X& x : xs) {
+      points.push_back(Point{mode, x});
+    }
+  }
+  const auto runs = ParallelSweep<IperfRun>(points.size(), [&](std::size_t i) {
+    TestbedConfig config;
+    config.mode = points[i].mode;
+    std::uint32_t flows = flows_or_zero;
+    make_config(&config, points[i].x, &flows);
+    return RunIperf(config, flows);
+  });
+  Table table(IperfHeaders(x_name));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    AddIperfRow(&table, ProtectionModeName(points[i].mode),
+                std::to_string(points[i].x), runs[i]);
+  }
+  EmitFigure(title, table);
 }
 
 }  // namespace bench

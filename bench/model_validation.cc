@@ -16,34 +16,40 @@
 int main() {
   using namespace fsio;
 
-  struct Observation {
+  struct Point {
+    ProtectionMode mode;
+    std::uint32_t flows;
+    std::uint32_t ring;
     std::string label;
+  };
+  // The fit below uses points[0] and points[3], as the paper fits from its
+  // strict runs; keep the list order stable.
+  const std::vector<Point> points = {
+      {ProtectionMode::kStrict, 5, 256, "strict-5f"},
+      {ProtectionMode::kStrict, 10, 256, "strict-10f"},
+      {ProtectionMode::kStrict, 20, 256, "strict-20f"},
+      {ProtectionMode::kStrict, 40, 256, "strict-40f"},
+      {ProtectionMode::kStrict, 5, 1024, "strict-ring1024"},
+      {ProtectionMode::kStrict, 5, 2048, "strict-ring2048"},
+      {ProtectionMode::kFastSafe, 5, 256, "fs-5f"},
+      {ProtectionMode::kFastSafe, 40, 256, "fs-40f"},
+  };
+
+  struct Observation {
     double reads_per_page = 0;
     double gbps = 0;
   };
-  std::vector<Observation> observations;
+  const auto observations =
+      bench::ParallelSweep<Observation>(points.size(), [&](std::size_t i) {
+        TestbedConfig config;
+        config.mode = points[i].mode;
+        config.cores = 5;
+        config.ring_size_pkts = points[i].ring;
+        const auto result = bench::RunIperf(config, points[i].flows);
+        return Observation{result.window.mem_reads_per_page, result.window.goodput_gbps};
+      });
 
-  auto run = [&](ProtectionMode mode, std::uint32_t flows, std::uint32_t ring,
-                 const std::string& label) {
-    TestbedConfig config;
-    config.mode = mode;
-    config.cores = 5;
-    config.ring_size_pkts = ring;
-    const auto result = bench::RunIperf(config, flows);
-    observations.push_back(
-        Observation{label, result.window.mem_reads_per_page, result.window.goodput_gbps});
-  };
-
-  run(ProtectionMode::kStrict, 5, 256, "strict-5f");
-  run(ProtectionMode::kStrict, 10, 256, "strict-10f");
-  run(ProtectionMode::kStrict, 20, 256, "strict-20f");
-  run(ProtectionMode::kStrict, 40, 256, "strict-40f");
-  run(ProtectionMode::kStrict, 5, 1024, "strict-ring1024");
-  run(ProtectionMode::kStrict, 5, 2048, "strict-ring2048");
-  run(ProtectionMode::kFastSafe, 5, 256, "fs-5f");
-  run(ProtectionMode::kFastSafe, 40, 256, "fs-40f");
-
-  // Fit from the first two strict points, as the paper does.
+  // Fit from two strict points, as the paper does.
   const double p = 4096.0;
   const ThroughputModel model = FitThroughputModel(
       p, {observations[0].reads_per_page, observations[3].reads_per_page},
@@ -55,13 +61,14 @@ int main() {
 
   Table table({"config", "M(reads/pg)", "measured_gbps", "predicted_gbps", "error_%"});
   double worst = 0;
-  for (const auto& obs : observations) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Observation& obs = observations[i];
     const double predicted =
         std::min(model.PredictBytesPerNs(p, obs.reads_per_page) * 8.0, 98.6);
     const double err = obs.gbps > 0 ? 100.0 * (predicted - obs.gbps) / obs.gbps : 0.0;
     worst = std::max(worst, std::abs(err));
     table.BeginRow();
-    table.AddCell(obs.label);
+    table.AddCell(points[i].label);
     table.AddNumber(obs.reads_per_page, 2);
     table.AddNumber(obs.gbps, 1);
     table.AddNumber(predicted, 1);

@@ -1,0 +1,40 @@
+// N→1 incast workload (fan-in) over the Cluster topology layer.
+//
+// Every host except the destination opens `flows_per_host` unbounded bulk
+// flows toward the destination host, with receive processing spread over the
+// destination's cores via aRFS steering. This is the many-initiators DMA
+// pattern the two-host testbed cannot express: the destination's IOMMU sees
+// concurrent descriptor traffic from N-1 independent senders, so IOTLB and
+// PTcache pressure scale with fan-in, not per-sender flow count.
+#ifndef FASTSAFE_SRC_APPS_INCAST_H_
+#define FASTSAFE_SRC_APPS_INCAST_H_
+
+#include <cstdint>
+
+#include "src/core/cluster.h"
+
+namespace fsio {
+
+// Starts the incast: hosts != dst_host each send `flows_per_host` bulk flows
+// to dst_host. Flow i (globally) lands on destination core i % cores.
+inline void StartIncast(Cluster* cluster, std::uint32_t dst_host,
+                        std::uint32_t flows_per_host = 1) {
+  const std::uint32_t cores = cluster->config().cores;
+  std::uint32_t flow_index = 0;
+  for (std::uint32_t src = 0; src < cluster->num_hosts(); ++src) {
+    if (src == dst_host) {
+      continue;
+    }
+    for (std::uint32_t f = 0; f < flows_per_host; ++f) {
+      const std::uint32_t src_core = f % cores;
+      const std::uint32_t dst_core = flow_index % cores;
+      DctcpSender* sender = cluster->AddFlow(src, dst_host, src_core, dst_core);
+      sender->EnqueueAppBytes(1ULL << 62);  // effectively unbounded
+      ++flow_index;
+    }
+  }
+}
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_APPS_INCAST_H_

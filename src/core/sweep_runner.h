@@ -1,0 +1,58 @@
+// SweepRunner: runs independent sweep points on a thread pool.
+//
+// Every figure bench and the fsio_sim CLI sweep the same shape: a list of
+// (mode, x) points, each of which builds its own Testbed/Cluster and runs a
+// fully independent, single-threaded, deterministic simulation. Those points
+// share no mutable state (the simulator has no cross-instance globals; see
+// src/simcore/log.h for the one config-only static), so they parallelize
+// trivially: results land in a slot-per-point vector and are emitted in
+// point order afterwards, making a parallel sweep byte-identical to a serial
+// one.
+//
+//   SweepRunner runner;                         // hardware threads by default
+//   auto results = runner.Map<WindowResult>(points.size(), [&](std::size_t i) {
+//     return RunPoint(points[i]);               // independent sim per point
+//   });
+//
+// The FSIO_SWEEP_THREADS environment variable overrides the default thread
+// count (set it to 1 to force serial execution).
+#ifndef FASTSAFE_SRC_CORE_SWEEP_RUNNER_H_
+#define FASTSAFE_SRC_CORE_SWEEP_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace fsio {
+
+class SweepRunner {
+ public:
+  // threads == 0 selects DefaultThreads().
+  explicit SweepRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  // Runs fn(i) for every i in [0, n), at most threads() concurrently.
+  // Returns when all points completed; the first exception thrown by any
+  // point is rethrown here.
+  void Run(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  // Convenience: results[i] = fn(i). Result must be default-constructible.
+  template <typename Result, typename Fn>
+  std::vector<Result> Map(std::size_t n, Fn&& fn) const {
+    std::vector<Result> results(n);
+    Run(n, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  // FSIO_SWEEP_THREADS if set (clamped to >= 1), else hardware concurrency.
+  static unsigned DefaultThreads();
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_CORE_SWEEP_RUNNER_H_

@@ -5,112 +5,33 @@ namespace fsio {
 Testbed::Testbed(const TestbedConfig& config) : config_(config) {
   config_.dctcp.mss_bytes = config_.mtu_bytes - kHeaderBytes;
 
-  switch_stats_ = std::make_unique<StatsRegistry>();
-  switch_ = std::make_unique<NetworkSwitch>(config_.network, /*num_ports=*/2,
-                                            switch_stats_.get());
-  for (std::uint32_t id = 0; id < 2; ++id) {
-    HostConfig host_config = config_.host;
-    host_config.host_id = id;
-    host_config.cores = config_.cores;
-    host_config.mode = config_.mode;
-    if (id == 0 && config_.host0_mode.has_value()) {
-      host_config.mode = *config_.host0_mode;
-    }
-    if (id == 1 && config_.host1_mode.has_value()) {
-      host_config.mode = *config_.host1_mode;
-    }
-    host_config.mtu_bytes = config_.mtu_bytes;
-    host_config.ring_size_pkts = config_.ring_size_pkts;
-    // Locality tracking applies to the receive-side host only (the paper's
-    // Figures 2e/3e/7e/8e are Rx-host allocation traces).
-    host_config.track_l3_locality = config_.track_l3_locality && id == 1;
-    hosts_.push_back(std::make_unique<Host>(host_config, &ev_));
+  ClusterConfig cluster_config;
+  cluster_config.num_hosts = 2;
+  cluster_config.num_switches = 1;
+  cluster_config.mode = config_.mode;
+  if (config_.host0_mode.has_value()) {
+    cluster_config.host_modes[0] = *config_.host0_mode;
   }
-  WireHosts();
-}
-
-void Testbed::WireHosts() {
-  for (auto& host : hosts_) {
-    host->SetWireOut([this](const Packet& packet, TimeNs departure) {
-      ev_.ScheduleAt(departure, [this, packet] {
-        Packet p = packet;
-        const auto delivery = switch_->Forward(&p, ev_.now());
-        if (!delivery.has_value()) {
-          return;  // switch tail drop
-        }
-        ev_.ScheduleAt(*delivery, [this, p] { hosts_[p.dst_host % 2]->DeliverFromWire(p); });
-      });
-    });
+  if (config_.host1_mode.has_value()) {
+    cluster_config.host_modes[1] = *config_.host1_mode;
   }
-}
-
-void Testbed::AddBulkFlows(std::uint32_t n) {
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint32_t core = i % config_.cores;
-    DctcpSender* sender = AddFlow(0, 1, core, core);
-    sender->EnqueueAppBytes(1ULL << 62);  // effectively unbounded
+  cluster_config.cores = config_.cores;
+  cluster_config.mtu_bytes = config_.mtu_bytes;
+  cluster_config.ring_size_pkts = config_.ring_size_pkts;
+  cluster_config.network = config_.network;
+  cluster_config.host = config_.host;
+  cluster_config.dctcp = config_.dctcp;
+  // Locality tracking applies to the receive-side host only (the paper's
+  // Figures 2e/3e/7e/8e are Rx-host allocation traces).
+  if (config_.track_l3_locality) {
+    cluster_config.track_l3_locality_hosts.push_back(1);
   }
-}
-
-DctcpSender* Testbed::AddFlow(std::uint32_t src_host, std::uint32_t dst_host,
-                              std::uint32_t src_core, std::uint32_t dst_core,
-                              DctcpReceiver::DeliverFn deliver) {
-  const std::uint64_t flow_id = next_flow_id_++;
-  DctcpSender* sender =
-      hosts_[src_host]->AddSender(flow_id, src_core, dst_host, dst_core, config_.dctcp);
-  // The receiver's ACKs are routed back to (src_host, src_core).
-  hosts_[dst_host]->AddReceiver(flow_id, dst_core, src_host, src_core, config_.dctcp,
-                                std::move(deliver));
-  return sender;
-}
-
-void Testbed::RunUntil(TimeNs until) { ev_.RunUntil(until); }
-
-WindowResult Testbed::ComputeResult(std::uint32_t host_id,
-                                    const std::map<std::string, std::uint64_t>& before,
-                                    TimeNs window_ns) const {
-  const Host& host = *hosts_[host_id];
-  const auto after = const_cast<Host&>(host).stats().Snapshot();
-  const auto delta = StatsRegistry::Delta(before, after);
-  auto value = [&delta](const std::string& name) -> std::uint64_t {
-    auto it = delta.find(name);
-    return it == delta.end() ? 0 : it->second;
-  };
-
-  WindowResult out;
-  const std::uint64_t app_bytes = value("host.app_rx_bytes");
-  out.goodput_gbps = static_cast<double>(app_bytes) * 8.0 / static_cast<double>(window_ns);
-  const std::uint64_t rx_bytes = value("nic.rx_wire_bytes");
-  out.pages_of_data = rx_bytes / kPageSize;
-  const double pages = out.pages_of_data > 0 ? static_cast<double>(out.pages_of_data) : 1.0;
-  out.iotlb_miss_per_page = static_cast<double>(value("iommu.iotlb_miss")) / pages;
-  out.l1_miss_per_page = static_cast<double>(value("iommu.ptcache_l1_miss")) / pages;
-  out.l2_miss_per_page = static_cast<double>(value("iommu.ptcache_l2_miss")) / pages;
-  out.l3_miss_per_page = static_cast<double>(value("iommu.ptcache_l3_miss")) / pages;
-  out.mem_reads_per_page = static_cast<double>(value("iommu.mem_reads")) / pages;
-  out.tx_packets_per_page = static_cast<double>(value("nic.tx_packets")) / pages;
-  const std::uint64_t drops = value("nic.drops_buffer") + value("nic.drops_nodesc");
-  const std::uint64_t arrived = value("nic.rx_packets") + drops;
-  out.drop_rate = arrived > 0 ? static_cast<double>(drops) / static_cast<double>(arrived) : 0.0;
-  out.safety_violations = value("iommu.stale_iotlb_use") + value("iommu.stale_ptcache_use");
-  out.raw_rx_host = delta;
-  return out;
+  cluster_ = std::make_unique<Cluster>(cluster_config);
 }
 
 WindowResult Testbed::RunWindow(TimeNs warmup, TimeNs duration) {
-  ev_.RunUntil(ev_.now() + warmup);
-  return MeasureWindow(1, duration);
-}
-
-WindowResult Testbed::MeasureWindow(std::uint32_t host_id, TimeNs duration) {
-  const auto before = hosts_[host_id]->stats().Snapshot();
-  const TimeNs busy_before = hosts_[host_id]->total_cpu_busy_ns();
-  ev_.RunUntil(ev_.now() + duration);
-  WindowResult result = ComputeResult(host_id, before, duration);
-  const TimeNs busy = hosts_[host_id]->total_cpu_busy_ns() - busy_before;
-  result.cpu_utilization = static_cast<double>(busy) /
-                           (static_cast<double>(duration) * config_.cores);
-  return result;
+  cluster_->RunUntil(cluster_->ev().now() + warmup);
+  return cluster_->MeasureWindow(1, duration);
 }
 
 }  // namespace fsio

@@ -1,4 +1,4 @@
-// Testbed: the library's top-level public API.
+// Testbed: the two-host convenience facade over the Cluster topology layer.
 //
 // A Testbed is the two-server setup the paper evaluates on: two hosts with
 // 100 Gbps NICs connected through one switch, with a chosen memory-protection
@@ -6,6 +6,10 @@
 // SPDK — see src/apps) attach flows to it; RunWindow() advances simulated
 // time and reports the PCM-style per-page IOMMU miss rates, throughput and
 // drop rates that the paper's figures plot.
+//
+// Testbed is a thin wrapper over a 2-host, 1-switch Cluster (cluster.h):
+// the historical API and its results are preserved byte-for-byte, and
+// cluster() exposes the underlying topology for N-host experiments.
 //
 // Quickstart:
 //   TestbedConfig config;
@@ -18,16 +22,10 @@
 #define FASTSAFE_SRC_CORE_TESTBED_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
-#include <string>
-#include <vector>
 
-#include "src/driver/protection.h"
-#include "src/host/host.h"
-#include "src/simcore/event_queue.h"
-#include "src/transport/network_switch.h"
+#include "src/core/cluster.h"
 
 namespace fsio {
 
@@ -45,67 +43,47 @@ struct TestbedConfig {
   bool track_l3_locality = false;  // record Rx-host IOVA allocation locality
 };
 
-// Per-window measurement on the receive-side host (host 1), matching the
-// quantities in the paper's figures.
-struct WindowResult {
-  double goodput_gbps = 0.0;        // application bytes delivered
-  double drop_rate = 0.0;           // NIC drops / packets arriving at host
-  double iotlb_miss_per_page = 0.0;
-  double l1_miss_per_page = 0.0;    // hierarchical (see Iommu docs)
-  double l2_miss_per_page = 0.0;
-  double l3_miss_per_page = 0.0;
-  double mem_reads_per_page = 0.0;  // = iotlb + l1 + l2 + l3 per page
-  double tx_packets_per_page = 0.0; // ACK/Tx interference indicator
-  double cpu_utilization = 0.0;     // busy fraction across cores (rx host)
-  std::uint64_t pages_of_data = 0;
-  std::uint64_t safety_violations = 0;  // stale IOTLB/PTcache uses observed
-  std::map<std::string, std::uint64_t> raw_rx_host;  // counter deltas
-};
-
 class Testbed {
  public:
   explicit Testbed(const TestbedConfig& config);
 
-  EventQueue& ev() { return ev_; }
-  Host& host(std::uint32_t id) { return *hosts_[id]; }
-  Host& sender_host() { return *hosts_[0]; }
-  Host& receiver_host() { return *hosts_[1]; }
+  EventQueue& ev() { return cluster_->ev(); }
+  Host& host(std::uint32_t id) { return cluster_->host(id); }
+  Host& sender_host() { return cluster_->host(0); }
+  Host& receiver_host() { return cluster_->host(1); }
   const TestbedConfig& config() const { return config_; }
+
+  // The underlying topology (2 hosts, 1 switch).
+  Cluster& cluster() { return *cluster_; }
 
   // Adds one iperf-style unbounded flow per core: host 0 core i -> host 1
   // core i, for i in [0, n).
-  void AddBulkFlows(std::uint32_t n);
+  void AddBulkFlows(std::uint32_t n) { cluster_->AddBulkFlows(0, 1, n); }
 
   // Adds a single flow src_host:src_core -> dst_host:dst_core. Returns the
   // sender; `deliver` fires on the destination with in-order byte counts.
   DctcpSender* AddFlow(std::uint32_t src_host, std::uint32_t dst_host, std::uint32_t src_core,
-                       std::uint32_t dst_core, DctcpReceiver::DeliverFn deliver = nullptr);
+                       std::uint32_t dst_core, DctcpReceiver::DeliverFn deliver = nullptr) {
+    return cluster_->AddFlow(src_host, dst_host, src_core, dst_core, std::move(deliver));
+  }
 
   // Runs the simulation to absolute time `until`.
-  void RunUntil(TimeNs until);
+  void RunUntil(TimeNs until) { cluster_->RunUntil(until); }
 
   // Runs `warmup` then measures for `duration` on the receive-side host.
   WindowResult RunWindow(TimeNs warmup, TimeNs duration);
 
   // Measures a window on an arbitrary host (for Tx-side experiments).
-  WindowResult MeasureWindow(std::uint32_t host_id, TimeNs duration);
+  WindowResult MeasureWindow(std::uint32_t host_id, TimeNs duration) {
+    return cluster_->MeasureWindow(host_id, duration);
+  }
 
   // Switch-side counters (forwarded / marked / dropped).
-  StatsRegistry& switch_stats() { return *switch_stats_; }
+  StatsRegistry& switch_stats() { return cluster_->switch_stats(); }
 
  private:
-  void WireHosts();
-  WindowResult ComputeResult(std::uint32_t host_id,
-                             const std::map<std::string, std::uint64_t>& before,
-                             TimeNs window_ns) const;
-
   TestbedConfig config_;
-  EventQueue ev_;
-  std::vector<std::unique_ptr<Host>> hosts_;
-  std::unique_ptr<NetworkSwitch> switch_;
-  std::unique_ptr<StatsRegistry> switch_stats_;
-  std::uint64_t next_flow_id_ = 1;
-  TimeNs cpu_busy_snapshot_ = 0;
+  std::unique_ptr<Cluster> cluster_;
 };
 
 }  // namespace fsio

@@ -1,11 +1,17 @@
 #include "src/simcore/log.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace fsio {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex& WriteMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,11 +30,12 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void Logger::SetLevel(LogLevel level) { g_level = level; }
+void Logger::SetLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel Logger::level() { return g_level; }
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Logger::Write(LogLevel level, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(WriteMutex());
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
 

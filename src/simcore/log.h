@@ -2,9 +2,17 @@
 //
 // Logging defaults to kWarn so experiment binaries stay quiet; tests and
 // debugging sessions can raise verbosity with Logger::SetLevel().
+//
+// Thread safety: the level is atomic and Write() serializes whole lines
+// through a mutex, so concurrent sweep points (src/core/sweep_runner.h) can
+// log without interleaving or tearing. This is the only mutable
+// process-global state in the simulator; everything else is owned per
+// Cluster/Testbed instance, which is what makes parallel sweeps
+// deterministic.
 #ifndef FASTSAFE_SRC_SIMCORE_LOG_H_
 #define FASTSAFE_SRC_SIMCORE_LOG_H_
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -17,8 +25,8 @@ class Logger {
   static void SetLevel(LogLevel level);
   static LogLevel level();
   static bool Enabled(LogLevel level) { return level >= Logger::level(); }
-  // Writes one formatted line to stderr (thread-unsafe by design: the
-  // simulator is single-threaded).
+  // Writes one formatted line to stderr. Lines from concurrent threads are
+  // serialized whole, never interleaved.
   static void Write(LogLevel level, const std::string& msg);
 };
 

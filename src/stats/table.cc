@@ -57,6 +57,22 @@ void Table::Print(std::ostream& os) const {
   }
 }
 
+void EmitTable(std::ostream& os, const Table& table, TableFormat format,
+               const std::string& title) {
+  if (!title.empty()) {
+    os << title;
+  }
+  if (format == TableFormat::kHuman || format == TableFormat::kHumanWithCsv) {
+    table.Print(os);
+  }
+  if (format == TableFormat::kHumanWithCsv) {
+    os << "\nCSV:\n";
+  }
+  if (format == TableFormat::kCsv || format == TableFormat::kHumanWithCsv) {
+    table.PrintCsv(os);
+  }
+}
+
 void Table::PrintCsv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {

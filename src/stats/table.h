@@ -33,6 +33,19 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+// Output selection for EmitTable, shared by the figure benches and the CLI
+// runner so they agree on one emission format.
+enum class TableFormat {
+  kHuman,         // aligned table only
+  kCsv,           // CSV block only
+  kHumanWithCsv,  // aligned table, then a "CSV:" block (the bench format)
+};
+
+// Emits `title` (verbatim, if non-empty) followed by the table in the chosen
+// format. This is the one place experiment binaries print results from.
+void EmitTable(std::ostream& os, const Table& table, TableFormat format,
+               const std::string& title = std::string());
+
 }  // namespace fsio
 
 #endif  // FASTSAFE_SRC_STATS_TABLE_H_

@@ -3,16 +3,33 @@
 namespace fsio {
 
 NetworkSwitch::NetworkSwitch(const SwitchConfig& config, std::uint32_t num_ports,
-                             StatsRegistry* stats)
+                             StatsRegistry* stats, const std::string& stats_prefix)
     : config_(config),
       bytes_per_ns_(GbpsToBytesPerNs(config.port_gbps)),
       port_busy_until_(num_ports, 0),
-      forwarded_(stats->Get("switch.forwarded")),
-      marked_(stats->Get("switch.marked")),
-      dropped_(stats->Get("switch.dropped")) {}
+      forwarded_(stats->Get(stats_prefix + ".forwarded")),
+      marked_(stats->Get(stats_prefix + ".marked")),
+      dropped_(stats->Get(stats_prefix + ".dropped")) {}
+
+std::uint32_t NetworkSwitch::AddPort() {
+  port_busy_until_.push_back(0);
+  return static_cast<std::uint32_t>(port_busy_until_.size() - 1);
+}
+
+void NetworkSwitch::SetRoute(std::uint32_t dst_host, std::uint32_t port) {
+  routes_[dst_host] = port;
+}
+
+std::uint32_t NetworkSwitch::PortFor(std::uint32_t dst_host) const {
+  const auto it = routes_.find(dst_host);
+  if (it != routes_.end()) {
+    return it->second;
+  }
+  return dst_host % num_ports();
+}
 
 std::optional<TimeNs> NetworkSwitch::Forward(Packet* packet, TimeNs now) {
-  const std::uint32_t port = packet->dst_host % port_busy_until_.size();
+  const std::uint32_t port = PortFor(packet->dst_host);
   TimeNs& busy = port_busy_until_[port];
   // Bytes queued ahead of this packet, inferred from the port backlog.
   const std::uint64_t backlog_bytes =

@@ -1,8 +1,11 @@
-// Output-queued switch with DCTCP-style ECN marking.
+// Output-queued multi-port switch with DCTCP-style ECN marking.
 //
-// Each output port is a serialization resource; queueing delay above the ECN
-// threshold marks CE on the packet (what DCTCP senders react to), and a deep
-// queue tail-drops. In the paper's testbed the switch is never the
+// Each output port is an independent serialization resource with its own
+// queue; queueing delay above the ECN threshold marks CE on the packet (what
+// DCTCP senders react to), and a deep queue tail-drops. Forwarding is
+// destination-keyed: the fabric (Cluster) installs a route per destination
+// host, which may point at a host-facing port or at an uplink port toward
+// another switch. In the paper's two-host testbed the switch is never the
 // bottleneck — drops happen at the receiving host — so the default capacity
 // is generous.
 #ifndef FASTSAFE_SRC_TRANSPORT_NETWORK_SWITCH_H_
@@ -10,6 +13,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/simcore/time.h"
@@ -27,17 +32,33 @@ struct SwitchConfig {
 
 class NetworkSwitch {
  public:
-  NetworkSwitch(const SwitchConfig& config, std::uint32_t num_ports, StatsRegistry* stats);
+  // Creates a switch with `num_ports` initial ports. Counters are registered
+  // under `<stats_prefix>.forwarded` / `.marked` / `.dropped`; the default
+  // prefix keeps the historical two-host counter names.
+  NetworkSwitch(const SwitchConfig& config, std::uint32_t num_ports, StatsRegistry* stats,
+                const std::string& stats_prefix = "switch");
 
-  // Forwards `packet` (arriving at the switch at time `now`) toward
-  // packet->dst_host. Returns the delivery time at the destination NIC, or
-  // nullopt if the packet was tail-dropped. May set packet->ce.
+  // Adds one output port (host-facing or uplink) and returns its index.
+  std::uint32_t AddPort();
+  std::uint32_t num_ports() const { return static_cast<std::uint32_t>(port_busy_until_.size()); }
+
+  // Installs destination-keyed routing: packets for `dst_host` egress through
+  // `port`. Destinations without a route fall back to dst_host % num_ports
+  // (the historical two-host behaviour).
+  void SetRoute(std::uint32_t dst_host, std::uint32_t port);
+  std::uint32_t PortFor(std::uint32_t dst_host) const;
+
+  // Forwards `packet` (arriving at the switch at time `now`) out of the port
+  // routed for packet->dst_host. Returns the arrival time at the far end of
+  // that port's link (a NIC or the next switch), or nullopt if the packet
+  // was tail-dropped. May set packet->ce.
   std::optional<TimeNs> Forward(Packet* packet, TimeNs now);
 
  private:
   SwitchConfig config_;
   double bytes_per_ns_;
   std::vector<TimeNs> port_busy_until_;
+  std::unordered_map<std::uint32_t, std::uint32_t> routes_;
   Counter* forwarded_;
   Counter* marked_;
   Counter* dropped_;

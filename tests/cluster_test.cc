@@ -1,0 +1,149 @@
+// Tests for the N-host Cluster topology layer: Testbed compatibility,
+// multi-host incast, multi-switch routing, and per-host protection modes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/apps/incast.h"
+#include "src/apps/iperf.h"
+#include "src/core/cluster.h"
+#include "src/core/testbed.h"
+
+namespace fsio {
+namespace {
+
+constexpr TimeNs kWarmup = 5 * kNsPerMs;
+constexpr TimeNs kWindow = 10 * kNsPerMs;
+
+TEST(ClusterTest, TwoHostClusterMatchesTestbedExactly) {
+  // The Testbed facade is a 2-host Cluster; driving the Cluster directly
+  // must reproduce the historical results down to the raw counters.
+  TestbedConfig tb_config;
+  tb_config.mode = ProtectionMode::kStrict;
+  tb_config.cores = 5;
+  Testbed testbed(tb_config);
+  StartIperf(&testbed, 5);
+  const WindowResult via_testbed = testbed.RunWindow(kWarmup, kWindow);
+
+  ClusterConfig config;
+  config.num_hosts = 2;
+  config.mode = ProtectionMode::kStrict;
+  config.cores = 5;
+  Cluster cluster(config);
+  cluster.AddBulkFlows(0, 1, 5);  // == StartIperf(&testbed, 5)
+  cluster.RunUntil(kWarmup);
+  const WindowResult via_cluster = cluster.MeasureWindow(1, kWindow);
+
+  EXPECT_EQ(via_testbed.raw_rx_host, via_cluster.raw_rx_host);
+  EXPECT_DOUBLE_EQ(via_testbed.goodput_gbps, via_cluster.goodput_gbps);
+  EXPECT_DOUBLE_EQ(via_testbed.cpu_utilization, via_cluster.cpu_utilization);
+}
+
+TEST(ClusterTest, IncastReportsPerHostWindows) {
+  // 4 senders -> host 0 through the Cluster API, per-host WindowResults.
+  ClusterConfig config;
+  config.num_hosts = 5;
+  config.mode = ProtectionMode::kFastSafe;
+  config.cores = 5;
+  Cluster cluster(config);
+  StartIncast(&cluster, /*dst_host=*/0);
+  cluster.RunUntil(kWarmup);
+  const std::vector<WindowResult> results = cluster.MeasureWindowAll(kWindow);
+
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_GT(results[0].goodput_gbps, 50.0);  // fan-in sink receives the link
+  EXPECT_EQ(results[0].safety_violations, 0u);
+  for (std::uint32_t h = 1; h < 5; ++h) {
+    EXPECT_EQ(results[h].goodput_gbps, 0.0) << "sender " << h << " receives no data";
+    EXPECT_GT(results[h].raw_rx_host.at("nic.tx_bytes"), 0u)
+        << "sender " << h << " transmits";
+    EXPECT_GT(results[h].cpu_utilization, 0.0) << "sender " << h;
+  }
+}
+
+TEST(ClusterTest, IncastFanInSaturatesAcrossModes) {
+  // The receiver's goodput ordering off >= fastsafe > strict survives the
+  // many-initiator DMA pattern.
+  auto run = [](ProtectionMode mode) {
+    ClusterConfig config;
+    config.num_hosts = 5;
+    config.mode = mode;
+    config.cores = 5;
+    Cluster cluster(config);
+    StartIncast(&cluster, 0);
+    cluster.RunUntil(kWarmup);
+    return cluster.MeasureWindow(0, kWindow);
+  };
+  const WindowResult off = run(ProtectionMode::kOff);
+  const WindowResult strict = run(ProtectionMode::kStrict);
+  const WindowResult fs = run(ProtectionMode::kFastSafe);
+  EXPECT_GT(off.goodput_gbps, 90.0);
+  EXPECT_LT(strict.goodput_gbps, off.goodput_gbps * 0.9);
+  EXPECT_GT(fs.goodput_gbps, off.goodput_gbps * 0.95);
+}
+
+TEST(ClusterTest, MultiSwitchRoutesAcrossUplinks) {
+  // hosts 0,2 -> switch0; hosts 1,3 -> switch1. A 0->3 flow crosses the
+  // uplink, so both leaves forward traffic and data still arrives intact.
+  ClusterConfig config;
+  config.num_hosts = 4;
+  config.num_switches = 2;
+  config.mode = ProtectionMode::kOff;
+  config.cores = 5;
+  Cluster cluster(config);
+  DctcpSender* sender = cluster.AddFlow(0, 3, 0, 0);
+  sender->EnqueueAppBytes(4 << 20);
+  cluster.RunUntil(60 * kNsPerMs);
+
+  EXPECT_EQ(sender->bytes_acked(), 4u << 20);
+  EXPECT_EQ(cluster.host(3).app_bytes_delivered(), 4u << 20);
+  const auto fabric = cluster.switch_stats().Snapshot();
+  EXPECT_GT(fabric.at("switch0.forwarded"), 0u);
+  EXPECT_GT(fabric.at("switch1.forwarded"), 0u);
+}
+
+TEST(ClusterTest, SameSwitchTrafficStaysLocal) {
+  // 0 -> 2 stays on switch0; switch1 never forwards a packet.
+  ClusterConfig config;
+  config.num_hosts = 4;
+  config.num_switches = 2;
+  config.mode = ProtectionMode::kOff;
+  config.cores = 5;
+  Cluster cluster(config);
+  DctcpSender* sender = cluster.AddFlow(0, 2, 0, 0);
+  sender->EnqueueAppBytes(1 << 20);
+  cluster.RunUntil(30 * kNsPerMs);
+
+  EXPECT_EQ(cluster.host(2).app_bytes_delivered(), 1u << 20);
+  const auto fabric = cluster.switch_stats().Snapshot();
+  EXPECT_GT(fabric.at("switch0.forwarded"), 0u);
+  EXPECT_EQ(fabric.at("switch1.forwarded"), 0u);
+}
+
+TEST(ClusterTest, PerHostModeOverrides) {
+  ClusterConfig config;
+  config.num_hosts = 3;
+  config.mode = ProtectionMode::kStrict;
+  config.host_modes[0] = ProtectionMode::kOff;
+  config.host_modes[2] = ProtectionMode::kFastSafe;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.host(0).iommu(), nullptr);
+  EXPECT_EQ(cluster.host(0).config().mode, ProtectionMode::kOff);
+  EXPECT_EQ(cluster.host(1).config().mode, ProtectionMode::kStrict);
+  EXPECT_NE(cluster.host(1).iommu(), nullptr);
+  EXPECT_EQ(cluster.host(2).config().mode, ProtectionMode::kFastSafe);
+  EXPECT_NE(cluster.host(2).iommu(), nullptr);
+}
+
+TEST(ClusterTest, HostIdsAreAssigned) {
+  ClusterConfig config;
+  config.num_hosts = 4;
+  Cluster cluster(config);
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    EXPECT_EQ(cluster.host(h).config().host_id, h);
+  }
+}
+
+}  // namespace
+}  // namespace fsio

@@ -1,0 +1,34 @@
+# Runs the same fsio_sim sweep serially (--jobs=1) and on a 4-thread pool
+# (--jobs=4) and fails unless the outputs are byte-identical: the SweepRunner
+# contract is that parallel sweeps reproduce the serial sweep exactly.
+# Invoked by ctest as
+#   cmake -DSIM=<path-to-fsio_sim> -P run_sweep_determinism_check.cmake
+if(NOT DEFINED SIM)
+  message(FATAL_ERROR "pass -DSIM=<path to fsio_sim>")
+endif()
+
+set(args --mode=strict --sweep-flows=1,3,5,8 --warmup-ms=2 --window-ms=3 --per-host)
+
+string(TIMESTAMP t0 "%s")
+execute_process(COMMAND ${SIM} ${args} --jobs=1 OUTPUT_VARIABLE out_serial
+                RESULT_VARIABLE rc_serial)
+string(TIMESTAMP t1 "%s")
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR "serial sweep failed with exit code ${rc_serial}:\n${out_serial}")
+endif()
+
+execute_process(COMMAND ${SIM} ${args} --jobs=4 OUTPUT_VARIABLE out_parallel
+                RESULT_VARIABLE rc_parallel)
+string(TIMESTAMP t2 "%s")
+if(NOT rc_parallel EQUAL 0)
+  message(FATAL_ERROR "parallel sweep failed with exit code ${rc_parallel}:\n${out_parallel}")
+endif()
+
+if(NOT out_serial STREQUAL out_parallel)
+  message(FATAL_ERROR "parallel sweep output differs from serial:\n"
+                      "--- jobs=1 ---\n${out_serial}\n--- jobs=4 ---\n${out_parallel}")
+endif()
+
+math(EXPR serial_s "${t1} - ${t0}")
+math(EXPR parallel_s "${t2} - ${t1}")
+message(STATUS "sweep determinism OK (serial ${serial_s}s, 4 threads ${parallel_s}s)")

@@ -1,0 +1,101 @@
+// Tests for the SweepRunner thread pool and the thread-safe Logger: a
+// parallel sweep must be byte-identical to a serial one, exceptions must
+// propagate, and concurrent logging must not tear.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/apps/iperf.h"
+#include "src/core/sweep_runner.h"
+#include "src/core/testbed.h"
+#include "src/simcore/log.h"
+
+namespace fsio {
+namespace {
+
+std::map<std::string, std::uint64_t> RunPoint(std::size_t i) {
+  static const std::uint32_t kFlows[] = {1, 3, 5, 8};
+  TestbedConfig config;
+  config.mode = i % 2 == 0 ? ProtectionMode::kStrict : ProtectionMode::kFastSafe;
+  config.cores = 5;
+  Testbed testbed(config);
+  StartIperf(&testbed, kFlows[i % 4]);
+  return testbed.RunWindow(2 * kNsPerMs, 4 * kNsPerMs).raw_rx_host;
+}
+
+TEST(SweepRunnerTest, ParallelIdenticalToSerial) {
+  // Sweep points are independent deterministic sims, so a 4-thread run must
+  // reproduce the serial results exactly, down to every raw counter.
+  using Raw = std::map<std::string, std::uint64_t>;
+  const auto serial = SweepRunner(1).Map<Raw>(8, RunPoint);
+  const auto parallel = SweepRunner(4).Map<Raw>(8, RunPoint);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+}
+
+TEST(SweepRunnerTest, MapPreservesPointOrder) {
+  const auto out = SweepRunner(4).Map<std::size_t>(64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(SweepRunnerTest, RunVisitsEveryPointOnce) {
+  std::vector<std::atomic<int>> visits(100);
+  SweepRunner(8).Run(100, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "point " << i;
+  }
+}
+
+TEST(SweepRunnerTest, FirstExceptionPropagates) {
+  EXPECT_THROW(SweepRunner(4).Run(16,
+                                  [](std::size_t i) {
+                                    if (i == 5) {
+                                      throw std::runtime_error("point 5 failed");
+                                    }
+                                  }),
+               std::runtime_error);
+}
+
+TEST(SweepRunnerTest, ZeroPointsIsANoop) {
+  SweepRunner(4).Run(0, [](std::size_t) { FAIL() << "no points to run"; });
+}
+
+TEST(SweepRunnerTest, EnvOverridesDefaultThreads) {
+  ::setenv("FSIO_SWEEP_THREADS", "3", 1);
+  EXPECT_EQ(SweepRunner().threads(), 3u);
+  ::setenv("FSIO_SWEEP_THREADS", "0", 1);  // nonsense clamps to 1
+  EXPECT_EQ(SweepRunner().threads(), 1u);
+  ::unsetenv("FSIO_SWEEP_THREADS");
+  EXPECT_GE(SweepRunner().threads(), 1u);
+}
+
+TEST(LoggerTest, LevelIsAtomicAndConcurrentWritesDoNotTear) {
+  const LogLevel saved = Logger::level();
+  Logger::SetLevel(LogLevel::kNone);
+  SweepRunner(8).Run(64, [](std::size_t i) {
+    // Concurrent level reads/writes must be tear-free (atomic), and the
+    // suppressed macro path must stay cheap from any thread.
+    Logger::SetLevel(LogLevel::kNone);
+    (void)Logger::level();
+    FSIO_LOG_WARN << "suppressed line " << i;
+  });
+  // A handful of real concurrent writes: serialized whole lines, no tearing
+  // (visually verifiable in the test log, structurally just "doesn't crash").
+  SweepRunner(8).Run(8, [](std::size_t i) {
+    Logger::Write(LogLevel::kInfo, "concurrent write " + std::to_string(i));
+  });
+  Logger::SetLevel(saved);
+}
+
+}  // namespace
+}  // namespace fsio

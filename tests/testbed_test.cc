@@ -126,6 +126,53 @@ TEST(TestbedTest, PerHostModeOverrides) {
   EXPECT_NE(testbed.host(1).iommu(), nullptr);
 }
 
+TEST(TestbedTest, Host1ModeOverrideAppliesToReceiver) {
+  // host1_mode must override the cluster default on the receive host only.
+  TestbedConfig config;
+  config.mode = ProtectionMode::kOff;
+  config.host1_mode = ProtectionMode::kStrict;
+  config.cores = 5;
+  Testbed testbed(config);
+  EXPECT_EQ(testbed.host(0).iommu(), nullptr);
+  ASSERT_NE(testbed.host(1).iommu(), nullptr);
+  EXPECT_EQ(testbed.host(1).config().mode, ProtectionMode::kStrict);
+
+  // The strict receiver pays protection costs even though the sender has
+  // protection off: per-page IOMMU misses show up in the measured window.
+  StartIperf(&testbed, 5);
+  const WindowResult r = testbed.RunWindow(10 * kNsPerMs, 15 * kNsPerMs);
+  EXPECT_GE(r.iotlb_miss_per_page, 1.0);
+}
+
+TEST(TestbedTest, BothHostModeOverridesTogether) {
+  TestbedConfig config;
+  config.mode = ProtectionMode::kStrict;
+  config.host0_mode = ProtectionMode::kFastSafe;
+  config.host1_mode = ProtectionMode::kOff;
+  Testbed testbed(config);
+  EXPECT_EQ(testbed.host(0).config().mode, ProtectionMode::kFastSafe);
+  EXPECT_NE(testbed.host(0).iommu(), nullptr);
+  EXPECT_EQ(testbed.host(1).config().mode, ProtectionMode::kOff);
+  EXPECT_EQ(testbed.host(1).iommu(), nullptr);
+}
+
+TEST(TestbedTest, MeasureWindowOnSenderHost) {
+  // Measuring host 0 (the iperf sender) must report Tx-side activity: no
+  // application receive bytes, but transmitted packets (ACK receive traffic
+  // keeps rx counters small but nonzero) and busy cores.
+  TestbedConfig config;
+  config.mode = ProtectionMode::kStrict;
+  config.cores = 5;
+  Testbed testbed(config);
+  StartIperf(&testbed, 5);
+  testbed.RunUntil(10 * kNsPerMs);
+  const WindowResult sender = testbed.MeasureWindow(0, 15 * kNsPerMs);
+  EXPECT_EQ(sender.goodput_gbps, 0.0);  // no app data flows toward host 0
+  EXPECT_GT(sender.raw_rx_host.at("nic.tx_bytes"), 0u);
+  EXPECT_GT(sender.cpu_utilization, 0.0);
+  EXPECT_EQ(sender.safety_violations, 0u);
+}
+
 TEST(TestbedTest, LargerMtuUsesFewerPackets) {
   TestbedConfig config;
   config.mode = ProtectionMode::kOff;

@@ -1,23 +1,30 @@
-// fsio_sim: command-line experiment runner for the testbed.
+// fsio_sim: command-line experiment runner for the simulator.
 //
-// Runs an iperf workload with fully configurable protection mode and system
-// parameters, printing the paper's per-page metrics — the quickest way to
-// explore the design space without writing code.
+// Runs an iperf or N→1 incast workload on an arbitrary Cluster topology with
+// fully configurable protection mode and system parameters, printing the
+// paper's per-page metrics — the quickest way to explore the design space
+// without writing code. Sweeps over flow counts run as independent sweep
+// points on the SweepRunner thread pool; parallel output is byte-identical
+// to --jobs=1.
 //
 // Examples:
 //   fsio_sim --mode=fastsafe --flows=5
 //   fsio_sim --mode=strict --flows=40 --ring=2048 --mtu=9000
 //   fsio_sim --mode=fastsafe --hugepages --window-ms=60 --csv
 //   fsio_sim --mode=strict --walkers=2 --iotlb-entries=128
+//   fsio_sim --mode=strict --hosts=9 --incast --per-host
+//   fsio_sim --mode=fastsafe --hosts=4 --switches=2 --sweep-flows=1,5,10 --jobs=4
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "src/apps/iperf.h"
-#include "src/core/testbed.h"
+#include "src/apps/incast.h"
+#include "src/core/cluster.h"
+#include "src/core/sweep_runner.h"
 #include "src/stats/table.h"
 
 namespace {
@@ -35,6 +42,13 @@ struct Options {
   std::uint64_t window_ms = 40;
   bool csv = false;
   bool dump_counters = false;
+  // Topology (defaults reproduce the historical two-host testbed).
+  std::uint32_t hosts = 2;
+  std::uint32_t switches = 1;
+  bool incast = false;     // hosts 1..N-1 -> host 0; measure host 0
+  bool per_host = false;   // one row per host instead of the measured host
+  std::vector<std::uint32_t> sweep_flows;  // empty: single run at --flows
+  std::uint32_t jobs = 0;  // sweep threads; 0 = FSIO_SWEEP_THREADS/hardware
 };
 
 fsio::ProtectionMode ParseMode(const std::string& name) {
@@ -68,7 +82,7 @@ void PrintUsage() {
   std::puts(
       "usage: fsio_sim [options]\n"
       "  --mode=off|strict|deferred|preserve|contig|fastsafe|hugepersist\n"
-      "  --flows=N           iperf flows (default 5)\n"
+      "  --flows=N           iperf flows (default 5); with --incast, flows per sender\n"
       "  --cores=N           cores per host (default 5)\n"
       "  --ring=N            Rx ring size in MTU packets (default 256)\n"
       "  --mtu=N             wire MTU bytes (default 4096)\n"
@@ -77,8 +91,14 @@ void PrintUsage() {
       "  --iotlb-entries=N   IOTLB capacity (default 64)\n"
       "  --warmup-ms=N       warmup before measuring (default 20)\n"
       "  --window-ms=N       measurement window (default 40)\n"
+      "  --hosts=N           cluster size (default 2)\n"
+      "  --switches=N        leaf switches; host h attaches to switch h%N (default 1)\n"
+      "  --incast            N-1 -> 1 fan-in into host 0 (default: host 0 -> host 1 iperf)\n"
+      "  --per-host          report a row for every host, not just the measured one\n"
+      "  --sweep-flows=LIST  comma-separated flow counts; one sweep point each\n"
+      "  --jobs=N            sweep worker threads (default: FSIO_SWEEP_THREADS or cores)\n"
       "  --csv               CSV output\n"
-      "  --counters          dump all raw receive-host counters\n"
+      "  --counters          dump all raw measured-host counters\n"
       "  --help");
 }
 
@@ -100,6 +120,23 @@ bool ParseU64(const char* arg, const char* prefix, std::uint64_t* out) {
   return true;
 }
 
+bool ParseU32List(const char* arg, const char* prefix, std::vector<std::uint32_t>* out) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) {
+    return false;
+  }
+  out->clear();
+  for (const char* p = arg + n; *p != '\0';) {
+    char* end = nullptr;
+    out->push_back(static_cast<std::uint32_t>(std::strtoul(p, &end, 10)));
+    p = (end != nullptr && *end == ',') ? end + 1 : end;
+    if (p == nullptr) {
+      break;
+    }
+  }
+  return true;
+}
+
 Options Parse(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
@@ -112,11 +149,19 @@ Options Parse(int argc, char** argv) {
                ParseU32(arg, "--mtu=", &options.mtu) ||
                ParseU32(arg, "--walkers=", &options.walkers) ||
                ParseU32(arg, "--iotlb-entries=", &options.iotlb_entries) ||
+               ParseU32(arg, "--hosts=", &options.hosts) ||
+               ParseU32(arg, "--switches=", &options.switches) ||
+               ParseU32(arg, "--jobs=", &options.jobs) ||
                ParseU64(arg, "--warmup-ms=", &options.warmup_ms) ||
-               ParseU64(arg, "--window-ms=", &options.window_ms)) {
+               ParseU64(arg, "--window-ms=", &options.window_ms) ||
+               ParseU32List(arg, "--sweep-flows=", &options.sweep_flows)) {
       // parsed
     } else if (std::strcmp(arg, "--hugepages") == 0) {
       options.hugepages = true;
+    } else if (std::strcmp(arg, "--incast") == 0) {
+      options.incast = true;
+    } else if (std::strcmp(arg, "--per-host") == 0) {
+      options.per_host = true;
     } else if (std::strcmp(arg, "--csv") == 0) {
       options.csv = true;
     } else if (std::strcmp(arg, "--counters") == 0) {
@@ -133,12 +178,10 @@ Options Parse(int argc, char** argv) {
   return options;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options options = Parse(argc, argv);
-
-  fsio::TestbedConfig config;
+fsio::ClusterConfig MakeClusterConfig(const Options& options) {
+  fsio::ClusterConfig config;
+  config.num_hosts = options.hosts;
+  config.num_switches = options.switches;
   config.mode = options.mode;
   config.cores = options.cores;
   config.ring_size_pkts = options.ring;
@@ -149,34 +192,89 @@ int main(int argc, char** argv) {
   config.host.iommu.iotlb_ways = 4;
   config.host.iommu.iotlb_sets =
       options.iotlb_entries >= 4 ? options.iotlb_entries / 4 : 1;
+  return config;
+}
 
-  fsio::Testbed testbed(config);
-  fsio::StartIperf(&testbed, options.flows);
-  const fsio::WindowResult r = testbed.RunWindow(options.warmup_ms * fsio::kNsPerMs,
-                                                 options.window_ms * fsio::kNsPerMs);
-
-  fsio::Table table({"mode", "flows", "gbps", "drop_%", "iotlb/pg", "l1/pg", "l2/pg", "l3/pg",
-                     "reads/pg", "cpu", "violations"});
-  table.BeginRow();
-  table.AddCell(fsio::ProtectionModeName(options.mode));
-  table.AddInteger(options.flows);
-  table.AddNumber(r.goodput_gbps, 1);
-  table.AddNumber(r.drop_rate * 100.0, 3);
-  table.AddNumber(r.iotlb_miss_per_page, 2);
-  table.AddNumber(r.l1_miss_per_page, 3);
-  table.AddNumber(r.l2_miss_per_page, 3);
-  table.AddNumber(r.l3_miss_per_page, 3);
-  table.AddNumber(r.mem_reads_per_page, 2);
-  table.AddNumber(r.cpu_utilization, 2);
-  table.AddInteger(static_cast<long long>(r.safety_violations));
-  if (options.csv) {
-    table.PrintCsv(std::cout);
+// One sweep point: an independent simulation of the configured topology with
+// `flows` flows (per sender under --incast). Returns every host's window.
+std::vector<fsio::WindowResult> RunPoint(const Options& options, std::uint32_t flows) {
+  fsio::Cluster cluster(MakeClusterConfig(options));
+  if (options.incast) {
+    fsio::StartIncast(&cluster, /*dst_host=*/0, flows);
   } else {
-    table.Print(std::cout);
+    cluster.AddBulkFlows(0, 1, flows);
   }
+  cluster.RunUntil(options.warmup_ms * fsio::kNsPerMs);
+  return cluster.MeasureWindowAll(options.window_ms * fsio::kNsPerMs);
+}
+
+void AddResultRow(fsio::Table* table, const Options& options, std::uint32_t flows,
+                  const fsio::WindowResult& r, std::int64_t host_id) {
+  table->BeginRow();
+  table->AddCell(fsio::ProtectionModeName(options.mode));
+  table->AddInteger(flows);
+  if (host_id >= 0) {
+    table->AddInteger(static_cast<long long>(host_id));
+  }
+  table->AddNumber(r.goodput_gbps, 1);
+  table->AddNumber(r.drop_rate * 100.0, 3);
+  table->AddNumber(r.iotlb_miss_per_page, 2);
+  table->AddNumber(r.l1_miss_per_page, 3);
+  table->AddNumber(r.l2_miss_per_page, 3);
+  table->AddNumber(r.l3_miss_per_page, 3);
+  table->AddNumber(r.mem_reads_per_page, 2);
+  table->AddNumber(r.cpu_utilization, 2);
+  table->AddInteger(static_cast<long long>(r.safety_violations));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = Parse(argc, argv);
+  if (options.hosts < 2 || options.switches < 1 || options.switches > options.hosts) {
+    std::fprintf(stderr, "need --hosts>=2 and 1 <= --switches <= --hosts\n");
+    return 2;
+  }
+
+  std::vector<std::uint32_t> sweep = options.sweep_flows;
+  if (sweep.empty()) {
+    sweep.push_back(options.flows);
+  }
+
+  // Sweep points are independent simulations; run them on the thread pool
+  // and emit rows serially in point order (byte-identical to --jobs=1).
+  const fsio::SweepRunner runner(options.jobs);
+  const auto results = runner.Map<std::vector<fsio::WindowResult>>(
+      sweep.size(), [&](std::size_t i) { return RunPoint(options, sweep[i]); });
+
+  // The measured host: the incast sink, or the historical receive host 1.
+  const std::uint32_t measured = options.incast ? 0 : 1;
+
+  std::vector<std::string> headers = {"mode", "flows"};
+  if (options.per_host) {
+    headers.push_back("host");
+  }
+  for (const char* h : {"gbps", "drop_%", "iotlb/pg", "l1/pg", "l2/pg", "l3/pg",
+                        "reads/pg", "cpu", "violations"}) {
+    headers.push_back(h);
+  }
+  fsio::Table table(headers);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (options.per_host) {
+      for (std::size_t h = 0; h < results[i].size(); ++h) {
+        AddResultRow(&table, options, sweep[i], results[i][h],
+                     static_cast<std::int64_t>(h));
+      }
+    } else {
+      AddResultRow(&table, options, sweep[i], results[i][measured], -1);
+    }
+  }
+  fsio::EmitTable(std::cout, table,
+                  options.csv ? fsio::TableFormat::kCsv : fsio::TableFormat::kHuman);
+
   if (options.dump_counters) {
-    std::cout << "\nraw receive-host counters (window delta):\n";
-    for (const auto& [name, value] : r.raw_rx_host) {
+    std::cout << "\nraw measured-host counters (window delta, last sweep point):\n";
+    for (const auto& [name, value] : results.back()[measured].raw_rx_host) {
       std::printf("  %-32s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
     }
   }
