@@ -101,6 +101,14 @@ class Cluster {
   // the counters are per-switch: "switch<i>.*").
   StatsRegistry& switch_stats() { return *switch_stats_; }
 
+  // Observability: hands every host a per-host-scoped view of `tracer`
+  // (trace pid == host id). Pass nullptr to detach.
+  void SetTracer(Tracer* tracer) {
+    for (auto& host : hosts_) {
+      host->SetTracer(tracer);
+    }
+  }
+
  private:
   std::uint32_t SwitchOf(std::uint32_t host_id) const {
     return host_id % config_.num_switches;

@@ -80,6 +80,7 @@ TimeNs DmaApi::SubmitInvalidationWithRetry(Iova base, std::uint64_t len, bool le
     if (hw != kInvalidationDropped && hw <= *t + config_.inv_wait_timeout_ns) {
       if (hw > *t) {
         spin_ns_->Add(hw - *t);
+        trace_.Complete("driver", "inv_wait", *t, hw);
         *t = hw;  // the CPU spins until the IOMMU acknowledges
       }
       return hw;
@@ -89,6 +90,7 @@ TimeNs DmaApi::SubmitInvalidationWithRetry(Iova base, std::uint64_t len, bool le
     // back off, resubmit. (Resubmitting after a stall is harmless — the
     // stalled request already dropped the cache entries.)
     inv_timeouts_->Add();
+    trace_.Instant("driver", "inv_timeout", *t);
     spin_ns_->Add(config_.inv_wait_timeout_ns);
     *t += config_.inv_wait_timeout_ns;
     if (attempt == config_.inv_max_retries) {
@@ -102,6 +104,7 @@ TimeNs DmaApi::SubmitInvalidationWithRetry(Iova base, std::uint64_t len, bool le
   // single always-delivered command, so safety holds even when every
   // per-range request was lost.
   inv_fallback_flushes_->Add();
+  trace_.Instant("driver", "inv_fallback_flush", *t);
   const TimeNs submit = *t + config_.inv_submit_cpu_ns;
   const TimeNs hw = iommu_->InvalidateAll(submit);
   inv_requests_submitted_->Add();
@@ -471,6 +474,7 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
         cpu_ns_total_->Add(out.cpu_ns);
         return out;
       }
+      const TimeNs flush_start = t;
       const TimeNs hw = iommu_->InvalidateAll(t);
       inv_requests_submitted_->Add();
       ++out.invalidation_requests;
@@ -479,6 +483,10 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
         t = hw;
       }
       out.hw_done = hw;
+      if (trace_.enabled()) {
+        trace_.Complete("driver", "deferred_flush", flush_start, t, "iovas",
+                        static_cast<double>(deferred_queue_.size()));
+      }
       while (!deferred_queue_.empty()) {
         const DeferredIova& d = deferred_queue_.front();
         iova_->Free(FreeTarget(d.core), d.iova, d.pages);
@@ -488,6 +496,11 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
     }
     out.cpu_ns = t - at;
     cpu_ns_total_->Add(out.cpu_ns);
+    if (trace_.enabled() && t > at) {
+      trace_.Complete("driver", "unmap", at, t, "pages",
+                      static_cast<double>(mappings.size()), "inv_reqs",
+                      static_cast<double>(out.invalidation_requests));
+    }
     return out;
   }
 
@@ -565,6 +578,11 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
   }
   out.cpu_ns = t - at;
   cpu_ns_total_->Add(out.cpu_ns);
+  if (trace_.enabled() && t > at) {
+    trace_.Complete("driver", "unmap", at, t, "pages",
+                    static_cast<double>(mappings.size()), "inv_reqs",
+                    static_cast<double>(out.invalidation_requests));
+  }
   return out;
 }
 

@@ -30,6 +30,7 @@
 #include "src/simcore/time.h"
 #include "src/stats/counters.h"
 #include "src/stats/reuse_distance.h"
+#include "src/trace/tracer.h"
 
 namespace fsio {
 
@@ -126,6 +127,8 @@ class DmaApi {
   // Optional fault injection (deferred-flush delay; allocator faults are
   // injected in the allocators themselves and masked by the retry helpers).
   void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+  // Observability: unmap spans, invalidation-wait spans, flush instants.
+  void SetTrace(const TraceScope& trace) { trace_ = trace; }
   // Optional end-to-end safety oracle: told about every logical map/unmap/
   // release so device accesses can be judged against driver intent.
   void SetSafetyOracle(SafetyOracle* oracle) { oracle_ = oracle; }
@@ -182,6 +185,7 @@ class DmaApi {
   FaultInjector* fault_injector_ = nullptr;
   SafetyOracle* oracle_ = nullptr;
   InvariantRegistry* invariants_ = nullptr;
+  TraceScope trace_;
 
   std::uint64_t next_chunk_id_ = 1;
   std::unordered_map<std::uint64_t, Chunk> chunks_;

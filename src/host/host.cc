@@ -73,6 +73,26 @@ Host::Host(const HostConfig& config, EventQueue* ev)
   SetupRings();
 }
 
+void Host::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  const std::uint32_t id = config_.host_id;
+  host_trace_ = TraceScope(tracer, id, TraceTrack::kHost);
+  driver_trace_ = TraceScope(tracer, id, TraceTrack::kDriver);
+  if (iommu_ != nullptr) {
+    iommu_->SetTrace(TraceScope(tracer, id, TraceTrack::kIommu));
+  }
+  rc_->SetTrace(TraceScope(tracer, id, TraceTrack::kPcie));
+  nic_->SetTrace(TraceScope(tracer, id, TraceTrack::kNic));
+  dma_->SetTrace(driver_trace_);
+  const TraceScope transport(tracer, id, TraceTrack::kTransport);
+  for (auto& [flow, sender] : senders_) {
+    sender->SetTrace(transport);
+  }
+  for (auto& [flow, receiver] : receivers_) {
+    receiver->SetTrace(transport);
+  }
+}
+
 void Host::SetupRings() {
   for (std::uint32_t c = 0; c < cores_.size(); ++c) {
     // Persistently-mapped descriptor ring region (ring entries are 64 B; a
@@ -114,11 +134,16 @@ void Host::ReplenishRing(std::uint32_t core_idx, TimeNs at, TimeNs* cpu_ns) {
       }
       mapped = dma_->MapPages(core_idx, frames);
     }
+    if (driver_trace_.enabled() && mapped.cpu_ns > 0) {
+      driver_trace_.Complete("driver", "map_pages", at + *cpu_ns,
+                             at + *cpu_ns + mapped.cpu_ns, "pages",
+                             static_cast<double>(mapped.mappings.size()), "core",
+                             static_cast<double>(core_idx));
+    }
     *cpu_ns += mapped.cpu_ns;
     nic_->PostRxDescriptor(core_idx, std::move(mapped.mappings));
     replenished_descs_->Add();
   }
-  (void)at;
 }
 
 void Host::ScheduleCore(std::uint32_t core_idx) {
@@ -184,6 +209,11 @@ void Host::RunCore(std::uint32_t core_idx) {
     core.rx_queue.pop_front();
   }
 
+  if (cpu > 0) {
+    host_trace_.Complete("host", "core_run", t, t + cpu, "core",
+                         static_cast<double>(core_idx), "rx_batch",
+                         static_cast<double>(batch.size()));
+  }
   core.busy_until = t + cpu;
   cpu_busy_ns_ += cpu;
   ev_->ScheduleAt(core.busy_until, [this, core_idx, batch = std::move(batch)] {
@@ -241,6 +271,11 @@ void Host::TransmitFromCore(const Packet& packet, std::uint32_t core_idx) {
   }
   Core& core = cores_[core_idx];
   const TimeNs base = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
+  if (driver_trace_.enabled()) {
+    driver_trace_.Complete("driver", "tx_map", base, base + cpu, "pages",
+                           static_cast<double>(pages), "core",
+                           static_cast<double>(core_idx));
+  }
   core.busy_until = base + cpu;
   cpu_busy_ns_ += cpu;
   nic_->EnqueueTx(packet, std::move(mappings), core_idx);
@@ -257,6 +292,9 @@ DctcpSender* Host::AddSender(std::uint64_t flow_id, std::uint32_t local_core,
     const std::uint64_t in_nic = flow_nic_bytes_[flow_id];
     return in_nic == 0 || in_nic + bytes + kHeaderBytes <= config_.cpu.tsq_limit_bytes;
   });
+  if (tracer_ != nullptr) {
+    sender->SetTrace(TraceScope(tracer_, config_.host_id, TraceTrack::kTransport));
+  }
   DctcpSender* out = sender.get();
   senders_[flow_id] = std::move(sender);
   flow_core_[flow_id] = local_core;
@@ -278,6 +316,9 @@ DctcpReceiver* Host::AddReceiver(std::uint64_t flow_id, std::uint32_t local_core
       },
       &stats_);
   receiver->SetRoute(config_.host_id, dst_host, dst_core);
+  if (tracer_ != nullptr) {
+    receiver->SetTrace(TraceScope(tracer_, config_.host_id, TraceTrack::kTransport));
+  }
   DctcpReceiver* out = receiver.get();
   receivers_[flow_id] = std::move(receiver);
   return out;

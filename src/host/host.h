@@ -31,6 +31,7 @@
 #include "src/simcore/event_queue.h"
 #include "src/stats/counters.h"
 #include "src/stats/reuse_distance.h"
+#include "src/trace/tracer.h"
 #include "src/transport/dctcp.h"
 #include "src/transport/packet.h"
 
@@ -89,6 +90,11 @@ class Host {
                              std::uint32_t dst_host, std::uint32_t dst_core,
                              const DctcpConfig& config,
                              DctcpReceiver::DeliverFn app_deliver);
+
+  // Observability: hands per-component TraceScopes (tagged with this host's
+  // id) to the IOMMU, root complex, NIC, DMA API and transport endpoints.
+  // Call before or after AddSender/AddReceiver; later endpoints inherit it.
+  void SetTracer(Tracer* tracer);
 
   StatsRegistry& stats() { return stats_; }
   const HostConfig& config() const { return config_; }
@@ -150,6 +156,9 @@ class Host {
 
   WireOutFn wire_out_;
   TimeNs cpu_busy_ns_ = 0;
+  Tracer* tracer_ = nullptr;
+  TraceScope host_trace_;    // kHost: core-run spans
+  TraceScope driver_trace_;  // kDriver: map spans (driver calls lack a clock)
 
   Counter* app_rx_bytes_;
   Counter* replenished_descs_;

@@ -57,6 +57,7 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
       out.stale_use = true;
       out.stale_iotlb = true;
       stale_iotlb_use_->Add();
+      trace_.Instant("iommu", "stale_iotlb_use", start);
     }
     NotifyOracle(iova, start, out);
     return out;
@@ -70,6 +71,7 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
       out.stale_use = true;
       out.stale_iotlb = true;
       stale_iotlb_use_->Add();
+      trace_.Instant("iommu", "stale_iotlb_use", start);
     }
     NotifyOracle(iova, start, out);
     return out;
@@ -87,6 +89,19 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
 
   iotlb_miss_->Add();
   out = WalkAndFill(iova, start);
+  if (trace_.enabled()) {
+    // One span per page walk: duration covers walker queueing plus the
+    // sequential PTE reads, so clustered misses render as stacked spans.
+    trace_.Complete("iommu", "walk", start, out.done, "mem_reads",
+                    static_cast<double>(out.mem_reads), "stale",
+                    out.stale_use ? 1.0 : 0.0);
+    if (out.fault) {
+      trace_.Instant("iommu", "fault", start);
+    }
+    if (out.stale_ptcache) {
+      trace_.Instant("iommu", "stale_ptcache_use", start);
+    }
+  }
   NotifyOracle(iova, start, out);
   return out;
 }
@@ -258,6 +273,7 @@ TimeNs Iommu::InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, Tim
     // completion (timeout) and resubmit, or safety is genuinely broken.
     if (fault_injector_->Sample(FaultKind::kInvalidationDrop, at).fire) {
       inv_dropped_->Add();
+      trace_.Instant("iommu", "inv_dropped", at);
       return kInvalidationDropped;
     }
   }
@@ -290,6 +306,10 @@ TimeNs Iommu::InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, Tim
       inv_stall_ns_->Add(d.magnitude_ns);
     }
   }
+  if (trace_.enabled()) {
+    trace_.Complete("iommu", leaf_only ? "invalidate_leaf" : "invalidate_full", at, done,
+                    "pages", static_cast<double>((len + kPageSize - 1) / kPageSize));
+  }
   return done;
 }
 
@@ -300,7 +320,9 @@ TimeNs Iommu::InvalidateAll(TimeNs at) {
   ptcache_l2_.InvalidateAll();
   ptcache_l3_.InvalidateAll();
   pending_walks_.clear();
-  return at + config_.invalidation_hw_ns;
+  const TimeNs done = at + config_.invalidation_hw_ns;
+  trace_.Complete("iommu", "invalidate_all", at, done);
+  return done;
 }
 
 void Iommu::OnTablePageReclaimed(const ReclaimedTablePage& page) {

@@ -36,6 +36,7 @@
 #include "src/pagetable/io_page_table.h"
 #include "src/simcore/time.h"
 #include "src/stats/counters.h"
+#include "src/trace/tracer.h"
 
 namespace fsio {
 
@@ -129,6 +130,8 @@ class Iommu {
   // spikes) and safety-oracle observation of every device translation.
   void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
   void SetSafetyOracle(SafetyOracle* oracle) { oracle_ = oracle; }
+  // Observability: page-walk spans, invalidation spans, stale-use instants.
+  void SetTrace(const TraceScope& trace) { trace_ = trace; }
 
  private:
   struct PendingWalk {
@@ -145,6 +148,7 @@ class Iommu {
   IoPageTable* page_table_;
   FaultInjector* fault_injector_ = nullptr;
   SafetyOracle* oracle_ = nullptr;
+  TraceScope trace_;
 
   SetAssocCache iotlb_;
   std::vector<SetAssocCache*> ptcaches_;  // [0]=L1, [1]=L2, [2]=L3

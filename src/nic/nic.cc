@@ -33,6 +33,7 @@ void Nic::PostRxDescriptor(std::uint32_t core, std::vector<DmaMapping> mappings)
   RxRing& ring = rings_[core % rings_.size()];
   auto desc = std::make_shared<RxDesc>();
   desc->mappings = std::move(mappings);
+  desc->posted_at = ev_->now();
   ring.descs.push_back(std::move(desc));
   if (!rx_queue_.empty() && !rx_pump_scheduled_) {
     // Packets may have been waiting for descriptor space.
@@ -70,6 +71,7 @@ void Nic::OnWireArrival(const Packet& packet) {
   const std::uint32_t wire = packet.wire_size();
   if (rx_buffer_used_ + wire > config_.rx_buffer_bytes) {
     drops_buffer_->Add();
+    trace_.Instant("nic", "drop_buffer", ev_->now());
     return;
   }
   rx_buffer_used_ += wire;
@@ -96,6 +98,9 @@ void Nic::MaybeFetchDescriptors(RxRing* ring, TimeNs at) {
 void Nic::RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& desc) {
   if (!desc->retired && desc->exhausted() && desc->outstanding_packets == 0) {
     desc->retired = true;
+    // Lifecycle span: post → all pages consumed and their DMAs committed.
+    trace_.Complete("nic", "rx_desc", desc->posted_at, ev_->now(), "pages",
+                    static_cast<double>(desc->mappings.size()));
     RxRing& ring = rings_[core % rings_.size()];
     while (!ring.descs.empty() && ring.descs.front()->retired) {
       ring.descs.pop_front();
@@ -157,6 +162,7 @@ void Nic::PumpRx() {
       rx_queue_.pop_front();
       rx_buffer_used_ -= packet.wire_size();
       drops_nodesc_->Add();
+      trace_.Instant("nic", "drop_nodesc", now);
       continue;
     }
     rx_queue_.pop_front();
@@ -193,6 +199,12 @@ void Nic::PumpRx() {
     rx_packets_->Add();
     rx_bytes_->Add(packet.payload);
     rx_wire_bytes_->Add(packet.wire_size());
+    if (trace_.enabled()) {
+      trace_.Complete("nic", "rx_packet", now, timing.commit_done, "bytes",
+                      static_cast<double>(packet.wire_size()), "core",
+                      static_cast<double>(core));
+      trace_.Counter("nic", "rx_buffer_used", now, static_cast<double>(rx_buffer_used_));
+    }
 
     ev_->ScheduleAt(timing.commit_done, [this, packet, core, touched] {
       rx_buffer_used_ -= packet.wire_size();
@@ -211,6 +223,7 @@ bool Nic::EnqueueTx(const Packet& packet, std::vector<DmaMapping> mappings, std:
   TxQueue& q = tx_queues_[core % tx_queues_.size()];
   if (q.bytes + packet.wire_size() > config_.tx_queue_limit_bytes) {
     tx_drops_->Add();
+    trace_.Instant("nic", "tx_drop", ev_->now());
     return false;
   }
   q.bytes += packet.wire_size();
@@ -274,6 +287,9 @@ void Nic::PumpTx() {
     const DmaTiming timing = rc_->DmaRead(now, segments);
     tx_engine_free_ = timing.link_done;
     tx_bytes_->Add(work.packet.payload);
+    trace_.Complete("nic", "tx_fetch", now, timing.commit_done, "bytes",
+                    static_cast<double>(work.packet.wire_size()), "core",
+                    static_cast<double>(work.core));
 
     // TSO segmentation on egress: cut the fetched segment into MTU-sized
     // wire packets, serialized at line rate once the payload is on the NIC.

@@ -26,6 +26,7 @@
 #include "src/pcie/root_complex.h"
 #include "src/simcore/event_queue.h"
 #include "src/stats/counters.h"
+#include "src/trace/tracer.h"
 #include "src/transport/packet.h"
 
 namespace fsio {
@@ -67,6 +68,8 @@ class Nic {
   // completion, kDescCompletionDuplicate delivers the same completion twice
   // (misbehaving-device model; the driver must tolerate both).
   void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+  // Observability: descriptor lifecycle spans, packet DMA spans, drop instants.
+  void SetTrace(const TraceScope& trace) { trace_ = trace; }
 
   void SetDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void SetDescComplete(DescCompleteFn fn) { desc_complete_ = std::move(fn); }
@@ -114,6 +117,7 @@ class Nic {
     std::uint32_t next_page = 0;
     std::uint32_t outstanding_packets = 0;
     bool retired = false;
+    TimeNs posted_at = 0;  // when the driver posted it (descriptor lifecycle span)
     bool exhausted() const { return next_page >= mappings.size(); }
   };
   struct RxRing {
@@ -140,6 +144,7 @@ class Nic {
   EventQueue* ev_;
   RootComplex* rc_;
   FaultInjector* fault_injector_ = nullptr;
+  TraceScope trace_;
 
   DeliverFn deliver_;
   DescCompleteFn desc_complete_;

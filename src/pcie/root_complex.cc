@@ -39,6 +39,9 @@ TimeNs RootComplex::WaitForBufferSpace(TimeNs t, std::uint32_t bytes) {
     const TimeNs head = rc_buffer_.front().release;
     if (head > t) {
       stall_ns_->Add(head - t);
+      // The Little's-law bottleneck made visible: link time lost waiting
+      // for the head-of-line payload to drain into memory.
+      trace_.Complete("pcie", "rc_stall", t, head);
       t = head;
     }
     rc_buffer_occupancy_ -= rc_buffer_.front().bytes;
@@ -68,7 +71,10 @@ DmaTiming RootComplex::DmaWrite(TimeNs start, const std::vector<DmaSegment>& seg
   DmaTiming timing;
   start = ApplyBackpressure(start);
   TimeNs t = start;
+  std::uint64_t total_bytes = 0;
+  const std::uint64_t tlps_before = write_tlps_->value();
   for (const DmaSegment& seg : segments) {
+    total_bytes += seg.len;
     std::uint32_t off = 0;
     while (off < seg.len) {
       const Iova iova = seg.iova + off;
@@ -123,6 +129,12 @@ DmaTiming RootComplex::DmaWrite(TimeNs start, const std::vector<DmaSegment>& seg
   }
   timing.link_done = upstream_link_free_;
   timing.commit_done = commit_free_ > start ? commit_free_ : start;
+  if (trace_.enabled()) {
+    trace_.Complete("pcie", "dma_write", start, timing.commit_done, "bytes",
+                    static_cast<double>(total_bytes), "tlps",
+                    static_cast<double>(write_tlps_->value() - tlps_before));
+    trace_.Counter("pcie", "rc_occupancy", start, static_cast<double>(rc_buffer_occupancy_));
+  }
   return timing;
 }
 

@@ -33,6 +33,7 @@
 #include "src/mem/memory_system.h"
 #include "src/simcore/time.h"
 #include "src/stats/counters.h"
+#include "src/trace/tracer.h"
 
 namespace fsio {
 
@@ -82,6 +83,8 @@ class RootComplex {
   // Optional fault injection: kRootComplexBackpressure stalls the upstream
   // link at the start of a DMA (credit starvation burst).
   void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+  // Observability: per-DMA spans, RC-buffer stalls and occupancy samples.
+  void SetTrace(const TraceScope& trace) { trace_ = trace; }
 
  private:
   // Applies an injected backpressure burst to the DMA's start time.
@@ -97,6 +100,7 @@ class RootComplex {
   Iommu* iommu_;
   MemorySystem* memory_;
   FaultInjector* fault_injector_ = nullptr;
+  TraceScope trace_;
 
   TimeNs upstream_link_free_ = 0;    // NIC -> RC (writes + read requests)
   TimeNs downstream_link_free_ = 0;  // RC -> NIC (read completions)

@@ -1,0 +1,180 @@
+#include "src/trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace fsio {
+
+namespace {
+
+// Timestamps: microseconds with nanosecond precision, printed from integer
+// nanoseconds so the text is bit-stable across platforms.
+void AppendTimeUs(std::string* out, TimeNs ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+  *out += buf;
+}
+
+// Numeric args: integers print exactly; non-integers use a fixed %.6g.
+void AppendNumber(std::string* out, double value) {
+  char buf[40];
+  if (std::nearbyint(value) == value && std::fabs(value) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  *out += buf;
+}
+
+void AppendEvent(std::string* out, const TraceEvent& e, std::uint32_t pid) {
+  *out += "{\"ph\":\"";
+  *out += static_cast<char>(e.phase);
+  *out += "\",\"cat\":\"";
+  *out += JsonEscape(e.cat);
+  *out += "\",\"name\":\"";
+  *out += JsonEscape(e.name);
+  *out += "\",\"ts\":";
+  AppendTimeUs(out, e.ts);
+  if (e.phase == TracePhase::kComplete) {
+    *out += ",\"dur\":";
+    AppendTimeUs(out, e.dur);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%u,\"tid\":%u", pid,
+                static_cast<std::uint32_t>(e.tid));
+  *out += buf;
+  if (e.phase == TracePhase::kInstant) {
+    *out += ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+    *out += ",\"args\":{";
+    bool first = true;
+    if (e.arg1_name != nullptr) {
+      *out += "\"";
+      *out += JsonEscape(e.arg1_name);
+      *out += "\":";
+      AppendNumber(out, e.arg1);
+      first = false;
+    }
+    if (e.arg2_name != nullptr) {
+      if (!first) {
+        *out += ",";
+      }
+      *out += "\"";
+      *out += JsonEscape(e.arg2_name);
+      *out += "\":";
+      AppendNumber(out, e.arg2);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+void AppendMetadata(std::string* out, std::uint32_t pid, const char* key,
+                    const std::string& value, int tid = -1) {
+  *out += "{\"ph\":\"M\",\"name\":\"";
+  *out += key;
+  *out += "\",\"ts\":0,\"pid\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u", pid);
+  *out += buf;
+  if (tid >= 0) {
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%d", tid);
+    *out += buf;
+  }
+  *out += ",\"args\":{\"name\":\"";
+  *out += JsonEscape(value);
+  *out += "\"}}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceGroup>& groups) {
+  os << "{\"traceEvents\":[";
+  std::string line;
+  bool first = true;
+  std::uint32_t pid_base = 0;
+  for (const TraceGroup& group : groups) {
+    if (group.events == nullptr) {
+      continue;
+    }
+    // Which (pid, tid) lanes does this group use?
+    std::uint32_t max_pid = 0;
+    std::map<std::uint32_t, std::set<std::uint32_t>> tracks;  // pid -> tids
+    for (const TraceEvent& e : *group.events) {
+      if (e.pid > max_pid) {
+        max_pid = e.pid;
+      }
+      tracks[e.pid].insert(static_cast<std::uint32_t>(e.tid));
+    }
+    // Lane metadata first, so viewers label tracks before any data event.
+    for (const auto& [pid, tids] : tracks) {
+      const std::uint32_t global_pid = pid_base + pid;
+      line.clear();
+      AppendMetadata(&line, global_pid, "process_name",
+                     group.label + "host" + std::to_string(pid));
+      os << (first ? "\n" : ",\n") << line;
+      first = false;
+      for (const std::uint32_t tid : tids) {
+        line.clear();
+        AppendMetadata(&line, global_pid, "thread_name",
+                       TraceTrackName(static_cast<TraceTrack>(tid)),
+                       static_cast<int>(tid));
+        os << ",\n" << line;
+        line.clear();
+      }
+    }
+    for (const TraceEvent& e : *group.events) {
+      line.clear();
+      AppendEvent(&line, e, pid_base + e.pid);
+      os << (first ? "\n" : ",\n") << line;
+      first = false;
+    }
+    if (!group.events->empty() || !tracks.empty()) {
+      pid_base += max_pid + 1;
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  WriteChromeTrace(os, {TraceGroup{"", &events}});
+}
+
+}  // namespace fsio

@@ -1,0 +1,44 @@
+// Chrome trace-event (JSON) export.
+//
+// Serializes TraceEvents into the JSON object format understood by Perfetto
+// and chrome://tracing: {"traceEvents": [...], "displayTimeUnit": "ns"}.
+// Timestamps are emitted in microseconds with nanosecond precision (three
+// decimals), per the format's convention.
+//
+// A trace may merge several independent simulations (sweep points): each
+// group's host pids are remapped into a disjoint global range and labeled
+// with the group's prefix via process_name metadata, so one file shows
+// "flows=5/host0", "flows=10/host0", ... side by side. Output depends only
+// on the event groups passed in, never on wall-clock state, so a parallel
+// sweep that collects per-point VectorSinks and writes them in point order
+// produces byte-identical files to a serial sweep.
+#ifndef FASTSAFE_SRC_TRACE_CHROME_TRACE_H_
+#define FASTSAFE_SRC_TRACE_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace fsio {
+
+// One simulation instance's events, with an optional label ("flows=5/")
+// prefixed onto its process names.
+struct TraceGroup {
+  std::string label;
+  const std::vector<TraceEvent>* events = nullptr;
+};
+
+// Writes the merged trace of `groups`, in group order then event order.
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceGroup>& groups);
+
+// Single-simulation convenience overload.
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+// JSON string escaping (shared with the metadata writer and tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TRACE_CHROME_TRACE_H_

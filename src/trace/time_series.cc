@@ -1,0 +1,94 @@
+#include "src/trace/time_series.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace fsio {
+
+TimeSeriesRecorder::TimeSeriesRecorder(EventQueue* ev, TimeNs interval_ns)
+    : ev_(ev), interval_ns_(interval_ns == 0 ? 1 : interval_ns) {}
+
+void TimeSeriesRecorder::AddSource(std::uint32_t id, const StatsRegistry* stats) {
+  Source source;
+  source.id = id;
+  source.stats = stats;
+  sources_.push_back(std::move(source));
+}
+
+void TimeSeriesRecorder::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (Source& source : sources_) {
+    source.last = source.stats->Snapshot();
+  }
+  const std::uint64_t epoch = epoch_;
+  ev_->ScheduleAfter(interval_ns_, [this, epoch] { Tick(epoch); });
+}
+
+void TimeSeriesRecorder::Stop() {
+  ++epoch_;
+  started_ = false;
+}
+
+void TimeSeriesRecorder::Tick(std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    return;  // stopped after this tick was scheduled
+  }
+  const TimeNs now = ev_->now();
+  for (Source& source : sources_) {
+    auto snapshot = source.stats->Snapshot();
+    TimeSeriesSample sample;
+    sample.t = now;
+    sample.source = source.id;
+    sample.delta = StatsRegistry::Delta(source.last, snapshot);
+    source.last = std::move(snapshot);
+    samples_.push_back(std::move(sample));
+  }
+  ev_->ScheduleAfter(interval_ns_, [this, epoch] { Tick(epoch); });
+}
+
+void WriteTimeSeriesCsv(std::ostream& os, const std::vector<LabeledSamples>& series,
+                        const std::string& label_header) {
+  // Header: the sorted union of every counter name across every series.
+  std::set<std::string> names;
+  for (const LabeledSamples& s : series) {
+    for (const TimeSeriesSample& sample : s.samples) {
+      for (const auto& [name, value] : sample.delta) {
+        names.insert(name);
+      }
+    }
+  }
+  if (!label_header.empty()) {
+    os << label_header << ",";
+  }
+  os << "time_us,host";
+  for (const std::string& name : names) {
+    os << "," << name;
+  }
+  os << "\n";
+  char buf[32];
+  for (const LabeledSamples& s : series) {
+    for (const TimeSeriesSample& sample : s.samples) {
+      if (!label_header.empty()) {
+        os << s.label << ",";
+      }
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, sample.t / 1000,
+                    sample.t % 1000);
+      os << buf << "," << sample.source;
+      for (const std::string& name : names) {
+        const auto it = sample.delta.find(name);
+        os << "," << (it == sample.delta.end() ? 0 : it->second);
+      }
+      os << "\n";
+    }
+  }
+}
+
+void TimeSeriesRecorder::WriteCsv(std::ostream& os) const {
+  WriteTimeSeriesCsv(os, {LabeledSamples{"", samples_}});
+}
+
+}  // namespace fsio

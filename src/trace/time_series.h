@@ -1,0 +1,98 @@
+// TimeSeriesRecorder: fixed-interval sampling of StatsRegistry deltas.
+//
+// The figure pipeline only reports end-of-window totals; this recorder turns
+// the same counters into a time series, which is what exposes *when* PTcache
+// misses cluster, when the root-complex buffer saturates, and how
+// invalidation waits serialize over a run. It schedules one self-repeating
+// sampling event on the simulation's EventQueue; at every tick it snapshots
+// each registered source and records the per-interval delta of every
+// counter. Sampling only reads counters, so an instrumented run's simulation
+// results are identical to an untraced run.
+//
+//   TimeSeriesRecorder rec(&cluster.ev(), 1000 * kNsPerUs);
+//   for (h...) rec.AddSource(h, &cluster.host(h).stats());
+//   rec.Start();
+//   cluster.RunUntil(...);
+//   rec.WriteCsv(file);   // time_us,host,<counter...> wide rows
+//
+// CSV columns are the sorted union of every counter name seen across the
+// run (counters appear lazily; missing cells are 0), so output is a pure
+// function of the simulation and byte-identical across reruns.
+#ifndef FASTSAFE_SRC_TRACE_TIME_SERIES_H_
+#define FASTSAFE_SRC_TRACE_TIME_SERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/simcore/event_queue.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+
+// One source's counter deltas over one sampling interval ending at `t`.
+struct TimeSeriesSample {
+  TimeNs t = 0;
+  std::uint32_t source = 0;  // host id
+  std::map<std::string, std::uint64_t> delta;
+};
+
+// A labeled series, used to merge several runs (sweep points) into one CSV.
+struct LabeledSamples {
+  std::string label;
+  std::vector<TimeSeriesSample> samples;
+};
+
+// Writes merged wide-format CSV: [<label_header>,]time_us,host,<counters...>.
+// The counter columns are the sorted union across all series; the label
+// column is omitted when `label_header` is empty.
+void WriteTimeSeriesCsv(std::ostream& os, const std::vector<LabeledSamples>& series,
+                        const std::string& label_header = std::string());
+
+class TimeSeriesRecorder {
+ public:
+  // Samples every `interval_ns` of simulated time once started.
+  TimeSeriesRecorder(EventQueue* ev, TimeNs interval_ns);
+
+  // Registers a counter registry to sample. `id` labels the rows (host id).
+  // All sources must be added before Start().
+  void AddSource(std::uint32_t id, const StatsRegistry* stats);
+
+  // Takes baseline snapshots and schedules the first tick one interval from
+  // now. Start() twice is a no-op.
+  void Start();
+
+  // Stops future ticks (already-scheduled ticks become no-ops). Without an
+  // explicit Stop() the recorder re-arms forever, which is fine under
+  // RunUntil() but would keep EventQueue::RunAll() from terminating.
+  void Stop();
+
+  TimeNs interval_ns() const { return interval_ns_; }
+  const std::vector<TimeSeriesSample>& samples() const { return samples_; }
+  std::vector<TimeSeriesSample> TakeSamples() { return std::move(samples_); }
+
+  // Single-recorder CSV: time_us,host,<counters...>.
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  struct Source {
+    std::uint32_t id = 0;
+    const StatsRegistry* stats = nullptr;
+    std::map<std::string, std::uint64_t> last;
+  };
+
+  void Tick(std::uint64_t epoch);
+
+  EventQueue* ev_;
+  TimeNs interval_ns_;
+  std::vector<Source> sources_;
+  std::vector<TimeSeriesSample> samples_;
+  bool started_ = false;
+  std::uint64_t epoch_ = 0;  // bumped by Stop() to cancel in-flight ticks
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TRACE_TIME_SERIES_H_

@@ -1,0 +1,61 @@
+// Structured trace events: the unit of the observability subsystem.
+//
+// A TraceEvent is one record on a (process, track) timeline: a complete span
+// (start + duration), an instant, or a counter sample. Events map 1:1 onto
+// the Chrome trace-event format (chrome_trace.h), so any trace can be opened
+// in Perfetto / chrome://tracing. `pid` scopes events to a host; `tid`
+// scopes them to a component track within that host, which is how a
+// multi-host Cluster renders as one process lane per host with one thread
+// lane per subsystem.
+//
+// Category and name strings must be string literals (or otherwise outlive
+// every sink that sees the event): events store raw const char* so that
+// emitting one costs no allocation on the simulator's hot paths.
+#ifndef FASTSAFE_SRC_TRACE_TRACE_EVENT_H_
+#define FASTSAFE_SRC_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+
+#include "src/simcore/time.h"
+
+namespace fsio {
+
+// Component timeline within a host. Values are Chrome `tid`s; keep them
+// stable so traces from different builds line up.
+enum class TraceTrack : std::uint32_t {
+  kHost = 0,       // CPU core / stack work
+  kIommu = 1,      // translations, walks, invalidations
+  kPcie = 2,       // root-complex DMA, buffer stalls
+  kNic = 3,        // descriptor lifecycle, packet DMA, drops
+  kDriver = 4,     // dma_map / dma_unmap / invalidation waits
+  kTransport = 5,  // DCTCP send/recv, loss recovery
+  kMetrics = 6,    // time-series counter samples
+};
+
+// Human-readable track label, used for Chrome thread_name metadata.
+const char* TraceTrackName(TraceTrack track);
+
+enum class TracePhase : char {
+  kComplete = 'X',  // span: [ts, ts + dur)
+  kInstant = 'i',   // point event
+  kCounter = 'C',   // counter sample (value in arg1)
+};
+
+struct TraceEvent {
+  const char* cat = "";   // hierarchical category ("iommu", "pcie", ...)
+  const char* name = "";  // event name within the category
+  TracePhase phase = TracePhase::kInstant;
+  TimeNs ts = 0;   // simulated start time
+  TimeNs dur = 0;  // span duration (kComplete only)
+  std::uint32_t pid = 0;                      // host id
+  TraceTrack tid = TraceTrack::kHost;         // component track
+  // Up to two optional numeric arguments (nullptr key = absent).
+  const char* arg1_name = nullptr;
+  double arg1 = 0.0;
+  const char* arg2_name = nullptr;
+  double arg2 = 0.0;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TRACE_TRACE_EVENT_H_

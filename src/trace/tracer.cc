@@ -1,0 +1,49 @@
+#include "src/trace/tracer.h"
+
+#include <cstring>
+
+namespace fsio {
+
+const char* TraceTrackName(TraceTrack track) {
+  switch (track) {
+    case TraceTrack::kHost:
+      return "host";
+    case TraceTrack::kIommu:
+      return "iommu";
+    case TraceTrack::kPcie:
+      return "pcie";
+    case TraceTrack::kNic:
+      return "nic";
+    case TraceTrack::kDriver:
+      return "driver";
+    case TraceTrack::kTransport:
+      return "transport";
+    case TraceTrack::kMetrics:
+      return "metrics";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(TraceSink* sink, std::string category_filter, std::uint64_t max_events)
+    : sink_(sink), filter_(std::move(category_filter)), max_events_(max_events) {}
+
+bool Tracer::Accepts(const char* cat) const {
+  if (filter_.empty()) {
+    return true;
+  }
+  return std::strncmp(cat, filter_.c_str(), filter_.size()) == 0;
+}
+
+void Tracer::Emit(const TraceEvent& event) {
+  if (sink_ == nullptr || !Accepts(event.cat)) {
+    return;
+  }
+  if (emitted_ >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  ++emitted_;
+  sink_->Emit(event);
+}
+
+}  // namespace fsio

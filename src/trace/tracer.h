@@ -1,0 +1,158 @@
+// Tracer: the event-collection front end of the observability subsystem.
+//
+// A Tracer owns the enabled/filter/volume policy and forwards accepted
+// events to a TraceSink. Components never talk to a Tracer directly: they
+// hold a TraceScope — a (tracer, host, track) triple — by value, and the
+// whole instrumentation collapses to one pointer test when tracing is off
+// (the default-constructed scope has a null tracer). That is the
+// overhead-when-disabled guarantee: no allocation, no virtual call, no
+// string work unless a sink is attached.
+//
+//   Tracer tracer(&sink, /*category_filter=*/"iommu");
+//   cluster.SetTracer(&tracer);        // hands scopes to every component
+//   ...
+//   // component hot path:
+//   if (trace_.enabled()) {
+//     trace_.Complete("iommu", "walk", start, done, "mem_reads", reads);
+//   }
+//
+// One Tracer serves one deterministic simulation instance (a Cluster); a
+// parallel sweep uses one Tracer + sink per point so the merged output is
+// byte-identical to a serial run (see tools/fsio_sim.cc).
+#ifndef FASTSAFE_SRC_TRACE_TRACER_H_
+#define FASTSAFE_SRC_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace fsio {
+
+// Receives every event accepted by the Tracer. Sinks are not thread-safe:
+// one sink belongs to one simulation instance.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+// Buffers events in memory, in emission order. The standard sink: traces
+// are written (and merged across sweep points) after the simulation ends.
+class VectorSink : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::vector<TraceEvent> TakeEvents() { return std::move(events_); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+class Tracer {
+ public:
+  // Bounds trace memory: events past the cap are counted, not stored. High
+  // enough that only runaway configurations hit it.
+  static constexpr std::uint64_t kDefaultMaxEvents = 8'000'000;
+
+  // `sink` may be null (tracing disabled). `category_filter` keeps only
+  // events whose category starts with the given prefix ("" keeps all).
+  explicit Tracer(TraceSink* sink, std::string category_filter = "",
+                  std::uint64_t max_events = kDefaultMaxEvents);
+
+  bool enabled() const { return sink_ != nullptr; }
+
+  // True if `cat` passes the category prefix filter.
+  bool Accepts(const char* cat) const;
+
+  // Filters, caps, and forwards one event.
+  void Emit(const TraceEvent& event);
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  TraceSink* sink_;
+  std::string filter_;
+  std::uint64_t max_events_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// A component's by-value handle: pre-bound (tracer, host id, track). The
+// default-constructed scope is permanently disabled and safe to use.
+class TraceScope {
+ public:
+  TraceScope() = default;
+  TraceScope(Tracer* tracer, std::uint32_t pid, TraceTrack track)
+      : tracer_(tracer), pid_(pid), track_(track) {}
+
+  bool enabled() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+  // Span [start, end). `end < start` is clamped to a zero-length span.
+  void Complete(const char* cat, const char* name, TimeNs start, TimeNs end,
+                const char* arg1_name = nullptr, double arg1 = 0.0,
+                const char* arg2_name = nullptr, double arg2 = 0.0) const {
+    if (!enabled()) {
+      return;
+    }
+    TraceEvent e;
+    e.cat = cat;
+    e.name = name;
+    e.phase = TracePhase::kComplete;
+    e.ts = start;
+    e.dur = end > start ? end - start : 0;
+    FillAndEmit(&e, arg1_name, arg1, arg2_name, arg2);
+  }
+
+  void Instant(const char* cat, const char* name, TimeNs at,
+               const char* arg1_name = nullptr, double arg1 = 0.0,
+               const char* arg2_name = nullptr, double arg2 = 0.0) const {
+    if (!enabled()) {
+      return;
+    }
+    TraceEvent e;
+    e.cat = cat;
+    e.name = name;
+    e.phase = TracePhase::kInstant;
+    e.ts = at;
+    FillAndEmit(&e, arg1_name, arg1, arg2_name, arg2);
+  }
+
+  // Counter sample; rendered as a per-(host, name) value track.
+  void Counter(const char* cat, const char* name, TimeNs at, double value) const {
+    if (!enabled()) {
+      return;
+    }
+    TraceEvent e;
+    e.cat = cat;
+    e.name = name;
+    e.phase = TracePhase::kCounter;
+    e.ts = at;
+    FillAndEmit(&e, "value", value, nullptr, 0.0);
+  }
+
+  std::uint32_t pid() const { return pid_; }
+  TraceTrack track() const { return track_; }
+
+ private:
+  void FillAndEmit(TraceEvent* e, const char* arg1_name, double arg1,
+                   const char* arg2_name, double arg2) const {
+    e->pid = pid_;
+    e->tid = track_;
+    e->arg1_name = arg1_name;
+    e->arg1 = arg1;
+    e->arg2_name = arg2_name;
+    e->arg2 = arg2;
+    tracer_->Emit(*e);
+  }
+
+  Tracer* tracer_ = nullptr;
+  std::uint32_t pid_ = 0;
+  TraceTrack track_ = TraceTrack::kHost;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TRACE_TRACER_H_

@@ -40,6 +40,8 @@ void DctcpSender::SendSegment(std::uint64_t seq, std::uint32_t len, bool retrans
   sent_packets_->Add();
   if (retransmit) {
     retransmit_packets_->Add();
+    trace_.Instant("transport", "retransmit", ev_->now(), "flow",
+                   static_cast<double>(flow_id_), "seq", static_cast<double>(seq));
   }
   emit_(p);
 }
@@ -96,6 +98,8 @@ void DctcpSender::OnRto(std::uint64_t armed_epoch) {
   // Go-back-N: rewind and slow-start.
   ++timeouts_;
   timeout_events_->Add();
+  trace_.Instant("transport", "rto", ev_->now(), "flow",
+                 static_cast<double>(flow_id_), "snd_una", static_cast<double>(snd_una_));
   snd_nxt_ = snd_una_;
   cwnd_ = config_.mss_bytes;
   dup_acks_ = 0;
@@ -167,6 +171,8 @@ void DctcpSender::OnAck(const Packet& ack) {
       }
       SendSegment(snd_una_, len, true);
       ++fast_retransmits_;
+      trace_.Instant("transport", "cwnd_cut", ev_->now(), "flow",
+                     static_cast<double>(flow_id_), "cwnd", cwnd_ / 2.0);
       cwnd_ = cwnd_ / 2.0;
       if (cwnd_ < config_.mss_bytes) {
         cwnd_ = config_.mss_bytes;
@@ -243,6 +249,9 @@ void DctcpReceiver::OnData(const Packet& packet) {
   if (start > rcv_nxt_) {
     // Out of order: buffer and send an immediate duplicate ACK.
     ooo_packets_->Add();
+    trace_.Instant("transport", "ooo_data", ev_->now(), "flow",
+                   static_cast<double>(flow_id_), "gap",
+                   static_cast<double>(start - rcv_nxt_));
     auto [it, inserted] = ooo_.try_emplace(start, end);
     if (!inserted && it->second < end) {
       it->second = end;

@@ -21,6 +21,7 @@
 #include "src/simcore/event_queue.h"
 #include "src/simcore/time.h"
 #include "src/stats/counters.h"
+#include "src/trace/tracer.h"
 #include "src/transport/packet.h"
 
 namespace fsio {
@@ -65,6 +66,8 @@ class DctcpSender {
   void SetRoute(std::uint32_t src_host, std::uint32_t dst_host, std::uint32_t dst_core);
 
   void SetQuota(QuotaFn quota) { quota_ = std::move(quota); }
+  // Observability: retransmit/timeout/cwnd-cut instants per flow.
+  void SetTrace(const TraceScope& trace) { trace_ = trace; }
 
   std::uint64_t flow_id() const { return flow_id_; }
   std::uint64_t bytes_acked() const { return snd_una_; }
@@ -89,6 +92,7 @@ class DctcpSender {
   EventQueue* ev_;
   EmitFn emit_;
   QuotaFn quota_;
+  TraceScope trace_;
 
   std::uint32_t src_host_ = 0;
   std::uint32_t dst_host_ = 0;
@@ -132,6 +136,8 @@ class DctcpReceiver {
   void OnData(const Packet& packet);
 
   void SetRoute(std::uint32_t src_host, std::uint32_t dst_host, std::uint32_t dst_core);
+  // Observability: out-of-order arrival instants per flow.
+  void SetTrace(const TraceScope& trace) { trace_ = trace; }
 
   std::uint64_t bytes_delivered() const { return rcv_nxt_; }
 
@@ -144,6 +150,7 @@ class DctcpReceiver {
   EventQueue* ev_;
   EmitFn emit_;
   DeliverFn deliver_;
+  TraceScope trace_;
 
   std::uint32_t src_host_ = 0;
   std::uint32_t dst_host_ = 0;

@@ -1,24 +1,37 @@
 # Runs the same fsio_sim sweep serially (--jobs=1) and on a 4-thread pool
 # (--jobs=4) and fails unless the outputs are byte-identical: the SweepRunner
-# contract is that parallel sweeps reproduce the serial sweep exactly.
+# contract is that parallel sweeps reproduce the serial sweep exactly. The
+# contract extends to the observability artifacts — the merged Chrome trace
+# JSON and the time-series CSV must also be byte-identical across job counts.
 # Invoked by ctest as
-#   cmake -DSIM=<path-to-fsio_sim> -P run_sweep_determinism_check.cmake
+#   cmake -DSIM=<path-to-fsio_sim> [-DWORKDIR=<dir>] -P run_sweep_determinism_check.cmake
 if(NOT DEFINED SIM)
   message(FATAL_ERROR "pass -DSIM=<path to fsio_sim>")
 endif()
+if(NOT DEFINED WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
 
-set(args --mode=strict --sweep-flows=1,3,5,8 --warmup-ms=2 --window-ms=3 --per-host)
+set(trace_serial ${WORKDIR}/sweep_det_serial.trace.json)
+set(trace_parallel ${WORKDIR}/sweep_det_parallel.trace.json)
+set(metrics_serial ${WORKDIR}/sweep_det_serial.metrics.csv)
+set(metrics_parallel ${WORKDIR}/sweep_det_parallel.metrics.csv)
+
+set(args --mode=strict --sweep-flows=1,3,5,8 --warmup-ms=2 --window-ms=3 --per-host
+         --metrics-interval=500)
 
 string(TIMESTAMP t0 "%s")
-execute_process(COMMAND ${SIM} ${args} --jobs=1 OUTPUT_VARIABLE out_serial
-                RESULT_VARIABLE rc_serial)
+execute_process(COMMAND ${SIM} ${args} --jobs=1
+                        --trace=${trace_serial} --metrics=${metrics_serial}
+                OUTPUT_VARIABLE out_serial RESULT_VARIABLE rc_serial)
 string(TIMESTAMP t1 "%s")
 if(NOT rc_serial EQUAL 0)
   message(FATAL_ERROR "serial sweep failed with exit code ${rc_serial}:\n${out_serial}")
 endif()
 
-execute_process(COMMAND ${SIM} ${args} --jobs=4 OUTPUT_VARIABLE out_parallel
-                RESULT_VARIABLE rc_parallel)
+execute_process(COMMAND ${SIM} ${args} --jobs=4
+                        --trace=${trace_parallel} --metrics=${metrics_parallel}
+                OUTPUT_VARIABLE out_parallel RESULT_VARIABLE rc_parallel)
 string(TIMESTAMP t2 "%s")
 if(NOT rc_parallel EQUAL 0)
   message(FATAL_ERROR "parallel sweep failed with exit code ${rc_parallel}:\n${out_parallel}")
@@ -28,6 +41,20 @@ if(NOT out_serial STREQUAL out_parallel)
   message(FATAL_ERROR "parallel sweep output differs from serial:\n"
                       "--- jobs=1 ---\n${out_serial}\n--- jobs=4 ---\n${out_parallel}")
 endif()
+
+foreach(pair "trace;${trace_serial};${trace_parallel}"
+             "metrics;${metrics_serial};${metrics_parallel}")
+  list(GET pair 0 kind)
+  list(GET pair 1 serial_file)
+  list(GET pair 2 parallel_file)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          ${serial_file} ${parallel_file}
+                  RESULT_VARIABLE rc_cmp)
+  if(NOT rc_cmp EQUAL 0)
+    message(FATAL_ERROR "parallel ${kind} file differs from serial "
+                        "(${serial_file} vs ${parallel_file})")
+  endif()
+endforeach()
 
 math(EXPR serial_s "${t1} - ${t0}")
 math(EXPR parallel_s "${t2} - ${t1}")

@@ -82,6 +82,20 @@ TEST(EventQueueTest, SchedulingInThePastClampsToNow) {
   EXPECT_EQ(observed, 100u);
 }
 
+TEST(EventQueueTest, PastClampedEventRunsAfterEventsAlreadyQueuedAtNow) {
+  // A past-time ScheduleAt clamps to now() and takes a fresh insertion
+  // sequence number, so it runs after events already queued for the current
+  // instant — clamping cannot reorder it ahead of earlier work.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAt(100, [&] { order.push_back(1); });  // already "at now"
+    q.ScheduleAt(10, [&] { order.push_back(2); });   // past, clamps to 100
+  });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(EventQueueTest, CountsExecutedEvents) {
   EventQueue q;
   for (int i = 0; i < 7; ++i) {

@@ -37,6 +37,35 @@ TEST(CountersTest, SnapshotAndDelta) {
   EXPECT_EQ(delta["b"], 7u);
 }
 
+TEST(CountersTest, DeltaDropsCountersAbsentFromAfter) {
+  // Delta iterates `after` only: a counter that exists in the before
+  // snapshot but not in the after snapshot (e.g. snapshots taken from
+  // different registries) is silently dropped, not reported as negative.
+  std::map<std::string, std::uint64_t> before{{"gone", 5}, {"kept", 2}};
+  std::map<std::string, std::uint64_t> after{{"kept", 6}};
+  const auto delta = StatsRegistry::Delta(before, after);
+  EXPECT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta.at("kept"), 4u);
+  EXPECT_FALSE(delta.contains("gone"));
+}
+
+TEST(CountersTest, DeltaClampsRegressionsToZero) {
+  // Counters are monotonic in normal operation; if `after` is somehow below
+  // `before` (counter reset between snapshots), the delta clamps to zero
+  // rather than wrapping to a huge unsigned value.
+  std::map<std::string, std::uint64_t> before{{"a", 100}};
+  std::map<std::string, std::uint64_t> after{{"a", 40}};
+  const auto delta = StatsRegistry::Delta(before, after);
+  EXPECT_EQ(delta.at("a"), 0u);
+}
+
+TEST(CountersTest, DeltaCountsNewCountersFromZero) {
+  std::map<std::string, std::uint64_t> before;
+  std::map<std::string, std::uint64_t> after{{"fresh", 9}};
+  const auto delta = StatsRegistry::Delta(before, after);
+  EXPECT_EQ(delta.at("fresh"), 9u);
+}
+
 TEST(CountersTest, ResetAllZeroesEverything) {
   StatsRegistry reg;
   reg.Get("a")->Add(10);

@@ -1,0 +1,256 @@
+// Unit tests for the observability subsystem: Tracer/TraceScope policy
+// (enabled, filter, cap), Chrome trace-event JSON export (formatting,
+// metadata, multi-group pid remapping), and the TimeSeriesRecorder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/simcore/event_queue.h"
+#include "src/stats/counters.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/time_series.h"
+#include "src/trace/trace_event.h"
+#include "src/trace/tracer.h"
+
+namespace fsio {
+namespace {
+
+TEST(TracerTest, NullSinkIsDisabled) {
+  Tracer tracer(nullptr);
+  EXPECT_FALSE(tracer.enabled());
+  TraceScope scope(&tracer, 0, TraceTrack::kIommu);
+  EXPECT_FALSE(scope.enabled());
+  // Emitting through a disabled scope must be a no-op, not a crash.
+  scope.Complete("iommu", "walk", 10, 20);
+  scope.Instant("iommu", "fault", 15);
+  scope.Counter("iommu", "occupancy", 15, 3.0);
+  EXPECT_EQ(tracer.emitted(), 0u);
+}
+
+TEST(TracerTest, DefaultConstructedScopeIsDisabled) {
+  TraceScope scope;
+  EXPECT_FALSE(scope.enabled());
+  scope.Complete("iommu", "walk", 10, 20);  // must not crash
+}
+
+TEST(TracerTest, ScopeStampsPidAndTrack) {
+  VectorSink sink;
+  Tracer tracer(&sink);
+  EXPECT_TRUE(tracer.enabled());
+  TraceScope scope(&tracer, 7, TraceTrack::kPcie);
+  scope.Complete("pcie", "dma_write", 100, 250, "bytes", 4096.0);
+  ASSERT_EQ(sink.events().size(), 1u);
+  const TraceEvent& e = sink.events()[0];
+  EXPECT_EQ(e.pid, 7u);
+  EXPECT_EQ(e.tid, TraceTrack::kPcie);
+  EXPECT_EQ(e.phase, TracePhase::kComplete);
+  EXPECT_EQ(e.ts, 100u);
+  EXPECT_EQ(e.dur, 150u);
+  EXPECT_STREQ(e.arg1_name, "bytes");
+  EXPECT_DOUBLE_EQ(e.arg1, 4096.0);
+  EXPECT_EQ(e.arg2_name, nullptr);
+}
+
+TEST(TracerTest, CompleteClampsBackwardSpanToZeroDuration) {
+  VectorSink sink;
+  Tracer tracer(&sink);
+  TraceScope scope(&tracer, 0, TraceTrack::kDriver);
+  scope.Complete("driver", "unmap", 500, 400);  // end < start
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].ts, 500u);
+  EXPECT_EQ(sink.events()[0].dur, 0u);
+}
+
+TEST(TracerTest, CategoryPrefixFilter) {
+  VectorSink sink;
+  Tracer tracer(&sink, "iommu");
+  EXPECT_TRUE(tracer.Accepts("iommu"));
+  EXPECT_FALSE(tracer.Accepts("pcie"));
+  TraceScope scope(&tracer, 0, TraceTrack::kIommu);
+  scope.Instant("iommu", "fault", 10);
+  scope.Instant("pcie", "stall", 20);
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_STREQ(sink.events()[0].cat, "iommu");
+  EXPECT_EQ(tracer.emitted(), 1u);
+}
+
+TEST(TracerTest, EmptyFilterAcceptsEverything) {
+  Tracer tracer(nullptr, "");
+  EXPECT_TRUE(tracer.Accepts("iommu"));
+  EXPECT_TRUE(tracer.Accepts("anything"));
+}
+
+TEST(TracerTest, MaxEventsCapCountsDrops) {
+  VectorSink sink;
+  Tracer tracer(&sink, "", /*max_events=*/3);
+  TraceScope scope(&tracer, 0, TraceTrack::kNic);
+  for (int i = 0; i < 5; ++i) {
+    scope.Instant("nic", "rx", static_cast<TimeNs>(i));
+  }
+  EXPECT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(tracer.emitted(), 3u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+}
+
+TEST(ChromeTraceTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(ChromeTraceTest, EmitsEnvelopeAndMetadataLanes) {
+  VectorSink sink;
+  Tracer tracer(&sink);
+  TraceScope scope(&tracer, 2, TraceTrack::kIommu);
+  scope.Complete("iommu", "walk", 1234, 2468, "mem_reads", 3.0);
+  std::ostringstream os;
+  WriteChromeTrace(os, sink.events());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  // Lane metadata precedes data events and labels pid 2 / the iommu track.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"host2\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Timestamps print as microseconds with fixed 3-decimal ns precision.
+  EXPECT_NE(json.find("\"ts\":1.234"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.234"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"mem_reads\":3}"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, InstantEventsAreThreadScoped) {
+  VectorSink sink;
+  Tracer tracer(&sink);
+  TraceScope scope(&tracer, 0, TraceTrack::kNic);
+  scope.Instant("nic", "drop", 5000);
+  std::ostringstream os;
+  WriteChromeTrace(os, sink.events());
+  EXPECT_NE(os.str().find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"ts\":5.000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, MultiGroupMergeRemapsPidsDisjointly) {
+  // Two sweep points, each with events on host pids {0, 1}: the second
+  // group's pids must land in a disjoint range (2, 3) and both groups keep
+  // their label prefix in process_name.
+  std::vector<TraceEvent> a(2), b(2);
+  for (int i = 0; i < 2; ++i) {
+    a[i].pid = b[i].pid = static_cast<std::uint32_t>(i);
+    a[i].cat = b[i].cat = "iommu";
+    a[i].name = b[i].name = "walk";
+  }
+  std::ostringstream os;
+  WriteChromeTrace(os, {TraceGroup{"flows=1/", &a}, TraceGroup{"flows=5/", &b}});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"args\":{\"name\":\"flows=1/host0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"flows=1/host1\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"flows=5/host0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"flows=5/host1\"}"), std::string::npos);
+  // Remapped data-event pids 2 and 3 appear; pids never collide across groups.
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, OutputIsDeterministic) {
+  VectorSink sink;
+  Tracer tracer(&sink);
+  TraceScope scope(&tracer, 1, TraceTrack::kDriver);
+  for (int i = 0; i < 100; ++i) {
+    scope.Complete("driver", "map_pages", static_cast<TimeNs>(i * 10),
+                   static_cast<TimeNs>(i * 10 + 7), "pages", 32.0);
+  }
+  std::ostringstream first, second;
+  WriteChromeTrace(first, sink.events());
+  WriteChromeTrace(second, sink.events());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TimeSeriesTest, RecorderSamplesPerIntervalDeltas) {
+  EventQueue ev;
+  StatsRegistry stats;
+  TimeSeriesRecorder rec(&ev, /*interval_ns=*/1000);
+  rec.AddSource(0, &stats);
+  // Counter activity spread over three intervals.
+  ev.ScheduleAt(100, [&] { stats.Get("iommu.walks")->Add(4); });
+  ev.ScheduleAt(1500, [&] { stats.Get("iommu.walks")->Add(6); });
+  ev.ScheduleAt(2500, [&] { stats.Get("nic.rx")->Add(1); });
+  rec.Start();
+  ev.RunUntil(3000);
+  rec.Stop();
+  const auto& samples = rec.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].t, 1000u);
+  EXPECT_EQ(samples[0].delta.at("iommu.walks"), 4u);
+  EXPECT_EQ(samples[1].t, 2000u);
+  EXPECT_EQ(samples[1].delta.at("iommu.walks"), 6u);
+  EXPECT_EQ(samples[2].t, 3000u);
+  EXPECT_EQ(samples[2].delta.at("nic.rx"), 1u);
+  // Deltas are per-interval, not cumulative.
+  EXPECT_EQ(samples[1].delta.count("nic.rx"), 0u);
+}
+
+TEST(TimeSeriesTest, StopCancelsFutureTicks) {
+  EventQueue ev;
+  StatsRegistry stats;
+  TimeSeriesRecorder rec(&ev, 1000);
+  rec.AddSource(0, &stats);
+  rec.Start();
+  ev.RunUntil(2000);
+  rec.Stop();
+  // Without Stop() the recorder re-arms forever; after Stop() the queue
+  // drains (the in-flight tick is a no-op) and no new samples appear.
+  ev.RunAll();
+  EXPECT_EQ(rec.samples().size(), 2u);
+}
+
+TEST(TimeSeriesTest, CsvUsesSortedColumnUnionWithZeroFill) {
+  EventQueue ev;
+  StatsRegistry stats;
+  TimeSeriesRecorder rec(&ev, 1000);
+  rec.AddSource(3, &stats);
+  ev.ScheduleAt(500, [&] { stats.Get("zeta")->Add(2); });
+  ev.ScheduleAt(1500, [&] { stats.Get("alpha")->Add(9); });
+  rec.Start();
+  ev.RunUntil(2000);
+  rec.Stop();
+  std::ostringstream os;
+  rec.WriteCsv(os);
+  // Columns are the sorted union of all counters across the run; cells for
+  // counters inactive in an interval are zero-filled.
+  EXPECT_EQ(os.str(),
+            "time_us,host,alpha,zeta\n"
+            "1.000,3,0,2\n"
+            "2.000,3,9,0\n");
+}
+
+TEST(TimeSeriesTest, MergedCsvAddsLabelColumn) {
+  std::vector<LabeledSamples> series(2);
+  series[0].label = "1";
+  series[0].samples.push_back({1000, 0, {{"a", 5}}});
+  series[1].label = "5";
+  series[1].samples.push_back({1000, 0, {{"b", 7}}});
+  std::ostringstream os;
+  WriteTimeSeriesCsv(os, series, "flows");
+  EXPECT_EQ(os.str(),
+            "flows,time_us,host,a,b\n"
+            "1,1.000,0,5,0\n"
+            "5,1.000,0,0,7\n");
+}
+
+TEST(TimeSeriesTest, EmptyLabelHeaderOmitsLabelColumn) {
+  std::vector<LabeledSamples> series(1);
+  series[0].samples.push_back({2000, 1, {{"x", 3}}});
+  std::ostringstream os;
+  WriteTimeSeriesCsv(os, series);
+  EXPECT_EQ(os.str(),
+            "time_us,host,x\n"
+            "2.000,1,3\n");
+}
+
+}  // namespace
+}  // namespace fsio

@@ -18,7 +18,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,9 @@
 #include "src/core/cluster.h"
 #include "src/core/sweep_runner.h"
 #include "src/stats/table.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/time_series.h"
+#include "src/trace/tracer.h"
 
 namespace {
 
@@ -49,6 +54,11 @@ struct Options {
   bool per_host = false;   // one row per host instead of the measured host
   std::vector<std::uint32_t> sweep_flows;  // empty: single run at --flows
   std::uint32_t jobs = 0;  // sweep threads; 0 = FSIO_SWEEP_THREADS/hardware
+  // Observability.
+  std::string trace_path;           // --trace=FILE: Chrome trace-event JSON
+  std::string trace_filter;         // --trace-filter=PREFIX: category prefix
+  std::string metrics_path;         // --metrics=FILE: time-series CSV
+  std::uint64_t metrics_interval_us = 1000;  // --metrics-interval=US
 };
 
 fsio::ProtectionMode ParseMode(const std::string& name) {
@@ -82,23 +92,36 @@ void PrintUsage() {
   std::puts(
       "usage: fsio_sim [options]\n"
       "  --mode=off|strict|deferred|preserve|contig|fastsafe|hugepersist\n"
-      "  --flows=N           iperf flows (default 5); with --incast, flows per sender\n"
-      "  --cores=N           cores per host (default 5)\n"
-      "  --ring=N            Rx ring size in MTU packets (default 256)\n"
-      "  --mtu=N             wire MTU bytes (default 4096)\n"
-      "  --hugepages         2 MB-backed Rx descriptors\n"
-      "  --walkers=N         IOMMU walk contexts (default 1)\n"
-      "  --iotlb-entries=N   IOTLB capacity (default 64)\n"
-      "  --warmup-ms=N       warmup before measuring (default 20)\n"
-      "  --window-ms=N       measurement window (default 40)\n"
-      "  --hosts=N           cluster size (default 2)\n"
-      "  --switches=N        leaf switches; host h attaches to switch h%N (default 1)\n"
-      "  --incast            N-1 -> 1 fan-in into host 0 (default: host 0 -> host 1 iperf)\n"
-      "  --per-host          report a row for every host, not just the measured one\n"
-      "  --sweep-flows=LIST  comma-separated flow counts; one sweep point each\n"
-      "  --jobs=N            sweep worker threads (default: FSIO_SWEEP_THREADS or cores)\n"
-      "  --csv               CSV output\n"
-      "  --counters          dump all raw measured-host counters\n"
+      "  --flows=N            iperf flows (default 5); with --incast, flows per sender\n"
+      "  --cores=N            cores per host (default 5)\n"
+      "  --ring=N             Rx ring size in MTU packets (default 256)\n"
+      "  --mtu=N              wire MTU bytes (default 4096)\n"
+      "  --hugepages          2 MB-backed Rx descriptors\n"
+      "  --walkers=N          IOMMU walk contexts (default 1)\n"
+      "  --iotlb-entries=N    IOTLB capacity (default 64)\n"
+      "  --warmup-ms=N        warmup before measuring (default 20)\n"
+      "  --window-ms=N        measurement window (default 40)\n"
+      "\ntopology:\n"
+      "  --hosts=N            cluster size (default 2)\n"
+      "  --switches=N         leaf switches; host h attaches to switch h%N (default 1)\n"
+      "  --incast             N-1 -> 1 fan-in into host 0 (default: host 0 -> host 1 iperf)\n"
+      "  --per-host           report a row for every host, not just the measured one\n"
+      "\nsweeps:\n"
+      "  --sweep-flows=LIST   comma-separated flow counts; one sweep point each\n"
+      "  --jobs=N             sweep worker threads. An explicit --jobs overrides the\n"
+      "                       FSIO_SWEEP_THREADS env var; with --jobs unset (or =0) the\n"
+      "                       env var applies, else the hardware core count. Output is\n"
+      "                       byte-identical regardless of the thread count.\n"
+      "\nobservability:\n"
+      "  --trace=FILE         write a Chrome trace-event JSON (Perfetto/chrome://tracing);\n"
+      "                       sweep points merge into one file, labeled flows=N/hostH\n"
+      "  --trace-filter=PFX   keep only categories starting with PFX\n"
+      "                       (iommu, pcie, nic, driver, transport, host)\n"
+      "  --metrics=FILE       write per-interval counter-delta CSV (time series)\n"
+      "  --metrics-interval=US  sampling interval in simulated us (default 1000)\n"
+      "\noutput:\n"
+      "  --csv                CSV output\n"
+      "  --counters           dump all raw measured-host counters\n"
       "  --help");
 }
 
@@ -117,6 +140,15 @@ bool ParseU64(const char* arg, const char* prefix, std::uint64_t* out) {
     return false;
   }
   *out = std::strtoull(arg + n, nullptr, 10);
+  return true;
+}
+
+bool ParseString(const char* arg, const char* prefix, std::string* out) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) {
+    return false;
+  }
+  *out = arg + n;
   return true;
 }
 
@@ -154,6 +186,10 @@ Options Parse(int argc, char** argv) {
                ParseU32(arg, "--jobs=", &options.jobs) ||
                ParseU64(arg, "--warmup-ms=", &options.warmup_ms) ||
                ParseU64(arg, "--window-ms=", &options.window_ms) ||
+               ParseU64(arg, "--metrics-interval=", &options.metrics_interval_us) ||
+               ParseString(arg, "--trace-filter=", &options.trace_filter) ||
+               ParseString(arg, "--trace=", &options.trace_path) ||
+               ParseString(arg, "--metrics=", &options.metrics_path) ||
                ParseU32List(arg, "--sweep-flows=", &options.sweep_flows)) {
       // parsed
     } else if (std::strcmp(arg, "--hugepages") == 0) {
@@ -195,17 +231,52 @@ fsio::ClusterConfig MakeClusterConfig(const Options& options) {
   return config;
 }
 
+// One sweep point's complete output: measurements plus (optionally) its
+// trace events and time-series samples, buffered so the parallel sweep can
+// merge them serially in point order.
+struct PointResult {
+  std::vector<fsio::WindowResult> windows;
+  std::vector<fsio::TraceEvent> events;
+  std::vector<fsio::TimeSeriesSample> samples;
+};
+
 // One sweep point: an independent simulation of the configured topology with
-// `flows` flows (per sender under --incast). Returns every host's window.
-std::vector<fsio::WindowResult> RunPoint(const Options& options, std::uint32_t flows) {
+// `flows` flows (per sender under --incast). Each point gets its own Tracer
+// and recorder; tracing only observes, so results are identical either way.
+PointResult RunPoint(const Options& options, std::uint32_t flows) {
+  PointResult out;
   fsio::Cluster cluster(MakeClusterConfig(options));
+
+  fsio::VectorSink sink;
+  std::unique_ptr<fsio::Tracer> tracer;
+  if (!options.trace_path.empty()) {
+    tracer = std::make_unique<fsio::Tracer>(&sink, options.trace_filter);
+    cluster.SetTracer(tracer.get());
+  }
+  std::unique_ptr<fsio::TimeSeriesRecorder> recorder;
+  if (!options.metrics_path.empty()) {
+    recorder = std::make_unique<fsio::TimeSeriesRecorder>(
+        &cluster.ev(), options.metrics_interval_us * fsio::kNsPerUs);
+    for (std::uint32_t h = 0; h < cluster.num_hosts(); ++h) {
+      recorder->AddSource(h, &cluster.host(h).stats());
+    }
+    recorder->Start();
+  }
+
   if (options.incast) {
     fsio::StartIncast(&cluster, /*dst_host=*/0, flows);
   } else {
     cluster.AddBulkFlows(0, 1, flows);
   }
   cluster.RunUntil(options.warmup_ms * fsio::kNsPerMs);
-  return cluster.MeasureWindowAll(options.window_ms * fsio::kNsPerMs);
+  out.windows = cluster.MeasureWindowAll(options.window_ms * fsio::kNsPerMs);
+
+  if (recorder != nullptr) {
+    recorder->Stop();
+    out.samples = recorder->TakeSamples();
+  }
+  out.events = sink.TakeEvents();
+  return out;
 }
 
 void AddResultRow(fsio::Table* table, const Options& options, std::uint32_t flows,
@@ -244,7 +315,7 @@ int main(int argc, char** argv) {
   // Sweep points are independent simulations; run them on the thread pool
   // and emit rows serially in point order (byte-identical to --jobs=1).
   const fsio::SweepRunner runner(options.jobs);
-  const auto results = runner.Map<std::vector<fsio::WindowResult>>(
+  const auto results = runner.Map<PointResult>(
       sweep.size(), [&](std::size_t i) { return RunPoint(options, sweep[i]); });
 
   // The measured host: the incast sink, or the historical receive host 1.
@@ -261,12 +332,12 @@ int main(int argc, char** argv) {
   fsio::Table table(headers);
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     if (options.per_host) {
-      for (std::size_t h = 0; h < results[i].size(); ++h) {
-        AddResultRow(&table, options, sweep[i], results[i][h],
+      for (std::size_t h = 0; h < results[i].windows.size(); ++h) {
+        AddResultRow(&table, options, sweep[i], results[i].windows[h],
                      static_cast<std::int64_t>(h));
       }
     } else {
-      AddResultRow(&table, options, sweep[i], results[i][measured], -1);
+      AddResultRow(&table, options, sweep[i], results[i].windows[measured], -1);
     }
   }
   fsio::EmitTable(std::cout, table,
@@ -274,9 +345,42 @@ int main(int argc, char** argv) {
 
   if (options.dump_counters) {
     std::cout << "\nraw measured-host counters (window delta, last sweep point):\n";
-    for (const auto& [name, value] : results.back()[measured].raw_rx_host) {
+    for (const auto& [name, value] : results.back().windows[measured].raw_rx_host) {
       std::printf("  %-32s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
     }
+  }
+
+  // Merge per-point buffers serially in point order: the files are
+  // byte-identical for any --jobs value.
+  const bool multi = sweep.size() > 1;
+  if (!options.trace_path.empty()) {
+    std::ofstream file(options.trace_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s'\n", options.trace_path.c_str());
+      return 1;
+    }
+    std::vector<fsio::TraceGroup> groups;
+    groups.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const std::string label =
+          multi ? "flows=" + std::to_string(sweep[i]) + "/" : std::string();
+      groups.push_back(fsio::TraceGroup{label, &results[i].events});
+    }
+    fsio::WriteChromeTrace(file, groups);
+  }
+  if (!options.metrics_path.empty()) {
+    std::ofstream file(options.metrics_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s'\n", options.metrics_path.c_str());
+      return 1;
+    }
+    std::vector<fsio::LabeledSamples> series;
+    series.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      series.push_back(fsio::LabeledSamples{std::to_string(sweep[i]),
+                                            results[i].samples});
+    }
+    fsio::WriteTimeSeriesCsv(file, series, multi ? "flows" : std::string());
   }
   return 0;
 }
