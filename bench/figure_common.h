@@ -57,8 +57,12 @@ inline std::vector<Result> ParallelSweep(std::size_t n, Fn&& fn) {
 }
 
 // One emission path for every bench: aligned table plus CSV block.
+// FSIO_BENCH_CSV_ONLY=1 drops the human table — the golden-baseline
+// comparator records bench output in this form so baseline diffs read as
+// CSV diffs rather than column-alignment noise.
 inline void EmitFigure(const std::string& title, const Table& table) {
-  EmitTable(std::cout, table, TableFormat::kHumanWithCsv, title);
+  const bool csv_only = std::getenv("FSIO_BENCH_CSV_ONLY") != nullptr;
+  EmitTable(std::cout, table, csv_only ? TableFormat::kCsv : TableFormat::kHumanWithCsv, title);
 }
 
 // Locality summary of the Rx host's IOVA allocation trace (Figs 2e/3e/7e/8e).

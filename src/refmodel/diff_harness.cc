@@ -1,0 +1,522 @@
+#include "src/refmodel/diff_harness.h"
+
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "src/driver/dma_api.h"
+#include "src/faults/safety_oracle.h"
+#include "src/iommu/iommu.h"
+#include "src/iova/iova_allocator.h"
+#include "src/mem/frame_allocator.h"
+#include "src/mem/memory_system.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/simcore/rng.h"
+#include "src/stats/counters.h"
+
+namespace fsio {
+namespace {
+
+constexpr ProtectionMode kModeByToken[] = {
+    ProtectionMode::kOff,           ProtectionMode::kStrict,
+    ProtectionMode::kDeferred,      ProtectionMode::kStrictPreserve,
+    ProtectionMode::kStrictContig,  ProtectionMode::kFastSafe,
+    ProtectionMode::kHugepagePersistent,
+};
+constexpr const char* kModeTokens[] = {
+    "off", "strict", "deferred", "strict-preserve", "strict-contig", "fast-safe",
+    "hugepage-persistent",
+};
+
+// Descriptors still owned by the (simulated) NIC.
+struct LiveDesc {
+  std::vector<DmaMapping> mappings;
+  std::vector<PhysAddr> frames;
+  bool persistent_rx = false;  // came from AcquirePersistentDescriptor
+};
+
+}  // namespace
+
+const char* ModeToken(ProtectionMode mode) {
+  for (std::size_t i = 0; i < std::size(kModeByToken); ++i) {
+    if (kModeByToken[i] == mode) {
+      return kModeTokens[i];
+    }
+  }
+  return "?";
+}
+
+bool ParseModeToken(const std::string& token, ProtectionMode* mode) {
+  for (std::size_t i = 0; i < std::size(kModeTokens); ++i) {
+    if (token == kModeTokens[i]) {
+      *mode = kModeByToken[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseBugToken(const std::string& token, InjectedBug* bug) {
+  for (InjectedBug b : {InjectedBug::kNone, InjectedBug::kUseAfterUnmap,
+                        InjectedBug::kSkipInvalidation, InjectedBug::kEarlyReclaim}) {
+    if (token == InjectedBugName(b)) {
+      *bug = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<DiffOp> DifferentialHarness::GenerateOps(const DiffConfig& config) {
+  Rng rng(config.seed ^ 0xd1f'f0ac1eULL);
+  std::vector<DiffOp> ops;
+  ops.reserve(config.num_ops);
+  for (std::uint32_t i = 0; i < config.num_ops; ++i) {
+    const std::uint64_t roll = rng.NextBelow(100);
+    OpKind kind;
+    if (roll < 16) {
+      kind = OpKind::kMapRx;
+    } else if (roll < 30) {
+      kind = OpKind::kMapTx;
+    } else if (roll < 55) {
+      kind = OpKind::kUnmap;
+    } else if (roll < 85) {
+      kind = OpKind::kDmaLive;
+    } else {
+      kind = OpKind::kDmaRetired;
+    }
+    DiffOp op;
+    op.kind = kind;
+    op.core = static_cast<std::uint32_t>(rng.NextBelow(config.num_cores));
+    op.arg = rng.Next();
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<DiffOp>& ops) {
+  DiffResult out;
+  StatsRegistry stats;
+  FrameAllocator frame_alloc;
+  IoPageTable pt;
+  MemorySystem mem(MemoryConfig{}, &stats);
+  Iommu iommu(IommuConfig{}, &mem, &pt, &stats);
+  IovaAllocatorConfig iova_config;
+  iova_config.num_cores = config.num_cores;
+  iova_config.enable_rcache = config.enable_rcache;
+  IovaAllocator iova(iova_config, &stats);
+  DmaApiConfig dma_config;
+  dma_config.mode = config.mode;
+  dma_config.pages_per_chunk = config.pages_per_chunk;
+  dma_config.num_cores = config.num_cores;
+  // Keep frees on the issuing core: cross-core migration only perturbs IOVA
+  // cache locality, which the contract does not speak about, and removing
+  // it makes shrunken repros stabler.
+  dma_config.free_migration_fraction = 0.0;
+  dma_config.inject_skip_reclaim_invalidation = config.bug == InjectedBug::kEarlyReclaim;
+  DmaApi dma(dma_config, &iova, &pt, &iommu, &stats);
+  SafetyOracle oracle(&stats);
+  dma.SetSafetyOracle(&oracle);
+  iommu.SetSafetyOracle(&oracle);
+  RefModel model(config.mode);
+
+  const bool off = config.mode == ProtectionMode::kOff;
+  const bool persistent = config.mode == ProtectionMode::kHugepagePersistent;
+  const bool real_unmaps = !off && !persistent;
+
+  std::vector<LiveDesc> live;
+  std::deque<Iova> retired;
+  TimeNs t = 0;
+
+  auto diverge = [&](std::size_t index, const std::string& why) {
+    out.diverged = true;
+    out.fail_index = index;
+    std::ostringstream os;
+    os << "op " << index << " (" << OpKindName(ops[index].kind) << "): " << why;
+    out.message = os.str();
+  };
+
+  // Cross-checks run after every op: the real page table and the model must
+  // agree on the mapped-page count, and the safety oracle's classification
+  // counters must match the model's predictions exactly.
+  auto check_state = [&](std::size_t index) {
+    if (!off && pt.mapped_pages() != model.mapped_pages()) {
+      std::ostringstream os;
+      os << "page table holds " << pt.mapped_pages() << " pages but the model expects "
+         << model.mapped_pages();
+      diverge(index, os.str());
+      return;
+    }
+    if (oracle.count(SafetyViolationKind::kUseAfterUnmap) != model.predicted_use_after_unmap()) {
+      std::ostringstream os;
+      os << "oracle recorded " << oracle.count(SafetyViolationKind::kUseAfterUnmap)
+         << " use-after-unmap violations but the model predicts "
+         << model.predicted_use_after_unmap();
+      diverge(index, os.str());
+      return;
+    }
+    if (oracle.count(SafetyViolationKind::kStalePtcachePointer) != 0 ||
+        oracle.count(SafetyViolationKind::kReclaimedTableWalk) != 0) {
+      std::ostringstream os;
+      os << "oracle recorded stale-PTcache violations (live="
+         << oracle.count(SafetyViolationKind::kStalePtcachePointer)
+         << " reclaimed=" << oracle.count(SafetyViolationKind::kReclaimedTableWalk)
+         << "); the contract allows none";
+      diverge(index, os.str());
+    }
+  };
+
+  auto do_translate = [&](std::size_t index, Iova iova_addr) {
+    ++out.dmas;
+    const TranslationResult res = iommu.Translate(iova_addr, t);
+    if (res.fault) {
+      ++out.faults;
+    }
+    if (res.stale_use) {
+      ++out.stale_uses;
+    }
+    if (auto err = model.CheckTranslation(iova_addr, res); err.has_value()) {
+      diverge(index, *err);
+    }
+  };
+
+  for (std::size_t i = 0; i < ops.size() && !out.diverged; ++i) {
+    const DiffOp& op = ops[i];
+    ++out.ops_executed;
+    // Advance past the longest possible walk so pending-walk coalescing
+    // (a latency feature, invisible to the contract) never kicks in.
+    t += 3000;
+    switch (op.kind) {
+      case OpKind::kMapRx: {
+        if (persistent) {
+          DmaApi::MapResult r = dma.AcquirePersistentDescriptor(
+              op.core, [&] { return frame_alloc.AllocHugeFrame(); });
+          t += r.cpu_ns;
+          if (r.mappings.empty()) {
+            break;
+          }
+          for (const DmaMapping& m : r.mappings) {
+            const std::uint64_t page = PageNumber(m.iova);
+            if (model.IsMapped(page)) {
+              model.Reacquire(page);
+            } else {
+              model.Map(page, m.phys);
+            }
+          }
+          LiveDesc d;
+          d.persistent_rx = true;
+          d.mappings = std::move(r.mappings);
+          live.push_back(std::move(d));
+          ++out.maps;
+          break;
+        }
+        LiveDesc d;
+        d.frames.reserve(config.pages_per_chunk);
+        for (std::uint32_t p = 0; p < config.pages_per_chunk; ++p) {
+          d.frames.push_back(frame_alloc.AllocFrame());
+        }
+        DmaApi::MapResult r = dma.MapPages(op.core, d.frames);
+        t += r.cpu_ns;
+        if (r.mappings.empty()) {
+          for (PhysAddr f : d.frames) {
+            frame_alloc.FreeFrame(f);
+          }
+          break;
+        }
+        if (!off) {
+          for (const DmaMapping& m : r.mappings) {
+            model.Map(PageNumber(m.iova), m.phys);
+          }
+        }
+        d.mappings = std::move(r.mappings);
+        live.push_back(std::move(d));
+        ++out.maps;
+        break;
+      }
+      case OpKind::kMapTx: {
+        const PhysAddr frame = frame_alloc.AllocFrame();
+        DmaApi::MapResult r = dma.MapPage(op.core, frame);
+        t += r.cpu_ns;
+        if (r.mappings.empty()) {
+          frame_alloc.FreeFrame(frame);
+          break;
+        }
+        if (!off) {
+          for (const DmaMapping& m : r.mappings) {
+            const std::uint64_t page = PageNumber(m.iova);
+            if (persistent && model.IsMapped(page)) {
+              model.Reacquire(page);
+            } else {
+              model.Map(page, m.phys);
+            }
+          }
+        }
+        LiveDesc d;
+        d.frames.push_back(frame);
+        d.mappings = std::move(r.mappings);
+        live.push_back(std::move(d));
+        ++out.maps;
+        break;
+      }
+      case OpKind::kUnmap: {
+        if (live.empty()) {
+          break;
+        }
+        const std::size_t idx = static_cast<std::size_t>(op.arg % live.size());
+        LiveDesc d = std::move(live[idx]);
+        live[idx] = std::move(live.back());
+        live.pop_back();
+        ++out.unmaps;
+        if (persistent) {
+          if (d.persistent_rx) {
+            dma.ReleasePersistentDescriptor(op.core, d.mappings);
+          } else {
+            DmaApi::UnmapResultInfo r = dma.UnmapDescriptor(op.core, d.mappings, t);
+            t += r.cpu_ns;
+          }
+          for (const DmaMapping& m : d.mappings) {
+            model.Release(PageNumber(m.iova));
+            retired.push_back(m.iova);
+          }
+        } else if (config.bug == InjectedBug::kUseAfterUnmap && real_unmaps) {
+          // Injected driver bug: the unmap "returns" (the driver considers
+          // the pages gone and tells the oracle so) but nothing was torn
+          // down — the device keeps full access.
+          for (const DmaMapping& m : d.mappings) {
+            oracle.OnUnmap(m.iova, 1);
+            if (!off) {
+              model.Unmap(PageNumber(m.iova));
+            }
+            retired.push_back(m.iova);
+          }
+        } else if (config.bug == InjectedBug::kSkipInvalidation && real_unmaps &&
+                   config.mode != ProtectionMode::kDeferred) {
+          // Injected driver bug: page-table teardown without the IOTLB
+          // invalidation the strictly-safe contract requires.
+          for (const DmaMapping& m : d.mappings) {
+            pt.Unmap(m.iova, kPageSize);
+            oracle.OnUnmap(m.iova, 1);
+            model.Unmap(PageNumber(m.iova));
+            retired.push_back(m.iova);
+          }
+        } else {
+          const std::size_t pending_before = dma.deferred_pending();
+          DmaApi::UnmapResultInfo r = dma.UnmapDescriptor(op.core, d.mappings, t);
+          t += r.cpu_ns;
+          if (!off) {
+            for (const DmaMapping& m : d.mappings) {
+              model.Unmap(PageNumber(m.iova));
+              retired.push_back(m.iova);
+            }
+            if (config.mode == ProtectionMode::kDeferred &&
+                dma.deferred_pending() < pending_before + d.mappings.size()) {
+              model.FlushAll();  // threshold reached: the queue was flushed
+            }
+          }
+          for (PhysAddr f : d.frames) {
+            frame_alloc.FreeFrame(f);
+          }
+        }
+        while (retired.size() > 512) {
+          retired.pop_front();
+        }
+        break;
+      }
+      case OpKind::kDmaLive: {
+        if (off || live.empty()) {
+          break;
+        }
+        const LiveDesc& d = live[static_cast<std::size_t>(op.arg % live.size())];
+        const DmaMapping& m =
+            d.mappings[static_cast<std::size_t>((op.arg >> 20) % d.mappings.size())];
+        do_translate(i, m.iova);
+        break;
+      }
+      case OpKind::kDmaRetired: {
+        if (off || retired.empty()) {
+          break;
+        }
+        do_translate(i, retired[static_cast<std::size_t>(op.arg % retired.size())]);
+        break;
+      }
+    }
+    if (!out.diverged) {
+      check_state(i);
+    }
+    if (!out.diverged && (i % 128 == 127 || i + 1 == ops.size())) {
+      std::string detail;
+      if (!pt.CheckConsistency(&detail)) {
+        diverge(i, "page table structurally inconsistent: " + detail);
+      }
+    }
+  }
+  return out;
+}
+
+DifferentialHarness::ShrinkOutcome DifferentialHarness::Shrink(const DiffConfig& config,
+                                                               std::vector<DiffOp> ops,
+                                                               const DiffResult& first) {
+  ShrinkOutcome out;
+  // Everything after the failing op is irrelevant by construction.
+  ops.resize(first.fail_index + 1);
+  out.result = first;
+
+  // Binary-search the shortest failing prefix. Divergence is monotone in
+  // the prefix length: a prefix that diverges at index i keeps diverging at
+  // i for every longer prefix, since execution up to i is identical.
+  std::size_t lo = 1;
+  std::size_t hi = ops.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::vector<DiffOp> prefix(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(mid));
+    const DiffResult r = Run(config, prefix);
+    ++out.runs;
+    if (r.diverged) {
+      hi = mid;
+      out.result = r;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ops.resize(lo);
+
+  // Chunked + single-op removal to a fixpoint (ddmin-style). Ops are
+  // self-contained (targets are reduced modulo the live pools), so any
+  // subsequence still executes — but removal shifts later modular
+  // selections, so large-chunk passes are what actually escape the local
+  // minima a pure one-op pass gets stuck in.
+  auto attempt = [&](std::size_t start, std::size_t len) {
+    std::vector<DiffOp> candidate;
+    candidate.reserve(ops.size() - len);
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      if (j < start || j >= start + len) {
+        candidate.push_back(ops[j]);
+      }
+    }
+    const DiffResult r = Run(config, candidate);
+    ++out.runs;
+    if (r.diverged) {
+      ops = std::move(candidate);
+      out.result = r;
+      return true;
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t chunk = ops.size() / 2; chunk >= 1; chunk /= 2) {
+      for (std::size_t start = ops.size(); start-- > 0;) {
+        if (start + chunk > ops.size()) {
+          continue;
+        }
+        if (attempt(start, chunk)) {
+          changed = true;
+          // Stay at the same start: the window now covers fresh ops.
+          ++start;
+        }
+      }
+    }
+  }
+  out.ops = std::move(ops);
+  return out;
+}
+
+std::string DifferentialHarness::Serialize(const DiffConfig& config,
+                                           const std::vector<DiffOp>& ops) {
+  std::ostringstream os;
+  os << "fsio-diff-repro v1\n";
+  os << "mode " << ModeToken(config.mode) << "\n";
+  os << "rcache " << (config.enable_rcache ? 1 : 0) << "\n";
+  os << "seed " << config.seed << "\n";
+  os << "pages_per_chunk " << config.pages_per_chunk << "\n";
+  os << "num_cores " << config.num_cores << "\n";
+  os << "bug " << InjectedBugName(config.bug) << "\n";
+  os << "ops " << ops.size() << "\n";
+  for (const DiffOp& op : ops) {
+    os << "op " << static_cast<int>(op.kind) << " " << op.core << " " << op.arg << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+bool DifferentialHarness::Parse(const std::string& text, DiffConfig* config,
+                                std::vector<DiffOp>* ops, std::string* error) {
+  std::istringstream is(text);
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  std::string line;
+  if (!std::getline(is, line) || line != "fsio-diff-repro v1") {
+    return fail("missing 'fsio-diff-repro v1' header");
+  }
+  *config = DiffConfig{};
+  ops->clear();
+  std::uint64_t declared_ops = 0;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "mode") {
+      std::string token;
+      ls >> token;
+      if (!ParseModeToken(token, &config->mode)) {
+        return fail("unknown mode token: " + token);
+      }
+    } else if (key == "rcache") {
+      int v = 0;
+      ls >> v;
+      config->enable_rcache = v != 0;
+    } else if (key == "seed") {
+      ls >> config->seed;
+    } else if (key == "pages_per_chunk") {
+      ls >> config->pages_per_chunk;
+    } else if (key == "num_cores") {
+      ls >> config->num_cores;
+    } else if (key == "bug") {
+      std::string token;
+      ls >> token;
+      if (!ParseBugToken(token, &config->bug)) {
+        return fail("unknown bug token: " + token);
+      }
+    } else if (key == "ops") {
+      ls >> declared_ops;
+    } else if (key == "op") {
+      int kind = 0;
+      DiffOp op;
+      ls >> kind >> op.core >> op.arg;
+      if (ls.fail() || kind < 0 || kind > static_cast<int>(OpKind::kDmaRetired)) {
+        return fail("malformed op line: " + line);
+      }
+      op.kind = static_cast<OpKind>(kind);
+      ops->push_back(op);
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  if (!saw_end) {
+    return fail("missing 'end' marker");
+  }
+  if (declared_ops != ops->size()) {
+    return fail("op count mismatch between header and body");
+  }
+  if (config->num_ops < ops->size()) {
+    config->num_ops = static_cast<std::uint32_t>(ops->size());
+  }
+  if (config->pages_per_chunk == 0 || config->num_cores == 0) {
+    return fail("pages_per_chunk and num_cores must be positive");
+  }
+  return true;
+}
+
+}  // namespace fsio

@@ -1,0 +1,139 @@
+// Differential harness: drives the real Iommu/IoPageTable/IovaAllocator/
+// DmaApi stack and the RefModel in lockstep from a seeded random workload,
+// asserting after every operation that translations, fault outcomes, state
+// sizes and safety classifications agree.
+//
+// Workloads are generated upfront as self-contained operation vectors:
+// every target reference is `arg % live_count`, so ANY subsequence of a
+// workload is still executable. That is what makes shrinking trivial — on
+// divergence, Shrink() binary-searches the shortest failing prefix and then
+// greedily drops operations until a local minimum, yielding a replayable
+// repro of a handful of ops.
+//
+// Injected bugs (reusing the PR-1 fault-injection machinery where the bug
+// lives in the real stack, and harness-level bypasses where the bug is a
+// driver omission) prove the oracle catches the failure classes the paper's
+// design guards against:
+//   * kUseAfterUnmap      — the driver claims an unmap it never performed.
+//   * kSkipInvalidation   — the driver unmaps but skips the IOTLB
+//                           invalidation (raw page-table teardown).
+//   * kEarlyReclaim       — table pages are reclaimed without the PTcache
+//                           invalidation (DmaApiConfig::
+//                           inject_skip_reclaim_invalidation, PR-1).
+#ifndef FASTSAFE_SRC_REFMODEL_DIFF_HARNESS_H_
+#define FASTSAFE_SRC_REFMODEL_DIFF_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/driver/protection.h"
+#include "src/refmodel/ref_model.h"
+
+namespace fsio {
+
+enum class InjectedBug : int {
+  kNone = 0,
+  kUseAfterUnmap,
+  kSkipInvalidation,
+  kEarlyReclaim,
+};
+
+constexpr const char* InjectedBugName(InjectedBug bug) {
+  switch (bug) {
+    case InjectedBug::kNone:
+      return "none";
+    case InjectedBug::kUseAfterUnmap:
+      return "use-after-unmap";
+    case InjectedBug::kSkipInvalidation:
+      return "skip-invalidation";
+    case InjectedBug::kEarlyReclaim:
+      return "early-reclaim";
+  }
+  return "?";
+}
+
+enum class OpKind : int {
+  kMapRx = 0,   // map one descriptor's worth of pages (or acquire persistent)
+  kMapTx,       // map a single Tx page
+  kUnmap,       // unmap/release a random live descriptor
+  kDmaLive,     // device DMA to a random live mapping
+  kDmaRetired,  // device DMA to a recently unmapped/released IOVA
+};
+
+constexpr const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMapRx:
+      return "map_rx";
+    case OpKind::kMapTx:
+      return "map_tx";
+    case OpKind::kUnmap:
+      return "unmap";
+    case OpKind::kDmaLive:
+      return "dma_live";
+    case OpKind::kDmaRetired:
+      return "dma_retired";
+  }
+  return "?";
+}
+
+struct DiffOp {
+  OpKind kind = OpKind::kMapRx;
+  std::uint32_t core = 0;
+  std::uint64_t arg = 0;  // self-contained target selector (reduced mod pool sizes)
+};
+
+struct DiffConfig {
+  ProtectionMode mode = ProtectionMode::kStrict;
+  bool enable_rcache = true;
+  std::uint64_t seed = 1;
+  std::uint32_t num_ops = 1500;
+  std::uint32_t pages_per_chunk = 64;
+  std::uint32_t num_cores = 4;
+  InjectedBug bug = InjectedBug::kNone;
+};
+
+struct DiffResult {
+  bool diverged = false;
+  std::size_t fail_index = 0;  // index of the op whose check failed
+  std::string message;
+  std::uint64_t ops_executed = 0;
+  std::uint64_t maps = 0;
+  std::uint64_t unmaps = 0;
+  std::uint64_t dmas = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t stale_uses = 0;
+};
+
+// Short mode tokens for CLI flags and repro files ("strict", "fast-safe", ...).
+const char* ModeToken(ProtectionMode mode);
+bool ParseModeToken(const std::string& token, ProtectionMode* mode);
+bool ParseBugToken(const std::string& token, InjectedBug* bug);
+
+class DifferentialHarness {
+ public:
+  // Seeded workload generation (pure function of the config).
+  static std::vector<DiffOp> GenerateOps(const DiffConfig& config);
+
+  // Executes `ops` against a fresh stack + fresh model, stopping at the
+  // first divergence.
+  static DiffResult Run(const DiffConfig& config, const std::vector<DiffOp>& ops);
+
+  struct ShrinkOutcome {
+    std::vector<DiffOp> ops;  // minimal divergent subsequence
+    DiffResult result;        // result of running the minimal sequence
+    std::uint32_t runs = 0;   // Run() invocations spent shrinking
+  };
+  // Requires `first` to be a divergent result of Run(config, ops).
+  static ShrinkOutcome Shrink(const DiffConfig& config, std::vector<DiffOp> ops,
+                              const DiffResult& first);
+
+  // Replayable repro files (deterministic text format).
+  static std::string Serialize(const DiffConfig& config, const std::vector<DiffOp>& ops);
+  static bool Parse(const std::string& text, DiffConfig* config, std::vector<DiffOp>* ops,
+                    std::string* error);
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_REFMODEL_DIFF_HARNESS_H_

@@ -1,6 +1,7 @@
 #include "src/stats/histogram.h"
 
 #include <bit>
+#include <cmath>
 
 namespace fsio {
 
@@ -57,8 +58,10 @@ std::uint64_t Histogram::Percentile(double p) const {
   if (p > 100.0) {
     p = 100.0;
   }
-  // Rank of the requested percentile, 1-based.
-  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_));
+  // Nearest-rank (1-based): rank = ceil(p/100 * count). Flooring here is an
+  // off-by-one — Percentile(50) over {1,2,3} would return 1, not the median.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
   if (rank == 0) {
     rank = 1;
   }

@@ -84,6 +84,10 @@ void DctcpSender::ArmRto() {
   if (rto < config_.min_rto_ns) {
     rto = config_.min_rto_ns;
   }
+  // Karn-style exponential backoff: consecutive timeouts (no intervening
+  // forward progress) double the timer, so a dead path probes ever less
+  // often instead of retransmitting at a fixed min-RTO cadence.
+  rto <<= rto_backoff_shift_;
   ev_->ScheduleAfter(rto, [this, epoch] { OnRto(epoch); });
 }
 
@@ -97,6 +101,9 @@ void DctcpSender::OnRto(std::uint64_t armed_epoch) {
   }
   // Go-back-N: rewind and slow-start.
   ++timeouts_;
+  if (rto_backoff_shift_ < config_.max_rto_backoff_shift) {
+    ++rto_backoff_shift_;
+  }
   timeout_events_->Add();
   trace_.Instant("transport", "rto", ev_->now(), "flow",
                  static_cast<double>(flow_id_), "snd_una", static_cast<double>(snd_una_));
@@ -155,7 +162,8 @@ void DctcpSender::OnAck(const Packet& ack) {
       cwnd_ = static_cast<double>(config_.max_cwnd_bytes);
     }
     UpdateAlphaWindow();
-    // Progress: re-arm the retransmission timer.
+    // Progress: reset the timeout backoff and re-arm the timer.
+    rto_backoff_shift_ = 0;
     rto_armed_ = false;
     ++rto_epoch_;
     if (snd_una_ < snd_nxt_) {

@@ -36,6 +36,9 @@ struct DctcpConfig {
   std::uint64_t max_cwnd_bytes = 4 << 20;
   double g = 1.0 / 16.0;                 // DCTCP alpha gain
   TimeNs min_rto_ns = 1 * kNsPerMs;
+  // Exponential RTO backoff: each consecutive timeout doubles the next RTO,
+  // up to 2^max_rto_backoff_shift; any new cumulative ACK resets it.
+  std::uint32_t max_rto_backoff_shift = 6;
   TimeNs ack_delay_ns = 20 * kNsPerUs;   // max ACK coalescing delay
   std::uint32_t ack_every_bytes = 4;     // ACK at least every N * MSS in-order (GRO)
 };
@@ -76,6 +79,7 @@ class DctcpSender {
   double alpha() const { return alpha_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t fast_retransmits() const { return fast_retransmits_; }
+  std::uint32_t rto_backoff_shift() const { return rto_backoff_shift_; }
   std::uint64_t snd_una() const { return snd_una_; }
   std::uint64_t snd_nxt() const { return snd_nxt_; }
   bool rto_armed() const { return rto_armed_; }
@@ -115,6 +119,7 @@ class DctcpSender {
   TimeNs srtt_ = 100 * kNsPerUs;
   std::uint64_t rto_epoch_ = 0;  // invalidates stale timers
   bool rto_armed_ = false;
+  std::uint32_t rto_backoff_shift_ = 0;  // consecutive-timeout exponent
 
   std::uint64_t timeouts_ = 0;
   std::uint64_t fast_retransmits_ = 0;

@@ -13,6 +13,7 @@
 #include "src/mem/memory_system.h"
 #include "src/pagetable/io_page_table.h"
 #include "src/stats/counters.h"
+#include "tests/test_util.h"
 
 namespace fsio {
 namespace {
@@ -140,8 +141,7 @@ TEST_F(DriverTest, BatchedInvalidationCostsLessCpu) {
 TEST_F(DriverTest, StrictSafetyNoAccessAfterUnmapReturns) {
   // The strict guarantee, for every safe mode: after UnmapDescriptor
   // returns, translating any of its IOVAs must fault (never stale-hit).
-  for (ProtectionMode mode : {ProtectionMode::kStrict, ProtectionMode::kStrictPreserve,
-                              ProtectionMode::kStrictContig, ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : test::kStrictlySafeTearingModes) {
     Build(mode);
     const auto result = dma_->MapPages(0, Frames(64));
     // Warm the IOMMU with device accesses.

@@ -104,6 +104,111 @@ TEST(RbTreeAllocatorTest, InvariantsHoldAfterManyOps) {
   EXPECT_EQ(tree.allocated_ranges(), live.size());
 }
 
+TEST(RbTreeAllocatorTest, FragmentationBlocksLargeAllocUntilNeighborsFree) {
+  // Adversarial fragmentation: fill the space with 2-page ranges, free every
+  // other one. Half the space is free, but no gap exceeds 2 pages — a 4-page
+  // request must fail even though 32 pages are free in total.
+  RbTreeAllocator tree(64);
+  std::vector<std::uint64_t> ranges;
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t start = tree.Alloc(2);
+    ASSERT_NE(start, RbTreeAllocator::kInvalidPfn);
+    ranges.push_back(start);
+  }
+  for (std::size_t i = 0; i < ranges.size(); i += 2) {
+    ASSERT_TRUE(tree.Free(ranges[i]));
+  }
+  EXPECT_EQ(tree.allocated_pages(), 32u);
+  EXPECT_EQ(tree.Alloc(4), RbTreeAllocator::kInvalidPfn);
+  ASSERT_TRUE(tree.CheckInvariants());
+  // Freeing one surviving neighbor merges two 2-page gaps into a 4-page gap.
+  ASSERT_TRUE(tree.Free(ranges[1]));
+  EXPECT_NE(tree.Alloc(4), RbTreeAllocator::kInvalidPfn);
+  ASSERT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RbTreeAllocatorTest, ReuseAfterFreeChurn) {
+  // Freed starts must become immediately unknown to the tree (double-free
+  // rejected, Contains false) and reusable by later allocations.
+  RbTreeAllocator tree(1 << 16);
+  Rng rng(4242);
+  struct Range {
+    std::uint64_t start;
+    std::uint64_t pages;
+  };
+  std::vector<Range> live;
+  for (int i = 0; i < 4000; ++i) {
+    if (live.empty() || rng.NextBool(0.5)) {
+      const std::uint64_t pages = 1 + rng.NextBelow(16);
+      const std::uint64_t start = tree.Alloc(pages);
+      if (start == RbTreeAllocator::kInvalidPfn) {
+        continue;
+      }
+      EXPECT_TRUE(tree.Contains(start));
+      live.push_back({start, pages});
+    } else {
+      const std::size_t idx = rng.NextBelow(live.size());
+      const Range r = live[idx];
+      ASSERT_TRUE(tree.Free(r.start));
+      EXPECT_FALSE(tree.Free(r.start)) << "double free accepted at step " << i;
+      EXPECT_FALSE(tree.Contains(r.start));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "at step " << i;
+    }
+  }
+  // Drain: every remaining range frees exactly once, leaving an empty tree.
+  for (const Range& r : live) {
+    ASSERT_TRUE(tree.Free(r.start));
+  }
+  EXPECT_EQ(tree.allocated_ranges(), 0u);
+  EXPECT_EQ(tree.allocated_pages(), 0u);
+  ASSERT_TRUE(tree.CheckInvariants());
+}
+
+TEST(IovaAllocatorTest, TreePathMatchesRbTreeReferenceUnderChurn) {
+  // With the rcache disabled, every IovaAllocator op goes straight to the
+  // shared red-black tree — an identically-driven standalone RbTreeAllocator
+  // must produce the same address at every step of a random workload.
+  StatsRegistry stats;
+  IovaAllocatorConfig config;
+  config.num_cores = 2;
+  config.enable_rcache = false;
+  IovaAllocator alloc(config, &stats);
+  RbTreeAllocator ref;  // same default limit: kIovaSpaceSize >> kPageShift
+  Rng rng(99);
+  struct Live {
+    Iova iova;
+    std::uint64_t pages;
+    std::uint32_t core;
+  };
+  std::vector<Live> live;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint32_t core = static_cast<std::uint32_t>(rng.NextBelow(2));
+    if (live.empty() || rng.NextBool(0.55)) {
+      const std::uint64_t pages = 1 + rng.NextBelow(100);
+      std::uint64_t rounded = 1;
+      while (rounded < pages) {
+        rounded <<= 1;
+      }
+      const Iova iova = alloc.Alloc(core, pages);
+      ASSERT_NE(iova, IovaAllocator::kInvalidIova);
+      ASSERT_EQ(iova >> kPageShift, ref.Alloc(rounded, rounded)) << "step " << i;
+      live.push_back({iova, pages, core});
+    } else {
+      const std::size_t idx = rng.NextBelow(live.size());
+      alloc.Free(live[idx].core, live[idx].iova, live[idx].pages);
+      ASSERT_TRUE(ref.Free(live[idx].iova >> kPageShift));
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(alloc.live_allocations(), live.size());
+  EXPECT_EQ(alloc.tree().allocated_pages(), ref.allocated_pages());
+}
+
 // Property: allocations never overlap (checked against a reference set).
 class RbTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -15,16 +15,10 @@
 #include "src/mem/memory_system.h"
 #include "src/pagetable/io_page_table.h"
 #include "src/simcore/rng.h"
+#include "tests/test_util.h"
 
 namespace fsio {
 namespace {
-
-const ProtectionMode kAllModes[] = {
-    ProtectionMode::kOff,           ProtectionMode::kStrict,
-    ProtectionMode::kDeferred,      ProtectionMode::kStrictPreserve,
-    ProtectionMode::kStrictContig,  ProtectionMode::kFastSafe,
-    ProtectionMode::kHugepagePersistent,
-};
 
 class ModeProperty : public ::testing::TestWithParam<ProtectionMode> {};
 
@@ -106,16 +100,8 @@ TEST_P(ModeProperty, FiniteTransferCompletes) {
       << ProtectionModeName(GetParam());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllModes, ModeProperty, ::testing::ValuesIn(kAllModes),
-                         [](const ::testing::TestParamInfo<ProtectionMode>& info) {
-                           std::string name = ProtectionModeName(info.param);
-                           for (char& c : name) {
-                             if (!std::isalnum(static_cast<unsigned char>(c))) {
-                               c = '_';
-                             }
-                           }
-                           return name;
-                         });
+INSTANTIATE_TEST_SUITE_P(AllModes, ModeProperty, ::testing::ValuesIn(test::kAllModes),
+                         test::ModeParamName);
 
 // Driver-level property: random map/unmap traffic leaves no leaked page
 // table entries or IOVAs, for every mode that tears mappings down.
@@ -168,19 +154,8 @@ TEST_P(DriverBalanceProperty, NoLeaksAfterRandomTraffic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(TearingModes, DriverBalanceProperty,
-                         ::testing::Values(ProtectionMode::kStrict,
-                                           ProtectionMode::kStrictPreserve,
-                                           ProtectionMode::kStrictContig,
-                                           ProtectionMode::kFastSafe),
-                         [](const ::testing::TestParamInfo<ProtectionMode>& info) {
-                           std::string name = ProtectionModeName(info.param);
-                           for (char& c : name) {
-                             if (!std::isalnum(static_cast<unsigned char>(c))) {
-                               c = '_';
-                             }
-                           }
-                           return name;
-                         });
+                         ::testing::ValuesIn(test::kStrictlySafeTearingModes),
+                         test::ModeParamName);
 
 }  // namespace
 }  // namespace fsio

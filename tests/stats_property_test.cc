@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -14,10 +15,12 @@
 namespace fsio {
 namespace {
 
-// Exact percentile of a sorted sample (same rank convention as Histogram).
+// Exact percentile of a sorted sample (same nearest-rank convention as
+// Histogram: rank = ceil(p/100 * n), 1-based).
 std::uint64_t ExactPercentile(std::vector<std::uint64_t> values, double p) {
   std::sort(values.begin(), values.end());
-  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(values.size()));
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
   if (rank == 0) {
     rank = 1;
   }

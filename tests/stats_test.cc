@@ -149,6 +149,72 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.Percentile(99), 0u);
 }
 
+TEST(HistogramTest, EmptyHistogramEdges) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleAllPercentilesAgree) {
+  Histogram h;
+  h.Record(12345);
+  // Every percentile of a single sample is that sample (the bucket edge is
+  // clamped to max).
+  for (double p : {0.0, 0.001, 50.0, 99.999, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 12345u) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MedianOfThreeIsMiddleValue) {
+  // Nearest-rank: ceil(0.5 * 3) = 2, the middle sample — a floored rank
+  // would return the minimum instead.
+  Histogram h;
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  EXPECT_EQ(h.Percentile(50), 2u);
+}
+
+TEST(HistogramTest, P0AndP100AreMinAndMaxBuckets) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  // p0 lands in the min's bucket (values < 32 are exact at 5 sub-bucket
+  // bits); p100 is clamped to the recorded max. Out-of-range p clamps too.
+  EXPECT_EQ(h.Percentile(0), 10u);
+  EXPECT_EQ(h.Percentile(100), 30u);
+  EXPECT_EQ(h.Percentile(-5.0), 10u);
+  EXPECT_EQ(h.Percentile(250.0), 30u);
+}
+
+TEST(HistogramTest, OverflowBucketHoldsHugeValues) {
+  // The top power-of-two range must accept the largest representable values
+  // without indexing out of the bucket array.
+  Histogram h;
+  h.Record(~0ULL);
+  h.Record(1ULL << 63);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_EQ(h.min(), 1ULL << 63);
+  EXPECT_EQ(h.Percentile(100), ~0ULL);
+  // Both values live in the top range; percentile answers stay in range.
+  EXPECT_GE(h.Percentile(50), 1ULL << 63);
+}
+
+TEST(HistogramTest, PercentileNeverExceedsMax) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v * 1000);
+  }
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_LE(h.Percentile(p), h.max()) << "p=" << p;
+    EXPECT_GE(h.Percentile(p), h.min()) << "p=" << p;
+  }
+}
+
 TEST(ReuseDistanceTest, FirstAccessIsColdMiss) {
   ReuseDistanceTracker t;
   EXPECT_EQ(t.Access(42), ReuseDistanceTracker::kColdMiss);

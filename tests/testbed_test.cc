@@ -5,6 +5,7 @@
 
 #include "src/apps/iperf.h"
 #include "src/core/testbed.h"
+#include "tests/test_util.h"
 
 namespace fsio {
 namespace {
@@ -86,9 +87,7 @@ TEST(TestbedTest, DeferredModeIsFastButTradesSafety) {
 }
 
 TEST(TestbedTest, NoSafetyViolationsUnderSustainedLoad) {
-  for (ProtectionMode mode :
-       {ProtectionMode::kStrict, ProtectionMode::kStrictPreserve, ProtectionMode::kStrictContig,
-        ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : test::kStrictlySafeTearingModes) {
     TestbedConfig config;
     config.mode = mode;
     config.cores = 5;

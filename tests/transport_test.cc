@@ -179,6 +179,114 @@ TEST(DctcpTest, OutOfOrderTriggersImmediateDupAcks) {
   EXPECT_GT(net.stats_.Value("dctcp.ooo_packets"), 0u);
 }
 
+TEST(DctcpTest, RtoBackoffGrowsExponentially) {
+  // On a dead path the retransmission timer must back off (1, 2, 4, ... ms),
+  // not fire at a fixed min-RTO cadence. With min_rto = 1 ms the timeouts
+  // land near 1, 3, 7, 15, 31 ms — a fixed timer would fire ~40 times.
+  Loopback net(SmallConfig());
+  net.drop_every_ = 1;  // 100% loss
+  net.sender_->EnqueueAppBytes(5000);
+  net.ev_.RunUntil(40 * kNsPerMs);
+  EXPECT_GE(net.sender_->timeouts(), 4u);
+  EXPECT_LE(net.sender_->timeouts(), 6u);
+  EXPECT_GE(net.sender_->rto_backoff_shift(), 4u);
+}
+
+TEST(DctcpTest, RtoBackoffResetsAfterAck) {
+  Loopback net(SmallConfig());
+  net.drop_every_ = 1;
+  net.sender_->EnqueueAppBytes(5000);
+  net.ev_.RunUntil(10 * kNsPerMs);  // timeouts at ~1, 3, 7 ms
+  EXPECT_GE(net.sender_->rto_backoff_shift(), 2u);
+  // Heal the path: the first new cumulative ACK must clear the backoff.
+  net.drop_every_ = 0;
+  net.ev_.RunUntil(net.ev_.now() + 200 * kNsPerMs);
+  EXPECT_EQ(net.delivered_, 5000u);
+  EXPECT_EQ(net.sender_->rto_backoff_shift(), 0u);
+}
+
+TEST(DctcpTest, RtoCollapsesCwndToExactlyOneMss) {
+  Loopback net(SmallConfig());
+  net.drop_every_ = 1;
+  net.sender_->EnqueueAppBytes(50000);
+  net.ev_.RunUntil(5 * kNsPerMs);
+  ASSERT_GE(net.sender_->timeouts(), 1u);
+  EXPECT_DOUBLE_EQ(net.sender_->cwnd_bytes(), 1000.0);  // exactly 1 MSS
+}
+
+TEST(DctcpTest, FastRetransmitHalvingFloorsAtOneMss) {
+  // With cwnd already at 1 MSS, the fast-retransmit halving must clamp at
+  // the 1-MSS floor instead of going to half an MSS.
+  EventQueue ev;
+  StatsRegistry stats;
+  DctcpConfig config = SmallConfig();
+  config.init_cwnd_packets = 1;
+  DctcpSender snd(1, config, &ev, [](const Packet&) {}, &stats);
+  snd.EnqueueAppBytes(10000);
+  EXPECT_DOUBLE_EQ(snd.cwnd_bytes(), 1000.0);
+  Packet dup;
+  dup.has_ack = true;
+  dup.ack_seq = 0;
+  for (int i = 0; i < 3; ++i) {
+    snd.OnAck(dup);
+  }
+  EXPECT_EQ(snd.fast_retransmits(), 1u);
+  EXPECT_DOUBLE_EQ(snd.cwnd_bytes(), 1000.0);
+}
+
+TEST(DctcpTest, EcnMarkedBurstCutsCwndOncePerWindow) {
+  // DCTCP's multiplicative decrease happens once per alpha window: marked
+  // ACKs arriving mid-window must not cut cwnd again; only the ACK crossing
+  // the window boundary applies the (single) alpha-proportional cut.
+  EventQueue ev;
+  StatsRegistry stats;
+  DctcpSender snd(1, SmallConfig(), &ev, [](const Packet&) {}, &stats);
+  snd.EnqueueAppBytes(100 << 20);
+  // Prime alpha toward 1 with fully-marked windows.
+  std::uint64_t una = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t target =
+        una + static_cast<std::uint64_t>(snd.cwnd_bytes());
+    Packet a;
+    a.has_ack = true;
+    a.ack_seq = target;
+    a.acked_bytes = target - una;
+    a.marked_bytes = target - una;
+    snd.OnAck(a);
+    una = target;
+  }
+  EXPECT_GT(snd.alpha(), 0.8);
+  // The window boundary is now exactly una + cwnd. Deliver a burst of
+  // marked ACKs strictly inside the window: no cut may happen (cwnd only
+  // grows by additive increase).
+  const std::uint64_t window_end =
+      una + static_cast<std::uint64_t>(snd.cwnd_bytes());
+  const std::uint64_t step = (window_end - una) / 4;
+  ASSERT_GT(step, 0u);
+  for (int i = 1; i <= 3; ++i) {
+    const double before = snd.cwnd_bytes();
+    Packet a;
+    a.has_ack = true;
+    a.ack_seq = una + static_cast<std::uint64_t>(i) * step;
+    a.acked_bytes = step;
+    a.marked_bytes = step;
+    snd.OnAck(a);
+    EXPECT_GE(snd.cwnd_bytes(), before) << "mid-window marked ACK " << i;
+  }
+  // The boundary-crossing ACK applies exactly one alpha-proportional cut.
+  const double before_cut = snd.cwnd_bytes();
+  Packet boundary;
+  boundary.has_ack = true;
+  boundary.ack_seq = window_end;
+  boundary.acked_bytes = window_end - (una + 3 * step);
+  boundary.marked_bytes = boundary.acked_bytes;
+  snd.OnAck(boundary);
+  EXPECT_LT(snd.cwnd_bytes(), before_cut);
+  // With alpha near 1 the cut is close to halving — and definitely not the
+  // compounding of four cuts.
+  EXPECT_GT(snd.cwnd_bytes(), before_cut * 0.4);
+}
+
 TEST(SwitchTest, ForwardsWithSerializationAndPropagation) {
   StatsRegistry stats;
   SwitchConfig config;

@@ -1,0 +1,334 @@
+// Differential fuzzer CLI: drives the real IOMMU/page-table/IOVA/DMA-API
+// stack against the deliberately-simple RefModel in lockstep (see
+// src/refmodel/) across seeds, protection modes and both IOVA allocator
+// configurations.
+//
+// Modes of operation:
+//   * default sweep          — every (seed, mode, rcache) cell must agree;
+//                              any divergence is shrunk to a minimal repro,
+//                              printed (and optionally written via
+//                              --repro-out), exit 1.
+//   * --bug X --expect-divergence
+//                            — oracle self-test: EVERY cell must diverge
+//                              (the injected bug must be caught), the first
+//                              divergence is shrunk and must fit in
+//                              --max-repro-ops, and the serialized repro
+//                              must replay (Serialize -> Parse -> Run still
+//                              diverges). Exit 0 only when all of that holds.
+//   * --replay FILE          — re-runs a previously written repro file and
+//                              reports whether the divergence reproduces.
+//
+// Output is deterministic for fixed arguments.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/driver/protection.h"
+#include "src/refmodel/diff_harness.h"
+
+namespace fsio {
+namespace {
+
+struct Options {
+  std::uint64_t seeds = 8;
+  std::uint64_t seed_base = 1;
+  std::uint32_t ops = 1500;
+  std::string mode = "all";      // "all" or one mode token
+  std::string rcache = "both";   // "both" | "on" | "off"
+  std::uint32_t pages_per_chunk = 64;
+  std::uint32_t num_cores = 4;
+  InjectedBug bug = InjectedBug::kNone;
+  bool expect_divergence = false;
+  std::size_t max_repro_ops = 20;
+  std::string repro_out;
+  std::string replay;
+  bool quiet = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: fsio_diff [options]\n"
+               "  --seeds N             seeds per (mode, rcache) cell (default 8)\n"
+               "  --seed-base N         first seed value (default 1)\n"
+               "  --ops N               operations per run (default 1500)\n"
+               "  --mode all|TOKEN      protection mode sweep or a single mode\n"
+               "                        (off strict deferred strict-preserve\n"
+               "                         strict-contig fast-safe hugepage-persistent)\n"
+               "  --rcache both|on|off  IOVA allocator cache configurations\n"
+               "  --pages-per-chunk N   Rx descriptor size in pages (default 64)\n"
+               "  --num-cores N         driver cores (default 4)\n"
+               "  --bug TOKEN           inject a driver bug (none use-after-unmap\n"
+               "                        skip-invalidation early-reclaim)\n"
+               "  --expect-divergence   require every run to diverge (oracle self-test)\n"
+               "  --max-repro-ops N     shrunken repro size budget (default 20)\n"
+               "  --repro-out FILE      write the shrunken repro here on divergence\n"
+               "  --replay FILE         replay a repro file instead of sweeping\n"
+               "  --quiet               only print the final summary line\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  auto need = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seeds" && need(i)) {
+      opt->seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--seed-base" && need(i)) {
+      opt->seed_base = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--ops" && need(i)) {
+      opt->ops = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--mode" && need(i)) {
+      opt->mode = argv[++i];
+    } else if (a == "--rcache" && need(i)) {
+      opt->rcache = argv[++i];
+    } else if (a == "--pages-per-chunk" && need(i)) {
+      opt->pages_per_chunk = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--num-cores" && need(i)) {
+      opt->num_cores = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--bug" && need(i)) {
+      if (!ParseBugToken(argv[++i], &opt->bug)) {
+        std::fprintf(stderr, "fsio_diff: unknown bug token '%s'\n", argv[i]);
+        return false;
+      }
+    } else if (a == "--expect-divergence") {
+      opt->expect_divergence = true;
+    } else if (a == "--max-repro-ops" && need(i)) {
+      opt->max_repro_ops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--repro-out" && need(i)) {
+      opt->repro_out = argv[++i];
+    } else if (a == "--replay" && need(i)) {
+      opt->replay = argv[++i];
+    } else if (a == "--quiet") {
+      opt->quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "fsio_diff: unknown argument '%s'\n", a.c_str());
+      Usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ProtectionMode> ModesFor(const Options& opt, bool* ok) {
+  *ok = true;
+  if (opt.mode == "all") {
+    return {ProtectionMode::kOff,           ProtectionMode::kStrict,
+            ProtectionMode::kDeferred,      ProtectionMode::kStrictPreserve,
+            ProtectionMode::kStrictContig,  ProtectionMode::kFastSafe,
+            ProtectionMode::kHugepagePersistent};
+  }
+  ProtectionMode m;
+  if (!ParseModeToken(opt.mode, &m)) {
+    std::fprintf(stderr, "fsio_diff: unknown mode token '%s'\n", opt.mode.c_str());
+    *ok = false;
+    return {};
+  }
+  return {m};
+}
+
+std::vector<bool> RcachesFor(const Options& opt, bool* ok) {
+  *ok = true;
+  if (opt.rcache == "both") {
+    return {true, false};
+  }
+  if (opt.rcache == "on") {
+    return {true};
+  }
+  if (opt.rcache == "off") {
+    return {false};
+  }
+  std::fprintf(stderr, "fsio_diff: --rcache must be both|on|off\n");
+  *ok = false;
+  return {};
+}
+
+// Shrinks, prints, and (optionally) writes the repro. Returns the shrink
+// outcome so callers can validate size and replayability.
+DifferentialHarness::ShrinkOutcome HandleDivergence(const Options& opt, const DiffConfig& config,
+                                                    const std::vector<DiffOp>& ops,
+                                                    const DiffResult& result) {
+  std::printf("DIVERGENCE mode=%s rcache=%d seed=%llu bug=%s at op %zu:\n  %s\n",
+              ModeToken(config.mode), config.enable_rcache ? 1 : 0,
+              static_cast<unsigned long long>(config.seed), InjectedBugName(config.bug),
+              result.fail_index, result.message.c_str());
+  DifferentialHarness::ShrinkOutcome shrunk = DifferentialHarness::Shrink(config, ops, result);
+  std::printf("shrunk to %zu ops in %u runs:\n", shrunk.ops.size(), shrunk.runs);
+  for (const DiffOp& op : shrunk.ops) {
+    std::printf("  %s core=%u arg=%llu\n", OpKindName(op.kind), op.core,
+                static_cast<unsigned long long>(op.arg));
+  }
+  std::printf("  => %s\n", shrunk.result.message.c_str());
+  if (!opt.repro_out.empty()) {
+    std::ofstream out(opt.repro_out);
+    out << DifferentialHarness::Serialize(config, shrunk.ops);
+    std::printf("repro written to %s\n", opt.repro_out.c_str());
+  }
+  return shrunk;
+}
+
+// Serialize -> Parse -> Run must still diverge, or the repro is useless.
+bool ReproRoundTrips(const DiffConfig& config, const std::vector<DiffOp>& ops) {
+  const std::string text = DifferentialHarness::Serialize(config, ops);
+  DiffConfig parsed;
+  std::vector<DiffOp> parsed_ops;
+  std::string error;
+  if (!DifferentialHarness::Parse(text, &parsed, &parsed_ops, &error)) {
+    std::printf("repro round-trip FAILED to parse: %s\n", error.c_str());
+    return false;
+  }
+  const DiffResult replay = DifferentialHarness::Run(parsed, parsed_ops);
+  if (!replay.diverged) {
+    std::printf("repro round-trip FAILED to reproduce the divergence\n");
+    return false;
+  }
+  return true;
+}
+
+int Replay(const Options& opt) {
+  std::ifstream in(opt.replay);
+  if (!in) {
+    std::fprintf(stderr, "fsio_diff: cannot open %s\n", opt.replay.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  DiffConfig config;
+  std::vector<DiffOp> ops;
+  std::string error;
+  if (!DifferentialHarness::Parse(buf.str(), &config, &ops, &error)) {
+    std::fprintf(stderr, "fsio_diff: bad repro file: %s\n", error.c_str());
+    return 2;
+  }
+  const DiffResult result = DifferentialHarness::Run(config, ops);
+  if (result.diverged) {
+    std::printf("replay: DIVERGED at op %zu (%zu ops): %s\n", result.fail_index, ops.size(),
+                result.message.c_str());
+    return 0;
+  }
+  std::printf("replay: no divergence over %zu ops (mode=%s rcache=%d bug=%s)\n", ops.size(),
+              ModeToken(config.mode), config.enable_rcache ? 1 : 0, InjectedBugName(config.bug));
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    return 2;
+  }
+  if (!opt.replay.empty()) {
+    return Replay(opt);
+  }
+  bool ok = true;
+  const std::vector<ProtectionMode> modes = ModesFor(opt, &ok);
+  if (!ok) {
+    return 2;
+  }
+  const std::vector<bool> rcaches = RcachesFor(opt, &ok);
+  if (!ok) {
+    return 2;
+  }
+  if (opt.expect_divergence && opt.bug == InjectedBug::kNone) {
+    std::fprintf(stderr, "fsio_diff: --expect-divergence requires --bug\n");
+    return 2;
+  }
+
+  std::uint64_t runs = 0;
+  std::uint64_t diverged = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_dmas = 0;
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_stale = 0;
+  bool self_test_ok = true;
+  bool first_divergence_handled = false;
+
+  for (ProtectionMode mode : modes) {
+    for (bool rcache : rcaches) {
+      for (std::uint64_t s = 0; s < opt.seeds; ++s) {
+        DiffConfig config;
+        config.mode = mode;
+        config.enable_rcache = rcache;
+        config.seed = opt.seed_base + s;
+        config.num_ops = opt.ops;
+        config.pages_per_chunk = opt.pages_per_chunk;
+        config.num_cores = opt.num_cores;
+        config.bug = opt.bug;
+        const std::vector<DiffOp> ops = DifferentialHarness::GenerateOps(config);
+        const DiffResult result = DifferentialHarness::Run(config, ops);
+        ++runs;
+        total_ops += result.ops_executed;
+        total_dmas += result.dmas;
+        total_faults += result.faults;
+        total_stale += result.stale_uses;
+        if (result.diverged) {
+          ++diverged;
+          if (!opt.expect_divergence) {
+            DifferentialHarness::ShrinkOutcome shrunk =
+                HandleDivergence(opt, config, ops, result);
+            ReproRoundTrips(config, shrunk.ops);
+            return 1;
+          }
+          if (!first_divergence_handled) {
+            first_divergence_handled = true;
+            DifferentialHarness::ShrinkOutcome shrunk =
+                HandleDivergence(opt, config, ops, result);
+            if (shrunk.ops.size() > opt.max_repro_ops) {
+              std::printf("self-test FAILED: repro has %zu ops, budget is %zu\n",
+                          shrunk.ops.size(), opt.max_repro_ops);
+              self_test_ok = false;
+            }
+            if (!ReproRoundTrips(config, shrunk.ops)) {
+              self_test_ok = false;
+            }
+          }
+        } else if (opt.expect_divergence) {
+          std::printf("self-test FAILED: bug=%s NOT detected (mode=%s rcache=%d seed=%llu)\n",
+                      InjectedBugName(opt.bug), ModeToken(mode), rcache ? 1 : 0,
+                      static_cast<unsigned long long>(config.seed));
+          self_test_ok = false;
+        }
+        if (!opt.quiet && !result.diverged) {
+          std::printf("ok mode=%s rcache=%d seed=%llu ops=%llu maps=%llu unmaps=%llu "
+                      "dmas=%llu faults=%llu stale=%llu\n",
+                      ModeToken(mode), rcache ? 1 : 0,
+                      static_cast<unsigned long long>(config.seed),
+                      static_cast<unsigned long long>(result.ops_executed),
+                      static_cast<unsigned long long>(result.maps),
+                      static_cast<unsigned long long>(result.unmaps),
+                      static_cast<unsigned long long>(result.dmas),
+                      static_cast<unsigned long long>(result.faults),
+                      static_cast<unsigned long long>(result.stale_uses));
+        }
+      }
+    }
+  }
+
+  std::printf("fsio_diff: %llu runs, %llu diverged, %llu ops, %llu dmas "
+              "(%llu faults, %llu stale uses)\n",
+              static_cast<unsigned long long>(runs), static_cast<unsigned long long>(diverged),
+              static_cast<unsigned long long>(total_ops),
+              static_cast<unsigned long long>(total_dmas),
+              static_cast<unsigned long long>(total_faults),
+              static_cast<unsigned long long>(total_stale));
+  if (opt.expect_divergence) {
+    if (diverged == runs && self_test_ok) {
+      std::printf("self-test PASSED: bug=%s detected in all %llu runs\n",
+                  InjectedBugName(opt.bug), static_cast<unsigned long long>(runs));
+      return 0;
+    }
+    std::printf("self-test FAILED: bug=%s detected in %llu/%llu runs\n", InjectedBugName(opt.bug),
+                static_cast<unsigned long long>(diverged), static_cast<unsigned long long>(runs));
+    return 1;
+  }
+  return diverged == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fsio
+
+int main(int argc, char** argv) { return fsio::Main(argc, argv); }
