@@ -21,6 +21,13 @@
 //   StartIncast(&cluster, /*dst_host=*/0);          // src/apps/incast.h
 //   cluster.RunUntil(20 * kNsPerMs);
 //   std::vector<WindowResult> r = cluster.MeasureWindowAll(40 * kNsPerMs);
+//
+// Thread safety: a Cluster (and everything it owns — hosts, switches, the
+// event queue, its StatsRegistry) is a single-threaded deterministic
+// simulation instance. Parallel sweeps get their concurrency by building one
+// Cluster per sweep point on the SweepRunner pool, never by sharing one
+// instance across threads; the only process-global a Cluster touches is the
+// mutex-serialized Logger (src/simcore/log.h).
 #ifndef FASTSAFE_SRC_CORE_CLUSTER_H_
 #define FASTSAFE_SRC_CORE_CLUSTER_H_
 

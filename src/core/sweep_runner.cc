@@ -4,10 +4,43 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "src/simcore/sync.h"
+
 namespace fsio {
+
+namespace {
+
+// Captures the first exception thrown by any worker thread. The mutex guards
+// `first_`; the thread-safety analysis proves no worker touches it unlocked.
+class ErrorCollector {
+ public:
+  void Capture() FSIO_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (!first_) {
+      first_ = std::current_exception();
+    }
+  }
+
+  // Called after every worker has joined; rethrows the first captured error.
+  void Rethrow() FSIO_EXCLUDES(mu_) {
+    std::exception_ptr first;
+    {
+      MutexLock lock(&mu_);
+      first = first_;
+    }
+    if (first) {
+      std::rethrow_exception(first);
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr first_ FSIO_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 SweepRunner::SweepRunner(unsigned threads)
     : threads_(threads > 0 ? threads : DefaultThreads()) {}
@@ -38,8 +71,7 @@ void SweepRunner::Run(std::size_t n, const std::function<void(std::size_t)>& fn)
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorCollector errors;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -49,10 +81,7 @@ void SweepRunner::Run(std::size_t n, const std::function<void(std::size_t)>& fn)
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
+        errors.Capture();
       }
     }
   };
@@ -65,9 +94,7 @@ void SweepRunner::Run(std::size_t n, const std::function<void(std::size_t)>& fn)
   for (auto& thread : pool) {
     thread.join();
   }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
+  errors.Rethrow();
 }
 
 }  // namespace fsio

@@ -1,15 +1,30 @@
 #include "src/simcore/log.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "src/simcore/sync.h"
 
 namespace fsio {
 
 namespace {
+// Ordering contract for g_level (the simulator's only mutable process-wide
+// configuration): the level is a standalone word — no other memory is
+// published or consumed through it — so std::memory_order_relaxed loads and
+// stores are sufficient and every access says so explicitly. Atomicity is
+// all we need (no torn reads when sweep workers log while a test adjusts
+// verbosity). Callers that require a level change to be *visible* to a
+// worker thread must order it themselves; in practice every SetLevel() call
+// happens before the SweepRunner pool is spawned, and std::thread creation
+// synchronizes-with the start of the new thread, which makes the level
+// visible without any stronger ordering here. A thread racing SetLevel()
+// may log at either the old or the new level — never at a garbage one.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-std::mutex& WriteMutex() {
-  static std::mutex mutex;
+// Serializes whole lines onto stderr (the resource the mutex guards).
+// Function-local static so the mutex is constructed on first use and never
+// destroyed before a logging call during static teardown.
+Mutex& WriteMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -35,7 +50,7 @@ void Logger::SetLevel(LogLevel level) { g_level.store(level, std::memory_order_r
 LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Logger::Write(LogLevel level, const std::string& msg) {
-  const std::lock_guard<std::mutex> lock(WriteMutex());
+  const MutexLock lock(&WriteMutex());
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
 

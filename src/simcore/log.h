@@ -3,11 +3,12 @@
 // Logging defaults to kWarn so experiment binaries stay quiet; tests and
 // debugging sessions can raise verbosity with Logger::SetLevel().
 //
-// Thread safety: the level is atomic and Write() serializes whole lines
-// through a mutex, so concurrent sweep points (src/core/sweep_runner.h) can
-// log without interleaving or tearing. This is the only mutable
-// process-global state in the simulator; everything else is owned per
-// Cluster/Testbed instance, which is what makes parallel sweeps
+// Thread safety: the level is atomic (relaxed; see the ordering contract on
+// g_level in log.cc) and Write() serializes whole lines through an
+// fsio::Mutex (src/simcore/sync.h), so concurrent sweep points
+// (src/core/sweep_runner.h) can log without interleaving or tearing. This is
+// the only mutable process-global state in the simulator; everything else is
+// owned per Cluster/Testbed instance, which is what makes parallel sweeps
 // deterministic.
 #ifndef FASTSAFE_SRC_SIMCORE_LOG_H_
 #define FASTSAFE_SRC_SIMCORE_LOG_H_

@@ -1,0 +1,94 @@
+// Annotated synchronization primitives + Clang thread-safety macros.
+//
+// All locking in the simulator goes through this header: fsio_lint's
+// `raw-mutex` rule rejects `std::mutex` / `std::lock_guard` anywhere else,
+// so every mutex-guarded relationship is visible to Clang's thread-safety
+// analysis (-Wthread-safety, promoted to an error on Clang builds by the
+// top-level CMakeLists). On non-Clang compilers the attribute macros expand
+// to nothing and `Mutex`/`MutexLock` degrade to plain wrappers.
+//
+// Usage:
+//   class Queue {
+//    public:
+//     void Push(Item item) FSIO_EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       items_.push_back(std::move(item));
+//     }
+//    private:
+//     Mutex mu_;
+//     std::vector<Item> items_ FSIO_GUARDED_BY(mu_);
+//   };
+//
+// The analysis is compile-time only and has no runtime cost; the negative
+// compile test (tests/negcompile/) proves an unguarded access to a
+// FSIO_GUARDED_BY member is rejected under -Werror=thread-safety.
+#ifndef FASTSAFE_SRC_SIMCORE_SYNC_H_
+#define FASTSAFE_SRC_SIMCORE_SYNC_H_
+
+#include <mutex>  // fsio-lint: allow(raw-mutex)
+
+// Attribute spelling: Clang understands both the __attribute__((capability))
+// family and the older lockable aliases; we use the modern capability names.
+#if defined(__clang__) && !defined(SWIG)
+#define FSIO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FSIO_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// On types: this class is a lockable capability (e.g. a mutex).
+#define FSIO_CAPABILITY(x) FSIO_THREAD_ANNOTATION(capability(x))
+// On types: RAII object that acquires a capability for its lifetime.
+#define FSIO_SCOPED_CAPABILITY FSIO_THREAD_ANNOTATION(scoped_lockable)
+// On data members: reads/writes require holding the given capability.
+#define FSIO_GUARDED_BY(x) FSIO_THREAD_ANNOTATION(guarded_by(x))
+// On pointer members: the pointee (not the pointer) is guarded.
+#define FSIO_PT_GUARDED_BY(x) FSIO_THREAD_ANNOTATION(pt_guarded_by(x))
+// On functions: caller must already hold the capability / must NOT hold it.
+#define FSIO_REQUIRES(...) FSIO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FSIO_EXCLUDES(...) FSIO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// On functions: acquire/release the capability as a side effect.
+#define FSIO_ACQUIRE(...) FSIO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FSIO_RELEASE(...) FSIO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FSIO_TRY_ACQUIRE(...) FSIO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// On mutex members: static lock-order contract (deadlock detection).
+#define FSIO_ACQUIRED_BEFORE(...) FSIO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FSIO_ACQUIRED_AFTER(...) FSIO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+// On functions returning a reference to a capability.
+#define FSIO_RETURN_CAPABILITY(x) FSIO_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch; every use must carry a comment justifying it.
+#define FSIO_NO_THREAD_SAFETY_ANALYSIS FSIO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fsio {
+
+// The simulator's only mutex type. Deliberately minimal: no timed waits, no
+// recursion — deterministic simulation code should never need either.
+class FSIO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FSIO_ACQUIRE() { mu_.lock(); }
+  void Unlock() FSIO_RELEASE() { mu_.unlock(); }
+  bool TryLock() FSIO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;  // fsio-lint: allow(raw-mutex)
+};
+
+// RAII lock; the only sanctioned way to hold a Mutex.
+class FSIO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) FSIO_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() FSIO_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_SIMCORE_SYNC_H_

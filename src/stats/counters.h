@@ -3,6 +3,14 @@
 // Components own Counter handles; a StatsRegistry groups them for snapshot /
 // delta reporting so experiments can measure per-interval rates (e.g. misses
 // per page of data during the measurement window only).
+//
+// Thread safety: Counter and StatsRegistry are thread-compatible, not
+// thread-safe — plain uint64 increments, no atomics, no locks. Each registry
+// belongs to one simulation instance and is only touched by the sweep-worker
+// thread driving that instance (src/core/sweep_runner.h); keeping Add() a
+// single non-atomic add is what lets counters sit on the per-packet hot
+// path. Never share a registry across concurrently running sweep points —
+// the TSan CI preset (FSIO_SANITIZE=thread) checks this invariant.
 #ifndef FASTSAFE_SRC_STATS_COUNTERS_H_
 #define FASTSAFE_SRC_STATS_COUNTERS_H_
 

@@ -19,6 +19,14 @@
 // One Tracer serves one deterministic simulation instance (a Cluster); a
 // parallel sweep uses one Tracer + sink per point so the merged output is
 // byte-identical to a serial run (see tools/fsio_sim.cc).
+//
+// Thread safety: Tracer, TraceSink, and TraceScope are deliberately
+// lock-free and *thread-compatible*, not thread-safe — one (tracer, sink)
+// pair is confined to the single sweep-worker thread that owns its
+// simulation instance (src/core/sweep_runner.h), so adding a mutex here
+// would be pure hot-path overhead. Sharing one Tracer between concurrently
+// running points is a bug; the TSan CI preset (FSIO_SANITIZE=thread) exists
+// to catch exactly that class of mistake.
 #ifndef FASTSAFE_SRC_TRACE_TRACER_H_
 #define FASTSAFE_SRC_TRACE_TRACER_H_
 

@@ -60,6 +60,7 @@ TEST_F(DriverTest, OffModeUsesIdentityMappings) {
   }
   EXPECT_EQ(result.cpu_ns, 0u);
   EXPECT_EQ(page_table_->mapped_pages(), 0u);
+  dma_->UnmapDescriptor(0, result.mappings, 1000);
 }
 
 TEST_F(DriverTest, StrictModeMapsEachPageSeparately) {
@@ -71,6 +72,7 @@ TEST_F(DriverTest, StrictModeMapsEachPageSeparately) {
     EXPECT_EQ(m.chunk_id, 0u);
     EXPECT_TRUE(page_table_->IsMapped(m.iova));
   }
+  dma_->UnmapDescriptor(0, result.mappings, 1000);
 }
 
 TEST_F(DriverTest, FastSafeMapsDescriptorIntoOneContiguousChunk) {
@@ -87,6 +89,7 @@ TEST_F(DriverTest, FastSafeMapsDescriptorIntoOneContiguousChunk) {
   const std::uint64_t first_tag = LevelTag(result.mappings.front().iova, 3);
   const std::uint64_t last_tag = LevelTag(result.mappings.back().iova, 3);
   EXPECT_LE(last_tag - first_tag, 1u);
+  dma_->UnmapDescriptor(0, result.mappings, 1000);
 }
 
 TEST_F(DriverTest, FastSafeTxPacksPagesAcrossCalls) {
@@ -97,6 +100,7 @@ TEST_F(DriverTest, FastSafeTxPacksPagesAcrossCalls) {
   ASSERT_EQ(b.mappings.size(), 1u);
   EXPECT_EQ(b.mappings[0].iova, a.mappings[0].iova + kPageSize);
   EXPECT_EQ(a.mappings[0].chunk_id, b.mappings[0].chunk_id);
+  dma_->UnmapDescriptor(1, {a.mappings[0], b.mappings[0]}, 1000);
 }
 
 TEST_F(DriverTest, FastSafeTxRollsToNewChunkWhenFull) {
@@ -109,6 +113,7 @@ TEST_F(DriverTest, FastSafeTxRollsToNewChunkWhenFull) {
   }
   EXPECT_EQ(maps[3].chunk_id, maps[0].chunk_id);
   EXPECT_NE(maps[4].chunk_id, maps[0].chunk_id);
+  dma_->UnmapDescriptor(0, maps, 1000);
 }
 
 TEST_F(DriverTest, StrictUnmapIssuesOneInvalidationPerPage) {

@@ -354,6 +354,7 @@ TEST_F(FaultedDriverTest, IovaExhaustionIsMaskedByRetry) {
   EXPECT_EQ(result.mappings.size(), 64u);  // the 4th attempt succeeded
   EXPECT_EQ(stats_->Value("dma.fault_masked"), 1u);
   EXPECT_EQ(stats_->Value("dma.alloc_failures"), 0u);
+  dma_->UnmapDescriptor(0, result.mappings, 10'000);
 }
 
 TEST_F(FaultedDriverTest, IovaExhaustionBeyondRetriesDegradesGracefully) {
@@ -361,6 +362,8 @@ TEST_F(FaultedDriverTest, IovaExhaustionBeyondRetriesDegradesGracefully) {
   plan.Add(Spec(FaultKind::kIovaExhaustion));  // every allocation fails
   Build(ProtectionMode::kFastSafe, plan);
 
+  // The map fails by design, so there is nothing to unmap.
+  // fsio-lint: allow(dma-pairing)
   const auto result = dma_->MapPages(0, Frames(64));
   EXPECT_TRUE(result.mappings.empty());
   EXPECT_EQ(stats_->Value("dma.alloc_failures"), 1u);

@@ -164,6 +164,7 @@ TEST(HugeDriverTest, FastSafeHugeMapsOneLeafEntry) {
   // IOVAs are contiguous and 2 MB aligned.
   EXPECT_EQ(mapped.mappings[0].iova % kHuge, 0u);
   EXPECT_EQ(mapped.mappings[511].iova, mapped.mappings[0].iova + 511 * kPageSize);
+  rig.dma->UnmapDescriptor(0, mapped.mappings, 100000);
 }
 
 TEST(HugeDriverTest, FastSafeHugeUnmapIsOneOpAndStillStrict) {

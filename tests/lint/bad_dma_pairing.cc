@@ -1,0 +1,18 @@
+// Lint fixture (never compiled): test bodies that map DMA pages without a
+// matching unmap/release violate the dma-pairing rule (linted with
+// --scope=tests). Mirrors the dynamic oracle's map/unmap contract.
+#include <gtest/gtest.h>
+
+#include "src/driver/dma_api.h"
+
+TEST(BadDmaTest, MapsWithoutUnmap) {
+  fsio::DmaApi* dma = nullptr;
+  const auto result = dma->MapPages(0, {});  // never unmapped
+  EXPECT_EQ(result.mappings.size(), 0u);
+}
+
+TEST(BadDmaTest, AcquiresWithoutRelease) {
+  fsio::DmaApi* dma = nullptr;
+  const auto desc = dma->AcquirePersistentDescriptor(0, {});  // never released
+  EXPECT_EQ(desc.mappings.size(), 0u);
+}

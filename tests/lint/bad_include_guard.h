@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): the guard macro does not match the file's
+// repo-relative path, so the include-guard rule must flag it.
+#ifndef SOME_RANDOM_GUARD_H
+#define SOME_RANDOM_GUARD_H
+
+namespace fsio {
+inline int BadGuarded() { return 1; }
+}  // namespace fsio
+
+#endif  // SOME_RANDOM_GUARD_H

@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): three include-hygiene violations — a
+// quoted include that is not repo-root-relative, an #include of an
+// implementation file, and a repo header pulled in with angle brackets.
+#include "dma_api.h"
+#include "src/simcore/log.cc"
+#include <src/simcore/time.h>
+
+namespace fsio {
+inline int BadIncludes() { return 1; }
+}  // namespace fsio

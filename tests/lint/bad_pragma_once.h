@@ -1,0 +1,7 @@
+// Lint fixture (never compiled): #pragma once instead of the repo's
+// FASTSAFE_* guard style must be flagged by the include-guard rule.
+#pragma once
+
+namespace fsio {
+inline int PragmaGuarded() { return 1; }
+}  // namespace fsio

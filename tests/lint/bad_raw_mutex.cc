@@ -1,0 +1,20 @@
+// Lint fixture (never compiled): raw standard-library locking primitives
+// outside src/simcore/sync.h must be rejected by the raw-mutex rule.
+#include <mutex>
+
+namespace fsio {
+
+class BadQueue {
+ public:
+  void Push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // raw-mutex: lock_guard
+    items_[count_++ % 4] = v;
+  }
+
+ private:
+  std::mutex mu_;  // raw-mutex: the analysis cannot see this lock
+  int items_[4] = {0, 0, 0, 0};
+  int count_ = 0;
+};
+
+}  // namespace fsio

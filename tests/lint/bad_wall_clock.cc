@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): wall-clock time and sleeps in simulation
+// code break determinism; the wall-clock rule (scoped to src/) must flag
+// every call site below when linted with --scope=src.
+#include <chrono>
+#include <thread>
+
+namespace fsio {
+
+long BadNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // wall-clock
+}
+
+void BadPause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // wall-clock
+}
+
+}  // namespace fsio

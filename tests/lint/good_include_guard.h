@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): guard macro derived from the repo-relative
+// path (FASTSAFE_ + TESTS_LINT_GOOD_INCLUDE_GUARD_H + _) passes the rule.
+#ifndef FASTSAFE_TESTS_LINT_GOOD_INCLUDE_GUARD_H_
+#define FASTSAFE_TESTS_LINT_GOOD_INCLUDE_GUARD_H_
+
+namespace fsio {
+inline int GoodGuarded() { return 1; }
+}  // namespace fsio
+
+#endif  // FASTSAFE_TESTS_LINT_GOOD_INCLUDE_GUARD_H_

@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): simulated time via TimeNs is the sanctioned
+// way to "wait" — advancing the event queue, never the host clock. Clean
+// under --scope=src.
+#include "src/simcore/time.h"
+
+namespace fsio {
+
+TimeNs GoodDeadline(TimeNs now) { return now + 10 * 1000 * 1000; }
+
+}  // namespace fsio

@@ -1,0 +1,40 @@
+// Negative-compile probe: an unguarded write to a FSIO_GUARDED_BY member.
+//
+// Compiled twice by tests/negcompile/CMakeLists.txt on Clang builds: once
+// without the analysis (must succeed — proves the file is otherwise valid)
+// and once with -Wthread-safety -Werror=thread-safety (must FAIL — proves
+// the annotations in src/simcore/sync.h actually reject broken locking, and
+// are not silently expanding to nothing).
+#include "src/simcore/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG under analysis: touches balance_ without holding mu_.
+  void DepositUnguarded(int amount) { balance_ += amount; }
+
+  // Correct form, kept here so the control build exercises the annotations.
+  void DepositGuarded(int amount) FSIO_EXCLUDES(mu_) {
+    fsio::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int Read() FSIO_EXCLUDES(mu_) {
+    fsio::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  fsio::Mutex mu_;
+  int balance_ FSIO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.DepositUnguarded(1);
+  account.DepositGuarded(1);
+  return account.Read() == 2 ? 0 : 1;
+}

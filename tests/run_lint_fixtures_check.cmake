@@ -1,0 +1,64 @@
+# Proves every fsio_lint rule is live: each bad fixture under tests/lint/
+# must fail with the expected rule id (and violation count), each good
+# fixture must be clean under the full rule set. Driven by ctest:
+#   cmake -DLINT=<fsio_lint> -DROOT=<repo root> -P run_lint_fixtures_check.cmake
+if(NOT LINT OR NOT ROOT)
+  message(FATAL_ERROR "usage: cmake -DLINT=<fsio_lint> -DROOT=<repo root> -P ...")
+endif()
+
+# Runs fsio_lint on one fixture. EXPECT is "clean" or the number of expected
+# diagnostics carrying RULE; SCOPE forces the rule-scoping directory ("" for
+# the fixture's natural path scope). Extra flags come via FLAGS.
+function(check_fixture fixture expect rule scope)
+  set(cmd "${LINT}")
+  if(NOT rule STREQUAL "")
+    list(APPEND cmd "--rules=${rule}")
+  endif()
+  if(NOT scope STREQUAL "")
+    list(APPEND cmd "--scope=${scope}")
+  endif()
+  list(APPEND cmd "tests/lint/${fixture}")
+  execute_process(COMMAND ${cmd}
+                  WORKING_DIRECTORY "${ROOT}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(expect STREQUAL "clean")
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${fixture}: expected clean, got rc=${rc}\n${out}${err}")
+    endif()
+  else()
+    if(rc EQUAL 0)
+      message(FATAL_ERROR "${fixture}: expected ${expect} ${rule} violation(s), got clean\n${out}")
+    endif()
+    string(REGEX MATCHALL ": ${rule}: " hits "${out}")
+    list(LENGTH hits nhits)
+    if(NOT nhits EQUAL expect)
+      message(FATAL_ERROR
+              "${fixture}: expected ${expect} ${rule} diagnostic(s), got ${nhits}\n${out}")
+    endif()
+  endif()
+  message(STATUS "ok: ${fixture} (${rule} x${expect})")
+endfunction()
+
+# Positive cases: each rule fires, with the exact expected count.
+check_fixture(bad_raw_mutex.cc        2 raw-mutex       "")
+check_fixture(bad_wall_clock.cc       2 wall-clock      src)
+check_fixture(bad_dma_pairing.cc      2 dma-pairing     tests)
+check_fixture(bad_include_guard.h     1 include-guard   "")
+check_fixture(bad_pragma_once.h       1 include-guard   "")
+check_fixture(bad_include_hygiene.cc  3 include-hygiene "")
+
+# Scoping is real: wall-clock only applies to src/, so the same fixture is
+# clean when linted under its natural tests/ scope.
+check_fixture(bad_wall_clock.cc       clean wall-clock  "")
+
+# Negative cases: good fixtures pass the FULL rule set in their rule's scope
+# (comments/strings mentioning forbidden tokens, MapPersistent exemption,
+# and justified allow directives must not fire).
+check_fixture(good_raw_mutex.cc       clean "" "")
+check_fixture(good_wall_clock.cc      clean "" src)
+check_fixture(good_dma_pairing.cc     clean "" tests)
+check_fixture(good_include_guard.h    clean "" "")
+
+message(STATUS "fsio_lint fixture matrix passed")

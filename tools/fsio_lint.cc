@@ -1,0 +1,695 @@
+// fsio_lint: repo-specific static checks the compiler cannot express.
+//
+// Usage:
+//   fsio_lint [--rules=r1,r2] [--scope=src|tests|tools|bench|examples] \
+//             [--list-rules] PATH...
+//
+// PATHs are files or directories (searched recursively for C++ sources),
+// resolved relative to the working directory, which must be the repo root so
+// rule scoping and include-guard expectations line up. Directories skip
+// build*/ trees and the deliberately-dirty lint fixtures under tests/lint/;
+// naming a fixture file explicitly lints it anyway (that is how
+// run_lint_fixtures_check.cmake proves each rule fires).
+//
+// Rules (see DESIGN.md §9 for the rationale table):
+//   raw-mutex        std::mutex/lock_guard/... anywhere but src/simcore/sync.h
+//   wall-clock       sleep/wall-clock time in src/ (breaks determinism)
+//   dma-pairing      gtest bodies that Map* DMA pages but never Unmap/Release
+//   include-guard    headers must carry FASTSAFE_<PATH>_H_ guards
+//   include-hygiene  quoted includes repo-root-relative; never include a .cc
+//
+// Suppressions: `// fsio-lint: allow(rule-id)` on the offending line (for
+// dma-pairing: anywhere in the test body), `// fsio-lint: file-allow(rule-id)`
+// anywhere in the file. Every suppression should carry a justification.
+//
+// Diagnostics are `file:line: rule-id: message`, one per line; the exit code
+// is non-zero iff any violation was reported. Like fsio_trace, the tool is
+// self-contained: no dependency on the simulator libraries.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// One parsed source file: raw lines for lexical rules (includes, guards,
+// directives) and a "code view" with comments and string/char literals
+// blanked so token rules never fire on prose or quoted text.
+struct SourceFile {
+  std::string path;   // repo-relative, forward slashes (display + scoping)
+  std::string scope;  // first path component: src, tests, tools, bench, ...
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::set<std::string> file_allows;
+  std::map<std::size_t, std::set<std::string>> line_allows;  // 1-based line
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Splits `text` into lines (tolerating a missing trailing newline).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+// Builds the code view: comments and string/char literal *contents* become
+// spaces, everything else (including line structure) is preserved.
+std::vector<std::string> BuildCodeView(const std::vector<std::string>& raw) {
+  std::vector<std::string> code = raw;
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string delimiter, e.g. )foo"
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    std::string& line = code[li];
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      switch (state) {
+        case State::kCode: {
+          const char c = line[i];
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            for (std::size_t j = i; j < line.size(); ++j) {
+              line[j] = ' ';
+            }
+            i = line.size();
+          } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            line[i] = ' ';
+            line[i + 1] = ' ';
+            ++i;
+            state = State::kBlockComment;
+          } else if (c == '"' && i + 1 < line.size() && i >= 1 && line[i - 1] == 'R') {
+            // Raw string literal R"delim( ... )delim"
+            std::size_t open = line.find('(', i + 1);
+            if (open == std::string::npos) {
+              break;  // malformed; leave as-is
+            }
+            raw_delim = ")" + line.substr(i + 1, open - i - 1) + "\"";
+            for (std::size_t j = i; j < line.size() && j <= open; ++j) {
+              line[j] = ' ';
+            }
+            i = open;
+            state = State::kRawString;
+          } else if (c == '"') {
+            state = State::kString;
+          } else if (c == '\'') {
+            state = State::kChar;
+          }
+          break;
+        }
+        case State::kBlockComment:
+          if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+            line[i] = ' ';
+            line[i + 1] = ' ';
+            ++i;
+            state = State::kCode;
+          } else {
+            line[i] = ' ';
+          }
+          break;
+        case State::kString:
+          if (line[i] == '\\') {
+            line[i] = ' ';
+            if (i + 1 < line.size()) {
+              line[i + 1] = ' ';
+              ++i;
+            }
+          } else if (line[i] == '"') {
+            state = State::kCode;
+          } else {
+            line[i] = ' ';
+          }
+          break;
+        case State::kChar:
+          if (line[i] == '\\') {
+            line[i] = ' ';
+            if (i + 1 < line.size()) {
+              line[i + 1] = ' ';
+              ++i;
+            }
+          } else if (line[i] == '\'') {
+            state = State::kCode;
+          } else {
+            line[i] = ' ';
+          }
+          break;
+        case State::kRawString: {
+          const std::size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            for (std::size_t j = i; j < line.size(); ++j) {
+              line[j] = ' ';
+            }
+            i = line.size();
+          } else {
+            for (std::size_t j = i; j < end + raw_delim.size(); ++j) {
+              line[j] = ' ';
+            }
+            i = end + raw_delim.size() - 1;
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    // Line comments and unterminated string states reset per construct; a
+    // string literal cannot span lines without continuation, treat as closed.
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;
+    }
+  }
+  return code;
+}
+
+// Parses `fsio-lint: allow(a, b)` / `fsio-lint: file-allow(a)` directives.
+void ParseDirectives(SourceFile* file) {
+  for (std::size_t li = 0; li < file->raw.size(); ++li) {
+    const std::string& line = file->raw[li];
+    std::size_t pos = line.find("fsio-lint:");
+    while (pos != std::string::npos) {
+      const std::size_t open = line.find('(', pos);
+      if (open == std::string::npos) {
+        break;
+      }
+      const std::size_t close = line.find(')', open);
+      if (close == std::string::npos) {
+        break;
+      }
+      const std::string verb = line.substr(pos + std::strlen("fsio-lint:"),
+                                           open - pos - std::strlen("fsio-lint:"));
+      std::string rules = line.substr(open + 1, close - open - 1);
+      std::stringstream ss(rules);
+      std::string rule;
+      const bool file_wide = verb.find("file-allow") != std::string::npos;
+      const bool line_wide = !file_wide && verb.find("allow") != std::string::npos;
+      while (std::getline(ss, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                  [](char c) { return std::isspace(static_cast<unsigned char>(c)); }),
+                   rule.end());
+        if (rule.empty()) {
+          continue;
+        }
+        if (file_wide) {
+          file->file_allows.insert(rule);
+        } else if (line_wide) {
+          file->line_allows[li + 1].insert(rule);
+        }
+      }
+      pos = line.find("fsio-lint:", close);
+    }
+  }
+}
+
+bool Suppressed(const SourceFile& file, std::size_t line, const std::string& rule) {
+  if (file.file_allows.count(rule) != 0) {
+    return true;
+  }
+  auto it = file.line_allows.find(line);
+  return it != file.line_allows.end() && it->second.count(rule) != 0;
+}
+
+// Finds `token` in `line` at identifier boundaries; returns npos if absent.
+std::size_t FindToken(const std::string& line, const std::string& token) {
+  std::size_t pos = line.find(token);
+  while (pos != std::string::npos) {
+    const bool lead_ok =
+        pos == 0 || !IsIdentChar(line[pos - 1]) || !IsIdentChar(token.front());
+    const std::size_t end = pos + token.size();
+    const bool tail_ok =
+        end >= line.size() || !IsIdentChar(line[end]) || !IsIdentChar(token.back());
+    if (lead_ok && tail_ok) {
+      return pos;
+    }
+    pos = line.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-mutex — all locking goes through src/simcore/sync.h.
+
+void CheckRawMutex(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (file.path == "src/simcore/sync.h") {
+    return;  // the one sanctioned wrapper around the standard primitives
+  }
+  static const char* const kTokens[] = {
+      "std::mutex",          "std::recursive_mutex",       "std::timed_mutex",
+      "std::shared_mutex",   "std::recursive_timed_mutex", "std::shared_timed_mutex",
+      "std::lock_guard",     "std::unique_lock",           "std::scoped_lock",
+      "std::shared_lock",    "std::condition_variable",    "std::condition_variable_any",
+  };
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    for (const char* token : kTokens) {
+      if (FindToken(file.code[li], token) == std::string::npos) {
+        continue;
+      }
+      if (!Suppressed(file, li + 1, "raw-mutex")) {
+        diags->push_back({file.path, li + 1, "raw-mutex",
+                          std::string(token) +
+                              " outside src/simcore/sync.h; use fsio::Mutex / "
+                              "fsio::MutexLock so Clang's thread-safety analysis "
+                              "sees the lock"});
+      }
+      break;  // one diagnostic per line is enough
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock — simulation code runs on simulated time only.
+
+void CheckWallClock(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (file.scope != "src") {
+    return;
+  }
+  static const char* const kTokens[] = {
+      "sleep_for",      "sleep_until",    "usleep",
+      "nanosleep",      "sleep(",         "system_clock",
+      "steady_clock",   "high_resolution_clock", "gettimeofday",
+      "clock_gettime",  "time(nullptr",   "time(NULL",
+      "localtime",      "gmtime",         "clock()",
+  };
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    for (const char* token : kTokens) {
+      if (FindToken(file.code[li], token) == std::string::npos) {
+        continue;
+      }
+      if (!Suppressed(file, li + 1, "wall-clock")) {
+        diags->push_back({file.path, li + 1, "wall-clock",
+                          std::string(token) +
+                              " in src/: simulation code must use simulated "
+                              "TimeNs (src/simcore/time.h), never wall-clock "
+                              "time or sleeps (determinism)"});
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: dma-pairing — a gtest body that maps DMA pages must unmap them (or
+// release its persistent descriptors), mirroring the dynamic oracle's
+// "every Map has a matching Unmap" contract statically at call sites.
+// MapPersistent() is exempt by design: persistent ring mappings are mapped
+// once and never unmapped. Only member calls (`dma->MapPages(`,
+// `dma_.MapPage(`) count as DmaApi use, so a fixture's own helper named
+// MapPages() does not trip the rule.
+
+// Finds `token` invoked as a member call (preceded by `.` or `->`).
+bool FindMemberCall(const std::string& line, const std::string& token) {
+  std::size_t pos = line.find(token);
+  while (pos != std::string::npos) {
+    const bool member =
+        (pos >= 1 && line[pos - 1] == '.') ||
+        (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>');
+    if (member) {
+      return true;
+    }
+    pos = line.find(token, pos + 1);
+  }
+  return false;
+}
+
+void CheckDmaPairing(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (file.scope != "tests") {
+    return;
+  }
+  static const char* const kTestMacros[] = {"TEST(", "TEST_F(", "TEST_P(", "TYPED_TEST("};
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    std::size_t macro_col = std::string::npos;
+    for (const char* macro : kTestMacros) {
+      macro_col = FindToken(file.code[li], macro);
+      if (macro_col != std::string::npos) {
+        break;
+      }
+    }
+    if (macro_col == std::string::npos) {
+      continue;
+    }
+    // Walk the test body by brace depth, counting paired DMA-API calls.
+    int depth = 0;
+    bool entered = false;
+    bool suppressed = false;
+    std::size_t maps = 0, unmaps = 0, acquires = 0, releases = 0;
+    std::size_t end = li;
+    for (std::size_t bi = li; bi < file.code.size(); ++bi) {
+      const std::string& body = file.code[bi];
+      if (file.line_allows.count(bi + 1) != 0 &&
+          file.line_allows.at(bi + 1).count("dma-pairing") != 0) {
+        suppressed = true;
+      }
+      maps += FindMemberCall(body, "MapPages(") ? 1 : 0;
+      maps += FindMemberCall(body, "MapPage(") ? 1 : 0;
+      unmaps += FindMemberCall(body, "UnmapDescriptor(") ? 1 : 0;
+      acquires += FindMemberCall(body, "AcquirePersistentDescriptor(") ? 1 : 0;
+      releases += FindMemberCall(body, "ReleasePersistentDescriptor(") ? 1 : 0;
+      for (char c : body) {
+        if (c == '{') {
+          ++depth;
+          entered = true;
+        } else if (c == '}') {
+          --depth;
+        }
+      }
+      if (entered && depth <= 0) {
+        end = bi;
+        break;
+      }
+    }
+    if (!suppressed && file.file_allows.count("dma-pairing") == 0) {
+      if (maps > 0 && unmaps == 0) {
+        diags->push_back({file.path, li + 1, "dma-pairing",
+                          "test body calls MapPages()/MapPage() but never "
+                          "UnmapDescriptor(); unmap what you map (or justify with "
+                          "a fsio-lint allow directive)"});
+      }
+      if (acquires > 0 && releases == 0) {
+        diags->push_back({file.path, li + 1, "dma-pairing",
+                          "test body calls AcquirePersistentDescriptor() but never "
+                          "ReleasePersistentDescriptor()"});
+      }
+    }
+    li = end;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-guard — headers carry FASTSAFE_<PATH>_H_ guards.
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard = "FASTSAFE_";
+  for (char c : path) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void CheckIncludeGuard(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  const bool is_header = file.path.size() > 2 &&
+                         (file.path.rfind(".h") == file.path.size() - 2 ||
+                          file.path.rfind(".hpp") == file.path.size() - 4 ||
+                          file.path.rfind(".hh") == file.path.size() - 3);
+  if (!is_header || file.file_allows.count("include-guard") != 0) {
+    return;
+  }
+  const std::string expected = ExpectedGuard(file.path);
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    std::stringstream ss(file.code[li]);
+    std::string hash, macro;
+    ss >> hash >> macro;
+    if (hash == "#pragma" && macro == "once" && !Suppressed(file, li + 1, "include-guard")) {
+      diags->push_back({file.path, li + 1, "include-guard",
+                        "#pragma once: this repo uses " + expected + " guards"});
+      return;
+    }
+    if (hash != "#ifndef") {
+      continue;
+    }
+    if (macro != expected && !Suppressed(file, li + 1, "include-guard")) {
+      diags->push_back({file.path, li + 1, "include-guard",
+                        "guard macro '" + macro + "' does not match path (expected " +
+                            expected + ")"});
+      return;
+    }
+    // The guard must be defined on the next non-blank line.
+    for (std::size_t di = li + 1; di < file.code.size(); ++di) {
+      std::stringstream ds(file.code[di]);
+      std::string dhash, dmacro;
+      ds >> dhash >> dmacro;
+      if (dhash.empty()) {
+        continue;
+      }
+      if (dhash != "#define" || dmacro != expected) {
+        if (!Suppressed(file, di + 1, "include-guard")) {
+          diags->push_back({file.path, di + 1, "include-guard",
+                            "#ifndef " + expected + " must be followed by #define " +
+                                expected});
+        }
+      }
+      return;
+    }
+    return;
+  }
+  if (!Suppressed(file, 1, "include-guard")) {
+    diags->push_back(
+        {file.path, 1, "include-guard", "header has no include guard (expected " +
+                                            expected + ")"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-hygiene — quoted includes are repo-root-relative, system
+// headers use <>, and nobody includes a .cc file.
+
+void CheckIncludeHygiene(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  static const char* const kRoots[] = {"src/", "tests/", "tools/", "bench/", "examples/"};
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& line = file.raw[li];
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] != '#') {
+      continue;
+    }
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || line.compare(pos, 7, "include") != 0) {
+      continue;
+    }
+    pos = line.find_first_not_of(" \t", pos + 7);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    const char open = line[pos];
+    const char close = open == '"' ? '"' : (open == '<' ? '>' : '\0');
+    if (close == '\0') {
+      continue;  // computed include (macro): out of scope
+    }
+    const std::size_t end = line.find(close, pos + 1);
+    if (end == std::string::npos) {
+      continue;
+    }
+    const std::string target = line.substr(pos + 1, end - pos - 1);
+    if (Suppressed(file, li + 1, "include-hygiene")) {
+      continue;
+    }
+    const bool repo_rooted =
+        std::any_of(std::begin(kRoots), std::end(kRoots), [&](const char* root) {
+          return target.rfind(root, 0) == 0;
+        });
+    if (target.size() > 3 && (target.rfind(".cc") == target.size() - 3 ||
+                              target.rfind(".cpp") == target.size() - 4)) {
+      diags->push_back({file.path, li + 1, "include-hygiene",
+                        "never #include an implementation file (" + target + ")"});
+    } else if (open == '"' && !repo_rooted) {
+      diags->push_back({file.path, li + 1, "include-hygiene",
+                        "quoted include \"" + target +
+                            "\" must be repo-root-relative (src/..., tests/..., "
+                            "tools/..., bench/..., examples/...)"});
+    } else if (open == '<' && repo_rooted) {
+      diags->push_back({file.path, li + 1, "include-hygiene",
+                        "repo header <" + target + "> must use quotes"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+  void (*check)(const SourceFile&, std::vector<Diagnostic>*);
+};
+
+const RuleInfo kRules[] = {
+    {"raw-mutex", "all locking goes through src/simcore/sync.h (annotated Mutex)",
+     &CheckRawMutex},
+    {"wall-clock", "no sleeps or wall-clock time in src/ (simulated time only)",
+     &CheckWallClock},
+    {"dma-pairing", "gtest bodies that Map* DMA pages must Unmap*/Release*",
+     &CheckDmaPairing},
+    {"include-guard", "headers carry FASTSAFE_<PATH>_H_ guards", &CheckIncludeGuard},
+    {"include-hygiene", "repo-root-relative quoted includes; never include .cc",
+     &CheckIncludeHygiene},
+};
+
+bool HasSourceExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+// True for directories the recursive walk must not descend into.
+bool SkippedDir(const std::string& rel) {
+  const std::string name = fs::path(rel).filename().string();
+  if (!name.empty() && name.front() == '.') {
+    return true;
+  }
+  if (name.rfind("build", 0) == 0) {
+    return true;
+  }
+  // The fixtures are deliberately dirty; they are linted one-by-one (with
+  // explicit paths) by run_lint_fixtures_check.cmake, never in a sweep.
+  return rel == "tests/lint" || rel.rfind("tests/lint/", 0) == 0;
+}
+
+std::string RelPath(const fs::path& path) {
+  std::error_code ec;
+  fs::path rel = fs::proximate(path, fs::current_path(), ec);
+  if (ec) {
+    rel = path;
+  }
+  return rel.generic_string();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rules=r1,r2] [--scope=SCOPE] [--list-rules] PATH...\n"
+               "Run from the repo root; see DESIGN.md section 9.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> enabled;
+  for (const RuleInfo& rule : kRules) {
+    enabled.insert(rule.id);
+  }
+  std::string forced_scope;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleInfo& rule : kRules) {
+        std::printf("%-16s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      enabled.clear();
+      std::stringstream ss(arg.substr(std::strlen("--rules=")));
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        const bool known = std::any_of(std::begin(kRules), std::end(kRules),
+                                       [&](const RuleInfo& r) { return rule == r.id; });
+        if (!known) {
+          std::fprintf(stderr, "fsio_lint: unknown rule '%s' (try --list-rules)\n",
+                       rule.c_str());
+          return 2;
+        }
+        enabled.insert(rule);
+      }
+    } else if (arg.rfind("--scope=", 0) == 0) {
+      forced_scope = arg.substr(std::strlen("--scope="));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "fsio_lint: unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    return Usage(argv[0]);
+  }
+
+  // Expand inputs into the file list (explicit files always included).
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    const fs::path path(input);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      std::vector<std::string> found;
+      fs::recursive_directory_iterator it(path, fs::directory_options::skip_permission_denied, ec),
+          end;
+      for (; it != end; it.increment(ec)) {
+        const std::string rel = RelPath(it->path());
+        if (it->is_directory() && SkippedDir(rel)) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && HasSourceExtension(it->path())) {
+          found.push_back(rel);
+        }
+      }
+      std::sort(found.begin(), found.end());
+      files.insert(files.end(), found.begin(), found.end());
+    } else if (fs::exists(path, ec)) {
+      files.push_back(RelPath(path));
+    } else {
+      std::fprintf(stderr, "fsio_lint: no such file or directory: %s\n", input.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Diagnostic> diags;
+  std::size_t scanned = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "fsio_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    SourceFile file;
+    file.path = path;
+    const std::size_t slash = path.find('/');
+    file.scope = forced_scope.empty()
+                     ? (slash == std::string::npos ? "" : path.substr(0, slash))
+                     : forced_scope;
+    file.raw = SplitLines(buffer.str());
+    file.code = BuildCodeView(file.raw);
+    ParseDirectives(&file);
+    ++scanned;
+
+    for (const RuleInfo& rule : kRules) {
+      if (enabled.count(rule.id) != 0) {
+        rule.check(file, &diags);
+      }
+    }
+  }
+
+  for (const Diagnostic& d : diags) {
+    std::printf("%s:%zu: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (diags.empty()) {
+    std::printf("fsio_lint: clean (%zu files scanned)\n", scanned);
+    return 0;
+  }
+  std::printf("fsio_lint: %zu violation(s) (%zu files scanned)\n", diags.size(), scanned);
+  return 1;
+}
