@@ -122,6 +122,20 @@ void Cluster::AddBulkFlows(std::uint32_t src_host, std::uint32_t dst_host, std::
   }
 }
 
+void Cluster::EnableFaultHarness() {
+  if (!oracles_.empty()) {
+    return;
+  }
+  oracles_.reserve(hosts_.size());
+  invariant_registries_.reserve(hosts_.size());
+  for (auto& host : hosts_) {
+    oracles_.push_back(std::make_unique<SafetyOracle>(&host->stats()));
+    invariant_registries_.push_back(std::make_unique<InvariantRegistry>(&host->stats()));
+    host->EnableSafetyInstrumentation(oracles_.back().get(), invariant_registries_.back().get(),
+                                      /*injector=*/nullptr);
+  }
+}
+
 void Cluster::RunUntil(TimeNs until) { ev_.RunUntil(until); }
 
 WindowResult Cluster::ComputeResult(std::uint32_t host_id,

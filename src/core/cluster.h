@@ -86,6 +86,25 @@ class Cluster {
   std::uint32_t num_hosts() const { return static_cast<std::uint32_t>(hosts_.size()); }
   const ClusterConfig& config() const { return config_; }
 
+  // Fabric topology access (cluster-scale fault injection).
+  NetworkSwitch& network_switch(std::uint32_t id) { return *switches_[id]; }
+  std::uint32_t num_switches() const { return static_cast<std::uint32_t>(switches_.size()); }
+  std::uint32_t switch_of(std::uint32_t host_id) const { return SwitchOf(host_id); }
+
+  // Cross-host safety harness: builds one SafetyOracle + InvariantRegistry
+  // per host (registered on that host's StatsRegistry) and wires them into
+  // every component via Host::EnableSafetyInstrumentation. The oracles check
+  // the cluster-scale invariants — no DMA lands in a crashed host's
+  // reclaimed frames, no stale translation survives recovery. Idempotent.
+  void EnableFaultHarness();
+  SafetyOracle* oracle(std::uint32_t host_id) {
+    return host_id < oracles_.size() ? oracles_[host_id].get() : nullptr;
+  }
+  InvariantRegistry* invariants(std::uint32_t host_id) {
+    return host_id < invariant_registries_.size() ? invariant_registries_[host_id].get()
+                                                  : nullptr;
+  }
+
   // Adds a single flow src_host:src_core -> dst_host:dst_core. Returns the
   // sender; `deliver` fires on the destination with in-order byte counts.
   DctcpSender* AddFlow(std::uint32_t src_host, std::uint32_t dst_host, std::uint32_t src_core,
@@ -131,6 +150,8 @@ class Cluster {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<NetworkSwitch>> switches_;
   std::unique_ptr<StatsRegistry> switch_stats_;
+  std::vector<std::unique_ptr<SafetyOracle>> oracles_;
+  std::vector<std::unique_ptr<InvariantRegistry>> invariant_registries_;
   std::uint64_t next_flow_id_ = 1;
 };
 

@@ -1,0 +1,95 @@
+#include "src/core/cluster_faults.h"
+
+#include <sstream>
+
+#include "src/core/cluster.h"
+
+namespace fsio {
+
+std::string ClusterFaultEvent::ToString() const {
+  std::ostringstream os;
+  os << FaultKindName(kind) << " at=" << at << " dur=" << duration_ns
+     << " switch=" << switch_id << " host=" << host
+     << " any_port=" << (any_port ? 1 : 0) << " p=" << probability;
+  return os.str();
+}
+
+ClusterFaultController::ClusterFaultController(Cluster* cluster, std::uint64_t seed)
+    : cluster_(cluster), seed_(seed) {}
+
+void ClusterFaultController::Arm() {
+  // Compile the probabilistic events into one fabric-wide plan. Port pinning
+  // is by port index: with multiple switches an event pinned to host H
+  // matches that port index on every switch, which is precise on H's leaf
+  // (uplink ports have higher indices than host ports only on switches with
+  // more hosts attached — acceptable blast-radius for a fabric fault).
+  FaultPlan plan;
+  plan.name = "cluster-fabric";
+  plan.seed = seed_;
+  for (const ClusterFaultEvent& e : events_) {
+    if (e.kind != FaultKind::kPacketCorruption && e.kind != FaultKind::kPacketLossBurst) {
+      continue;
+    }
+    FaultSpec spec;
+    spec.kind = e.kind;
+    spec.probability = e.probability;
+    spec.window_start_ns = e.at;
+    if (e.duration_ns > 0) {
+      spec.window_end_ns = e.at + e.duration_ns;
+    }
+    if (!e.any_port) {
+      const std::uint32_t sw = cluster_->switch_of(e.host);
+      spec.target_core =
+          static_cast<std::int32_t>(cluster_->network_switch(sw).PortFor(e.host));
+    }
+    plan.Add(spec);
+  }
+  fabric_injector_ = std::make_unique<FaultInjector>(plan, &cluster_->switch_stats());
+  for (std::uint32_t s = 0; s < cluster_->num_switches(); ++s) {
+    cluster_->network_switch(s).SetFaultInjector(fabric_injector_.get());
+  }
+
+  // Schedule the state-change events.
+  EventQueue& ev = cluster_->ev();
+  for (const ClusterFaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kLinkFlap:
+      case FaultKind::kSwitchPortDown: {
+        const std::uint32_t sw = cluster_->switch_of(e.host);
+        const std::uint32_t port = cluster_->network_switch(sw).PortFor(e.host);
+        ev.ScheduleAt(e.at, [this, sw, port] {
+          cluster_->network_switch(sw).SetPortDown(port, true);
+        });
+        if (e.duration_ns > 0) {
+          ev.ScheduleAt(e.at + e.duration_ns, [this, sw, port] {
+            cluster_->network_switch(sw).SetPortDown(port, false);
+          });
+        }
+        break;
+      }
+      case FaultKind::kSwitchFailure: {
+        const std::uint32_t sw = e.switch_id % cluster_->num_switches();
+        ev.ScheduleAt(e.at,
+                      [this, sw] { cluster_->network_switch(sw).SetSwitchDown(true); });
+        if (e.duration_ns > 0) {
+          ev.ScheduleAt(e.at + e.duration_ns, [this, sw] {
+            cluster_->network_switch(sw).SetSwitchDown(false);
+          });
+        }
+        break;
+      }
+      case FaultKind::kHostCrash: {
+        const std::uint32_t h = e.host % cluster_->num_hosts();
+        ev.ScheduleAt(e.at, [this, h] { cluster_->host(h).Crash(); });
+        if (e.duration_ns > 0) {
+          ev.ScheduleAt(e.at + e.duration_ns, [this, h] { cluster_->host(h).Recover(); });
+        }
+        break;
+      }
+      default:
+        break;  // probabilistic kinds live in the fabric injector's plan
+    }
+  }
+}
+
+}  // namespace fsio

@@ -1,0 +1,82 @@
+// Cluster-scale fault domains: link/switch failures, packet corruption and
+// loss bursts, and host crash–recovery, scheduled deterministically on a
+// Cluster's event queue.
+//
+// A ClusterFaultController turns a list of ClusterFaultEvents into scheduled
+// closures. Two fault families exist:
+//
+//   * Scheduled state changes (kLinkFlap, kSwitchPortDown, kSwitchFailure,
+//     kHostCrash): applied at `at`, reverted at `at + duration_ns` (a host
+//     crash "reverts" by starting the recovery protocol — Host::Recover —
+//     which itself completes only after the NIC drain).
+//   * Windowed probabilistic faults (kPacketCorruption, kPacketLossBurst):
+//     compiled into a FaultPlan for a fabric-wide FaultInjector that the
+//     switches sample per forwarded packet (target_core carries the switch
+//     port, so a burst can be pinned to one link).
+//
+// Everything is derived from (events, seed): two controllers armed with the
+// same inputs produce byte-identical cluster behaviour.
+#ifndef FASTSAFE_SRC_CORE_CLUSTER_FAULTS_H_
+#define FASTSAFE_SRC_CORE_CLUSTER_FAULTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_injector.h"
+#include "src/simcore/time.h"
+
+namespace fsio {
+
+class Cluster;
+
+// One cluster-scale fault. Which fields matter depends on `kind`:
+//   kLinkFlap        — switch_id + port (host-facing port of `host`, see
+//                      ClusterFaultController::Arm), down for duration_ns.
+//   kSwitchPortDown  — same as kLinkFlap (alias kept for taxonomy clarity:
+//                      a flap is short, a port-down is long).
+//   kSwitchFailure   — switch_id, whole switch black-holes for duration_ns.
+//   kPacketCorruption— probability per packet within [at, at+duration_ns),
+//                      optionally pinned to `host`'s ingress port.
+//   kPacketLossBurst — same shape as corruption.
+//   kHostCrash       — `host` crashes at `at`; recovery starts at
+//                      at + duration_ns (0 = never recover).
+struct ClusterFaultEvent {
+  FaultKind kind = FaultKind::kLinkFlap;
+  TimeNs at = 0;
+  TimeNs duration_ns = 0;
+  std::uint32_t switch_id = 0;
+  std::uint32_t host = 0;      // target host (crash, or the link's host end)
+  bool any_port = false;       // corruption/loss: true = every port
+  double probability = 1.0;    // corruption/loss only
+
+  // Deterministic one-line rendering (repro files, shrink logs).
+  std::string ToString() const;
+};
+
+class ClusterFaultController {
+ public:
+  // `seed` feeds the fabric injector's per-kind RNG streams.
+  ClusterFaultController(Cluster* cluster, std::uint64_t seed);
+
+  void Add(const ClusterFaultEvent& event) { events_.push_back(event); }
+  const std::vector<ClusterFaultEvent>& events() const { return events_; }
+
+  // Compiles the probabilistic events into the fabric injector, attaches it
+  // to every switch, and schedules every state-change event. Call once,
+  // before Cluster::RunUntil.
+  void Arm();
+
+  FaultInjector* fabric_injector() { return fabric_injector_.get(); }
+
+ private:
+  Cluster* cluster_;
+  std::uint64_t seed_;
+  std::vector<ClusterFaultEvent> events_;
+  std::unique_ptr<FaultInjector> fabric_injector_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_CORE_CLUSTER_FAULTS_H_

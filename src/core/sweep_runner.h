@@ -28,12 +28,24 @@
 #ifndef FASTSAFE_SRC_CORE_SWEEP_RUNNER_H_
 #define FASTSAFE_SRC_CORE_SWEEP_RUNNER_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
 namespace fsio {
+
+// Outcome of a cancellable sweep (RunCancellable). Points that hit the
+// deadline are cancelled cooperatively and listed in `timed_out` (ascending);
+// all other points still run to completion, so callers get partial results
+// plus a precise list of what is missing.
+struct SweepRunReport {
+  std::size_t completed = 0;
+  std::vector<std::size_t> timed_out;
+  bool ok() const { return timed_out.empty(); }
+};
 
 class SweepRunner {
  public:
@@ -55,8 +67,24 @@ class SweepRunner {
     return results;
   }
 
+  // Like Run(), but with a per-point wall-clock deadline watchdog. Each
+  // point receives a cancel flag that flips to true once the point has been
+  // running for `deadline_ms`; `fn` must poll it at convenient boundaries
+  // (e.g. between RunUntil slices) and return early when set — cancellation
+  // is cooperative, a point that never polls is never interrupted.
+  // deadline_ms == 0 disables the watchdog entirely (no extra thread; flag
+  // stays false). Which points time out depends on host speed, so callers
+  // must treat `timed_out` as an error report, never as data.
+  SweepRunReport RunCancellable(
+      std::size_t n,
+      const std::function<void(std::size_t, const std::atomic<bool>&)>& fn,
+      std::uint64_t deadline_ms) const;
+
   // FSIO_SWEEP_THREADS if set (clamped to >= 1), else hardware concurrency.
   static unsigned DefaultThreads();
+
+  // FSIO_SWEEP_DEADLINE_MS if set to a positive integer, else 0 (disabled).
+  static std::uint64_t DefaultDeadlineMs();
 
  private:
   unsigned threads_;

@@ -145,6 +145,7 @@ DmaMapping DmaApi::MapStandalone(std::uint32_t core, PhysAddr frame, TimeNs* cpu
   page_table_->Map(m.iova, frame);
   if (oracle_ != nullptr) {
     oracle_->OnMap(m.iova, 1);
+    oracle_->OnMapBacking(m.iova, 1, frame);
   }
   TrackAllocation(m.iova);
   map_ops_->Add();
@@ -187,6 +188,7 @@ DmaMapping DmaApi::MapIntoChunk(std::uint32_t core, PhysAddr frame, TimeNs* cpu_
   page_table_->Map(m.iova, frame);
   if (oracle_ != nullptr) {
     oracle_->OnMap(m.iova, 1);
+    oracle_->OnMapBacking(m.iova, 1, frame);
   }
   TrackAllocation(m.iova);
   map_ops_->Add();
@@ -222,6 +224,7 @@ DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAdd
       page_table_->MapHuge(base, frames[0]);
       if (oracle_ != nullptr) {
         oracle_->OnMap(base, frames.size());
+        oracle_->OnMapBacking(base, frames.size(), frames[0]);
       }
       out.cpu_ns += config_.map_page_cpu_ns;
       TrackAllocation(base);
@@ -248,6 +251,7 @@ DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAdd
       page_table_->Map(m.iova, frames[i]);
       if (oracle_ != nullptr) {
         oracle_->OnMap(m.iova, 1);
+        oracle_->OnMapBacking(m.iova, 1, frames[i]);
       }
       TrackAllocation(m.iova);
       map_ops_->Add();
@@ -320,6 +324,10 @@ Iova DmaApi::MapPersistent(std::uint32_t core, const std::vector<PhysAddr>& fram
   }
   if (oracle_ != nullptr) {
     oracle_->OnMap(base, frames.size());
+    // Ring frames need not be physically contiguous; record per page.
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      oracle_->OnMapBacking(base + static_cast<Iova>(i) * kPageSize, 1, frames[i]);
+    }
   }
   return base;
 }
@@ -345,6 +353,8 @@ DmaApi::MapResult DmaApi::AcquirePersistentDescriptor(
     out.mappings = std::move(pool.front());
     pool.pop_front();
     // Pool hit: no mapping work at all — the entire point of the scheme.
+    // Rx descriptors keep their original frames across the pool, so the
+    // recorded backing (from the initial map) stays accurate; no update.
     if (oracle_ != nullptr && !out.mappings.empty()) {
       oracle_->OnMap(out.mappings.front().iova, out.mappings.size());
     }
@@ -361,6 +371,7 @@ DmaApi::MapResult DmaApi::AcquirePersistentDescriptor(
   page_table_->MapHuge(base, huge);
   if (oracle_ != nullptr) {
     oracle_->OnMap(base, pages);
+    oracle_->OnMapBacking(base, pages, huge);
   }
   TrackAllocation(base);
   map_ops_->Add();

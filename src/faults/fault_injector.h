@@ -37,6 +37,15 @@ enum class FaultKind : int {
   kRootComplexBackpressure,  // RC admission stalls for a burst
   kDeferredFlushDelay,       // deferred-mode flush postponed past threshold
   kUseAfterRelease,          // device touches a released persistent buffer
+  // Cluster-scale fault domains (ISSUE 6). New kinds append here so the
+  // per-kind RNG streams of the device-local kinds above keep their seeds
+  // and existing fault sequences stay byte-identical.
+  kLinkFlap,                 // switch port transiently down, then restored
+  kSwitchPortDown,           // switch port administratively down
+  kSwitchFailure,            // whole switch down: every port drops
+  kPacketCorruption,         // fabric corrupts a packet (receiver CRC drops it)
+  kPacketLossBurst,          // burst of packet losses on a switch port
+  kHostCrash,                // host crashes at an arbitrary sim time
   kCount,
 };
 
@@ -62,6 +71,18 @@ constexpr const char* FaultKindName(FaultKind kind) {
       return "deferred_flush_delay";
     case FaultKind::kUseAfterRelease:
       return "use_after_release";
+    case FaultKind::kLinkFlap:
+      return "link_flap";
+    case FaultKind::kSwitchPortDown:
+      return "switch_port_down";
+    case FaultKind::kSwitchFailure:
+      return "switch_failure";
+    case FaultKind::kPacketCorruption:
+      return "packet_corruption";
+    case FaultKind::kPacketLossBurst:
+      return "packet_loss_burst";
+    case FaultKind::kHostCrash:
+      return "host_crash";
     case FaultKind::kCount:
       break;
   }
@@ -74,6 +95,29 @@ inline constexpr std::uint64_t kFaultNoLimit = ~0ULL;
 // matches, the sim-time and op-count windows contain the sample, the
 // core/level filters accept it, the per-spec fire budget is not exhausted,
 // and the probability draw succeeds.
+//
+// Matching contract (audited; tests/faults_test.cc pins every boundary):
+//
+//   * Both windows are half-open: sim time matches when
+//     window_start_ns <= now < window_end_ns, and the op window matches when
+//     op_start <= op < op_end. An op window [N, N+1) matches exactly the
+//     (N+1)-th Sample() call for the kind.
+//   * Every Sample() call advances the kind's sample counter by exactly one,
+//     whether or not any spec matches or fires. The op index evaluated
+//     against the window is the pre-advance counter, so the very first
+//     Sample() of a kind sees op == 0.
+//   * target_core / target_level filters apply only when BOTH the spec and
+//     the hook point supply a value (>= 0); either side passing -1 matches.
+//   * max_fires is a per-spec budget of actual fires (not matches): it is
+//     checked before the probability draw, and only a successful fire
+//     consumes it. A spec whose budget is exhausted is skipped as if absent.
+//   * Specs are evaluated in plan order and the first spec that passes every
+//     filter AND its probability draw fires; at most one spec fires per
+//     sample. A spec that fails only its probability draw does not stop the
+//     scan — a later spec may still fire on the same sample.
+//   * The probability draw consumes the kind's RNG stream only when
+//     probability < 1.0 and every other filter already passed, so adding a
+//     never-matching spec cannot perturb an existing fault sequence.
 struct FaultSpec {
   FaultKind kind = FaultKind::kCount;
   double probability = 1.0;

@@ -43,6 +43,38 @@ void SafetyOracle::OnUnmap(Iova base, std::uint64_t pages) {
   }
 }
 
+void SafetyOracle::OnMapBacking(Iova base, std::uint64_t pages, PhysAddr phys) {
+  const std::uint64_t first = PageNumber(base);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    PageState& state = pages_[first + i];
+    state.phys = phys + i * kPageSize;
+    state.phys_known = true;
+    if (!reclaimed_frames_.empty()) {
+      reclaimed_frames_.erase(PageNumber(state.phys));
+    }
+  }
+}
+
+void SafetyOracle::OnFramesReclaimed(PhysAddr base, std::uint64_t pages) {
+  const std::uint64_t first = PageNumber(base);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    reclaimed_frames_.insert(first + i);
+  }
+}
+
+std::uint64_t SafetyOracle::ForceUnmapAll() {
+  std::uint64_t torn_down = 0;
+  for (auto& [page, state] : pages_) {
+    (void)page;
+    if (state.live) {
+      state.live = false;
+      ++torn_down;
+    }
+  }
+  live_pages_ = 0;
+  return torn_down;
+}
+
 bool SafetyOracle::IsLive(Iova iova) const {
   auto it = pages_.find(PageNumber(iova));
   return it != pages_.end() && it->second.live;
@@ -83,6 +115,22 @@ void SafetyOracle::OnDeviceAccess(Iova iova, TimeNs now, const DeviceAccess& acc
   }
   if (!it->second.live || access.stale_iotlb) {
     Record(SafetyViolationKind::kUseAfterUnmap, iova, now);
+    return;
+  }
+  // Live page, silent translation: the IOVA-epoch checks cannot see a stale
+  // IOTLB entry that aliases a reused IOVA to its pre-crash frame, so verify
+  // the physical target. A hit in a rebooted host's reclaimed pool is the
+  // cross-host crash invariant; a mismatch against the driver's recorded
+  // backing is the same bug caught after the frame was re-handed out.
+  if (!access.phys_valid) {
+    return;
+  }
+  if (reclaimed_frames_.find(PageNumber(access.phys)) != reclaimed_frames_.end()) {
+    Record(SafetyViolationKind::kDmaToReclaimedFrame, iova, now);
+    return;
+  }
+  if (it->second.phys_known && PageNumber(it->second.phys) != PageNumber(access.phys)) {
+    Record(SafetyViolationKind::kStaleDmaTranslation, iova, now);
   }
 }
 

@@ -17,6 +17,16 @@
 //   * kReclaimedTableWalk   — a PTcache entry pointed at a reclaimed table
 //                             page; hardware would walk freed memory.
 //
+//   * kDmaToReclaimedFrame  — a translation landed in a physical frame a
+//                             crashed host reclaimed at recovery and has not
+//                             re-handed out (cross-host crash invariant: no
+//                             DMA lands in a crashed host's reclaimed pool).
+//   * kStaleDmaTranslation  — a translation for a live page returned a
+//                             physical frame that disagrees with the
+//                             driver's current mapping (a stale IOTLB entry
+//                             silently aliasing after a skipped recovery
+//                             invalidation).
+//
 // Violations are recorded in observation order with deterministic content,
 // so a trace from a seeded run is byte-stable (TraceString()).
 #ifndef FASTSAFE_SRC_FAULTS_SAFETY_ORACLE_H_
@@ -26,6 +36,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/mem/address.h"
@@ -38,6 +49,8 @@ enum class SafetyViolationKind : int {
   kUseAfterUnmap = 0,
   kStalePtcachePointer,
   kReclaimedTableWalk,
+  kDmaToReclaimedFrame,
+  kStaleDmaTranslation,
   kCount,
 };
 
@@ -49,6 +62,10 @@ constexpr const char* SafetyViolationKindName(SafetyViolationKind kind) {
       return "stale_ptcache_pointer";
     case SafetyViolationKind::kReclaimedTableWalk:
       return "reclaimed_table_walk";
+    case SafetyViolationKind::kDmaToReclaimedFrame:
+      return "dma_to_reclaimed_frame";
+    case SafetyViolationKind::kStaleDmaTranslation:
+      return "stale_dma_translation";
     case SafetyViolationKind::kCount:
       break;
   }
@@ -69,6 +86,11 @@ struct DeviceAccess {
   bool stale_iotlb = false;               // IOTLB entry for an unmapped IOVA
   bool stale_ptcache_live = false;        // cached pointer to replaced subtree
   bool stale_ptcache_reclaimed = false;   // cached pointer to reclaimed page
+  // Physical target of the translation, when the IOMMU produced one. Enables
+  // the frame-level cross-host checks (reclaimed-frame hit, silent stale
+  // aliasing); phys_valid == false disables them for this access.
+  PhysAddr phys = 0;
+  bool phys_valid = false;
 };
 
 class SafetyOracle {
@@ -87,6 +109,23 @@ class SafetyOracle {
   // IO page table but the driver has given up ownership, so device use after
   // this point is a safety violation.
   void OnRelease(Iova base, std::uint64_t pages) { OnUnmap(base, pages); }
+
+  // Records the contiguous physical backing the driver installed for
+  // `base`..`base + pages` (call right after the matching OnMap). Enables the
+  // stale-translation check and exonerates the frames from the reclaimed
+  // pool. Mappings whose IO-page-table entry intentionally diverges from the
+  // driver's buffer (persistent-pool physical recycling) must NOT record a
+  // backing.
+  void OnMapBacking(Iova base, std::uint64_t pages, PhysAddr phys);
+
+  // Host crash-recovery hooks. OnFramesReclaimed marks a physical range as
+  // returned to a rebooted host's allocator: any DMA landing there before a
+  // fresh mapping re-hands the frame out is a kDmaToReclaimedFrame
+  // violation. ForceUnmapAll models "unmap all live descriptors" during
+  // recovery: every live page goes dead (epoch preserved) and the count of
+  // pages torn down is returned.
+  void OnFramesReclaimed(PhysAddr base, std::uint64_t pages);
+  std::uint64_t ForceUnmapAll();
 
   // Device-side observation, called by the IOMMU for every translation.
   void OnDeviceAccess(Iova iova, TimeNs now, const DeviceAccess& access);
@@ -110,11 +149,14 @@ class SafetyOracle {
   struct PageState {
     std::uint64_t epoch = 0;
     bool live = false;
+    PhysAddr phys = 0;  // driver-intended backing (valid when phys_known)
+    bool phys_known = false;
   };
 
   void Record(SafetyViolationKind kind, Iova iova, TimeNs now);
 
   std::unordered_map<std::uint64_t, PageState> pages_;  // page number -> state
+  std::unordered_set<std::uint64_t> reclaimed_frames_;  // phys frame numbers
   std::vector<SafetyViolation> violations_;
   std::array<std::uint64_t, static_cast<int>(SafetyViolationKind::kCount)> counts_{};
   std::uint64_t live_pages_ = 0;

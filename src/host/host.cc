@@ -51,15 +51,27 @@ Host::Host(const HostConfig& config, EventQueue* ev)
   }
 
   nic_->SetDeliver([this](const Packet& p, std::uint32_t core) {
+    if (state_ != HostState::kRunning) {
+      // DMA already landed (legal: memory is still owned), but no CPU will
+      // ever consume the packet.
+      LazyCounter(&crash_rx_dropped_, "host.crash_rx_dropped")->Add();
+      return;
+    }
     cores_[core].rx_queue.push_back(p);
     ScheduleCore(core);
   });
   nic_->SetDescComplete([this](std::uint32_t core, std::vector<DmaMapping> mappings) {
+    if (state_ != HostState::kRunning) {
+      return;  // descriptor dies with the host; recovery unmaps everything
+    }
     cores_[core].desc_completions.push_back(std::move(mappings));
     ScheduleCore(core);
   });
   nic_->SetTxComplete(
       [this](const Packet& p, std::vector<DmaMapping> mappings, std::uint32_t core) {
+        if (state_ != HostState::kRunning) {
+          return;
+        }
         cores_[core].tx_unmaps.push_back(std::move(mappings));
         ScheduleCore(core);
         OnTxSegmentComplete(p, core);
@@ -147,6 +159,9 @@ void Host::ReplenishRing(std::uint32_t core_idx, TimeNs at, TimeNs* cpu_ns) {
 }
 
 void Host::ScheduleCore(std::uint32_t core_idx) {
+  if (state_ != HostState::kRunning) {
+    return;
+  }
   Core& core = cores_[core_idx];
   if (core.running) {
     return;
@@ -158,6 +173,10 @@ void Host::ScheduleCore(std::uint32_t core_idx) {
 
 void Host::RunCore(std::uint32_t core_idx) {
   Core& core = cores_[core_idx];
+  if (state_ != HostState::kRunning) {
+    core.running = false;  // the crash emptied this core's queues
+    return;
+  }
   const TimeNs t = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
   TimeNs cpu = 0;
 
@@ -229,6 +248,9 @@ void Host::RunCore(std::uint32_t core_idx) {
 }
 
 void Host::RouteToTransport(const Packet& packet) {
+  if (state_ != HostState::kRunning) {
+    return;  // batch was in flight through a core when the host died
+  }
   if (packet.payload > 0) {
     if (auto it = receivers_.find(packet.flow_id); it != receivers_.end()) {
       it->second->OnData(packet);
@@ -243,6 +265,9 @@ void Host::RouteToTransport(const Packet& packet) {
 }
 
 void Host::TransmitFromCore(const Packet& packet, std::uint32_t core_idx) {
+  if (state_ != HostState::kRunning) {
+    return;  // retransmit timers on a crashed host fire into the void
+  }
   // TSQ accounting (the sender's quota callback enforces the limit before
   // segments are created; pure ACKs bypass it).
   if (packet.payload > 0) {
@@ -347,6 +372,136 @@ void Host::ChargeCpu(std::uint32_t core_idx, TimeNs ns) {
   const TimeNs base = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
   core.busy_until = base + ns;
   cpu_busy_ns_ += ns;
+}
+
+Counter* Host::LazyCounter(Counter** slot, const char* name) {
+  if (*slot == nullptr) {
+    *slot = stats_.Get(name);
+  }
+  return *slot;
+}
+
+void Host::EnableSafetyInstrumentation(SafetyOracle* oracle, InvariantRegistry* invariants,
+                                       FaultInjector* injector) {
+  oracle_ = oracle;
+  invariants_ = invariants;
+  injector_ = injector;
+  if (iommu_ != nullptr) {
+    iommu_->SetSafetyOracle(oracle);
+    iommu_->SetFaultInjector(injector);
+  }
+  dma_->SetSafetyOracle(oracle);
+  dma_->SetFaultInjector(injector);
+  iova_->SetFaultInjector(injector);
+  frames_.SetFaultInjector(injector);
+  rc_->SetFaultInjector(injector);
+  nic_->SetFaultInjector(injector);
+  if (invariants != nullptr) {
+    dma_->RegisterInvariants(invariants);
+    // Captures `this`, not the table, so the check follows the driver-stack
+    // swap across crash recovery.
+    invariants->Register("pagetable.consistency", [this](std::string* d) {
+      return page_table_->CheckConsistency(d);
+    });
+    if (oracle != nullptr) {
+      invariants->Register("oracle.no_overlap", [oracle](std::string* d) {
+        if (oracle->overlap_maps() != 0) {
+          *d = "overlapping live map observed";
+          return false;
+        }
+        return true;
+      });
+    }
+  }
+}
+
+void Host::Crash() {
+  if (state_ != HostState::kRunning) {
+    return;
+  }
+  state_ = HostState::kCrashed;
+  LazyCounter(&crashes_, "host.crashes")->Add();
+  host_trace_.Instant("host", "crash", ev_->now());
+  // The CPU side dies instantly: queued stack work is lost. The NIC keeps
+  // running (and keeps DMA-ing into still-owned memory) until Recover().
+  for (Core& core : cores_) {
+    core.rx_queue.clear();
+    core.desc_completions.clear();
+    core.tx_unmaps.clear();
+  }
+}
+
+void Host::Recover() {
+  if (state_ != HostState::kCrashed) {
+    return;
+  }
+  state_ = HostState::kRecovering;
+  const TimeNs now = ev_->now();
+  Nic::QuiesceResult q = nic_->Quiesce(now);
+  host_trace_.Complete("host", "recovery_drain", now, q.drain_done);
+  ev_->ScheduleAt(q.drain_done, [this, mappings = std::move(q.mappings)]() mutable {
+    FinishRecovery(std::move(mappings));
+  });
+}
+
+void Host::FinishRecovery(std::vector<DmaMapping> device_mappings) {
+  const TimeNs now = ev_->now();
+  (void)device_mappings;  // ownership returned by the quiesce; torn down below
+
+  // Every frame the allocator ever handed out goes back to the (reset)
+  // allocator: DMA landing in any of them before a fresh mapping re-hands
+  // the frame out is a cross-host safety violation.
+  if (oracle_ != nullptr) {
+    const std::uint64_t high_water = frames_.high_water_frame();
+    if (high_water > 1) {
+      oracle_->OnFramesReclaimed(/*base=*/kPageSize, /*pages=*/high_water - 1);
+    }
+    oracle_->ForceUnmapAll();
+  }
+  frames_.Reset();
+
+  // Rebuild the driver stack on the surviving IOMMU hardware. The old stack
+  // is retired, not destroyed: registered invariant checks still reference
+  // it and its frozen accounting stays self-consistent.
+  retired_stacks_.push_back(
+      {std::move(page_table_), std::move(iova_), std::move(dma_)});
+  page_table_ = std::make_unique<IoPageTable>();
+  iova_ = std::make_unique<IovaAllocator>(config_.iova, &stats_);
+  dma_ = std::make_unique<DmaApi>(config_.dma, iova_.get(), page_table_.get(), iommu_.get(),
+                                  &stats_);
+  if (config_.track_l3_locality) {
+    dma_->SetL3Tracker(&l3_tracker_);
+  }
+  if (tracer_ != nullptr) {
+    dma_->SetTrace(driver_trace_);
+  }
+  if (iommu_ != nullptr) {
+    iommu_->SetPageTable(page_table_.get());
+  }
+  dma_->SetSafetyOracle(oracle_);
+  dma_->SetFaultInjector(injector_);
+  iova_->SetFaultInjector(injector_);
+  if (invariants_ != nullptr) {
+    dma_->RegisterInvariants(invariants_);
+  }
+
+  // The recovery step that makes reclaim safe: flush every cached
+  // translation the IOMMU accumulated before the crash. Skipping it (the
+  // injected bug) leaves stale IOTLB/PT-cache entries that the oracle must
+  // catch once IOVAs are re-used.
+  if (iommu_ != nullptr && !config_.skip_recovery_invalidation) {
+    iommu_->InvalidateAll(now);
+  }
+
+  // Stale TSQ debt would permanently block flows whose Tx completions died
+  // with the host.
+  flow_nic_bytes_.clear();
+
+  nic_->Resume();
+  state_ = HostState::kRunning;
+  LazyCounter(&recoveries_, "host.recoveries")->Add();
+  host_trace_.Instant("host", "recovered", now);
+  SetupRings();
 }
 
 }  // namespace fsio

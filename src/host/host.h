@@ -21,6 +21,9 @@
 
 #include "src/driver/dma_api.h"
 #include "src/driver/protection.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/invariant_registry.h"
+#include "src/faults/safety_oracle.h"
 #include "src/iommu/iommu.h"
 #include "src/iova/iova_allocator.h"
 #include "src/mem/frame_allocator.h"
@@ -67,7 +70,18 @@ struct HostConfig {
   IovaAllocatorConfig iova;
   DmaApiConfig dma;  // `dma.mode` is overwritten from `mode`
   bool track_l3_locality = false;
+  // Intentional recovery bug for chaos testing: skip the global IOMMU
+  // invalidation during crash recovery, leaving stale IOTLB/PT-cache entries
+  // that translate re-used IOVAs to pre-crash frames. The cross-host safety
+  // oracle must catch the resulting kStaleDmaTranslation /
+  // kDmaToReclaimedFrame violations.
+  bool skip_recovery_invalidation = false;
 };
+
+// Host lifecycle for cluster-scale fault experiments. Transitions:
+//   kRunning --Crash()--> kCrashed --Recover()--> kRecovering
+//   kRecovering --(NIC drain complete)--> kRunning
+enum class HostState { kRunning, kCrashed, kRecovering };
 
 class Host {
  public:
@@ -114,6 +128,32 @@ class Host {
   // Aggregate CPU busy time across cores (utilization diagnostics).
   TimeNs total_cpu_busy_ns() const { return cpu_busy_ns_; }
 
+  // Safety harness wiring: attaches the oracle, invariant registry and fault
+  // injector to every component (IOMMU, DMA API, allocators, root complex,
+  // NIC). Survives crash recovery — the rebuilt driver stack is re-wired
+  // automatically. Any argument may be null.
+  void EnableSafetyInstrumentation(SafetyOracle* oracle, InvariantRegistry* invariants,
+                                   FaultInjector* injector);
+
+  // Host crash at the current sim time: cores stop, pending stack work is
+  // discarded, transport endpoints go silent. The NIC is deliberately NOT
+  // stopped — in-flight and newly arriving DMAs keep landing in the crashed
+  // host's memory (which is still owned, so still safe) until Recover()
+  // runs the quiesce protocol. Counted as "host.crashes"; packets the dead
+  // stack would have consumed count "host.crash_rx_dropped" (lazily).
+  void Crash();
+
+  // Begins the reboot: quiesce the NIC (stop descriptor fetch, strip posted
+  // descriptors and queued Tx work, epoch-invalidate scheduled completions),
+  // wait for in-flight PCIe traffic to drain, then tear down — unmap all
+  // live descriptors, reclaim every frame, rebuild the driver stack (page
+  // table, IOVA allocator, DMA API) on the surviving IOMMU hardware, issue a
+  // global invalidation (unless skip_recovery_invalidation), and re-register
+  // the rings. "host.recoveries" increments when the host is running again.
+  void Recover();
+
+  HostState state() const { return state_; }
+
  private:
   struct Core {
     TimeNs busy_until = 0;
@@ -124,6 +164,8 @@ class Host {
   };
 
   void SetupRings();
+  void FinishRecovery(std::vector<DmaMapping> device_mappings);
+  Counter* LazyCounter(Counter** slot, const char* name);
   void ScheduleCore(std::uint32_t core_idx);
   void RunCore(std::uint32_t core_idx);
   void ReplenishRing(std::uint32_t core_idx, TimeNs at, TimeNs* cpu_ns);
@@ -160,8 +202,25 @@ class Host {
   TraceScope host_trace_;    // kHost: core-run spans
   TraceScope driver_trace_;  // kDriver: map spans (driver calls lack a clock)
 
+  HostState state_ = HostState::kRunning;
+  SafetyOracle* oracle_ = nullptr;
+  InvariantRegistry* invariants_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  // Driver stacks retired by crash recovery. Kept alive (not destroyed)
+  // because registered invariant checks and the frozen accounting they
+  // capture reference them; they receive no further calls.
+  struct RetiredDriverStack {
+    std::unique_ptr<IoPageTable> page_table;
+    std::unique_ptr<IovaAllocator> iova;
+    std::unique_ptr<DmaApi> dma;
+  };
+  std::vector<RetiredDriverStack> retired_stacks_;
+
   Counter* app_rx_bytes_;
   Counter* replenished_descs_;
+  Counter* crashes_ = nullptr;           // lazy: crash-path only
+  Counter* recoveries_ = nullptr;
+  Counter* crash_rx_dropped_ = nullptr;
 };
 
 }  // namespace fsio

@@ -39,6 +39,8 @@ void Iommu::NotifyOracle(Iova iova, TimeNs now, const TranslationResult& result)
   access.stale_iotlb = result.stale_iotlb;
   access.stale_ptcache_live = result.stale_ptcache && !result.stale_ptcache_reclaimed;
   access.stale_ptcache_reclaimed = result.stale_ptcache_reclaimed;
+  access.phys = result.phys;
+  access.phys_valid = !result.fault;
   oracle_->OnDeviceAccess(iova, now, access);
 }
 
@@ -320,7 +322,17 @@ TimeNs Iommu::InvalidateAll(TimeNs at) {
   ptcache_l2_.InvalidateAll();
   ptcache_l3_.InvalidateAll();
   pending_walks_.clear();
-  const TimeNs done = at + config_.invalidation_hw_ns;
+  TimeNs done = at + config_.invalidation_hw_ns;
+  if (fault_injector_ != nullptr) {
+    // A global flush is still one invalidation-queue request: its completion
+    // can stall like any other (the retry path's fallback flush is not
+    // magically immune), but it is never dropped — the wait descriptor
+    // always completes eventually.
+    if (const FaultDecision d = fault_injector_->Sample(FaultKind::kInvalidationStall, at); d.fire) {
+      done += d.magnitude_ns;
+      inv_stall_ns_->Add(d.magnitude_ns);
+    }
+  }
   trace_.Complete("iommu", "invalidate_all", at, done);
   return done;
 }

@@ -130,6 +130,10 @@ class Iommu {
   // spikes) and safety-oracle observation of every device translation.
   void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
   void SetSafetyOracle(SafetyOracle* oracle) { oracle_ = oracle; }
+  // Host crash-recovery: the rebooted driver builds a fresh IO page table;
+  // the IOMMU hardware (and whatever stale state its caches hold — exactly
+  // the hazard recovery must invalidate) persists across the reboot.
+  void SetPageTable(IoPageTable* page_table) { page_table_ = page_table; }
   // Observability: page-walk spans, invalidation spans, stale-use instants.
   void SetTrace(const TraceScope& trace) { trace_ = trace; }
 

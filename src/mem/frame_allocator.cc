@@ -3,7 +3,16 @@
 namespace fsio {
 
 FrameAllocator::FrameAllocator(bool scramble, std::uint64_t seed)
-    : scramble_(scramble), rng_(seed) {}
+    : scramble_(scramble), seed_(seed), rng_(seed) {}
+
+void FrameAllocator::Reset() {
+  next_frame_ = 1;
+  free_list_.clear();
+  huge_free_list_.clear();
+  allocated_ = 0;
+  live_ = 0;
+  rng_ = Rng(seed_);
+}
 
 PhysAddr FrameAllocator::AllocFrame() {
   if (fault_injector_ != nullptr &&

@@ -42,6 +42,15 @@ class FrameAllocator {
   std::uint64_t allocated() const { return allocated_; }
   std::uint64_t live() const { return live_; }
 
+  // Host reboot: restores pristine state (bump pointer, free lists, RNG), so
+  // post-recovery allocations reproduce the allocator's initial sequence —
+  // every frame handed out before the reset is considered reclaimed.
+  void Reset();
+  // One past the highest 4 KB frame number the bump pointer ever handed out
+  // (recycled or not). [1, high_water_frame) bounds every frame this
+  // allocator has owned — the range a rebooted host reclaims.
+  std::uint64_t high_water_frame() const { return next_frame_; }
+
   // Optional fault injection: kFrameAllocFailure makes AllocFrame /
   // AllocHugeFrame return kNullFrame (transient memory pressure).
   void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
@@ -49,6 +58,7 @@ class FrameAllocator {
  private:
   FaultInjector* fault_injector_ = nullptr;
   bool scramble_;
+  std::uint64_t seed_;  // retained so Reset() re-seeds identically
   Rng rng_;
   std::uint64_t next_frame_ = 1;  // frame 0 reserved (null)
   std::vector<PhysAddr> free_list_;

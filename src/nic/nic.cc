@@ -9,6 +9,7 @@ Nic::Nic(const NicConfig& config, std::uint32_t cores, EventQueue* ev, RootCompl
     : config_(config),
       ev_(ev),
       rc_(rc),
+      stats_(stats),
       rings_(cores == 0 ? 1 : cores),
       tx_queues_(cores == 0 ? 1 : cores),
       rx_packets_(stats->Get("nic.rx_packets")),
@@ -22,6 +23,58 @@ Nic::Nic(const NicConfig& config, std::uint32_t cores, EventQueue* ev, RootCompl
       desc_fetches_(stats->Get("nic.desc_fetches")),
       completion_reorders_(stats->Get("nic.completion_reorders")),
       completion_duplicates_(stats->Get("nic.completion_duplicates")) {}
+
+Counter* Nic::LazyCounter(Counter** slot, const char* name) {
+  if (*slot == nullptr) {
+    *slot = stats_->Get(name);
+  }
+  return *slot;
+}
+
+Nic::QuiesceResult Nic::Quiesce(TimeNs now) {
+  QuiesceResult out;
+  quiesced_ = true;
+  ++quiesce_epoch_;
+  for (RxRing& ring : rings_) {
+    for (const auto& desc : ring.descs) {
+      if (desc->retired) {
+        continue;
+      }
+      // All of a live descriptor's pages go back to the driver, consumed
+      // slots included: their frames stay device-owned until unmapped.
+      for (const DmaMapping& m : desc->mappings) {
+        out.mappings.push_back(m);
+      }
+    }
+    ring.descs.clear();
+    ring.ring_iova = 0;  // stops descriptor fetch until re-registration
+    ring.ring_pages = 0;
+    ring.fetch_cursor = 0;
+    ring.packets_since_fetch = 0;
+  }
+  for (TxQueue& q : tx_queues_) {
+    for (const TxWork& w : q.work) {
+      for (const DmaMapping& m : w.mappings) {
+        out.mappings.push_back(m);
+      }
+    }
+    q.work.clear();
+    q.bytes = 0;
+  }
+  rx_queue_.clear();
+  rx_buffer_used_ = 0;
+  // The engines stop accepting work immediately, but writes/reads already
+  // issued to the root complex land at their commit times: the driver's
+  // teardown must not reclaim frames before the last of them.
+  TimeNs drain = now;
+  for (const TimeNs t : {rx_engine_free_, tx_engine_free_, egress_free_, last_commit_done_}) {
+    if (t > drain) {
+      drain = t;
+    }
+  }
+  out.drain_done = drain;
+  return out;
+}
 
 void Nic::SetRingIova(std::uint32_t core, Iova base, std::uint64_t pages) {
   RxRing& ring = rings_[core % rings_.size()];
@@ -68,6 +121,12 @@ std::uint64_t Nic::AvailableRxPages(std::uint32_t core) const {
 }
 
 void Nic::OnWireArrival(const Packet& packet) {
+  if (quiesced_) {
+    // Link is administratively down during recovery: the packet is lost on
+    // the floor, never buffered, never DMA'd.
+    LazyCounter(&rx_quiesced_drops_, "nic.rx_quiesced_drops")->Add();
+    return;
+  }
   const std::uint32_t wire = packet.wire_size();
   if (rx_buffer_used_ + wire > config_.rx_buffer_bytes) {
     drops_buffer_->Add();
@@ -116,8 +175,11 @@ void Nic::RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& de
           // driver sees CQEs out of posting order.
           completion_reorders_->Add();
           auto mappings = desc->mappings;
-          ev_->ScheduleAfter(d.magnitude_ns, [this, core, mappings] {
-            desc_complete_(core, mappings);
+          ev_->ScheduleAfter(d.magnitude_ns,
+                             [this, core, mappings, epoch = quiesce_epoch_] {
+            if (epoch == quiesce_epoch_) {
+              desc_complete_(core, mappings);
+            }
           });
           return;
         }
@@ -128,8 +190,10 @@ void Nic::RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& de
           // driver's unmap path must detect the double-unmap.
           completion_duplicates_->Add();
           auto mappings = desc->mappings;
-          ev_->ScheduleAfter(1, [this, core, mappings] {
-            desc_complete_(core, mappings);
+          ev_->ScheduleAfter(1, [this, core, mappings, epoch = quiesce_epoch_] {
+            if (epoch == quiesce_epoch_) {
+              desc_complete_(core, mappings);
+            }
           });
         }
       }
@@ -139,6 +203,15 @@ void Nic::RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& de
 }
 
 void Nic::PumpRx() {
+  if (quiesced_) {
+    // Invariant: a correctly quiesced NIC has nothing left to DMA. Anything
+    // still queued here would land in a torn-down ring.
+    while (!rx_queue_.empty()) {
+      LazyCounter(&dma_while_quiesced_, "nic.dma_while_quiesced")->Add();
+      rx_queue_.pop_front();
+    }
+    return;
+  }
   while (!rx_queue_.empty()) {
     const TimeNs now = ev_->now();
     if (rx_engine_free_ > now) {
@@ -196,6 +269,9 @@ void Nic::PumpRx() {
     MaybeFetchDescriptors(&ring, now);
     const DmaTiming timing = rc_->DmaWrite(now, segments);
     rx_engine_free_ = timing.link_done;
+    if (timing.commit_done > last_commit_done_) {
+      last_commit_done_ = timing.commit_done;
+    }
     rx_packets_->Add();
     rx_bytes_->Add(packet.payload);
     rx_wire_bytes_->Add(packet.wire_size());
@@ -206,7 +282,14 @@ void Nic::PumpRx() {
       trace_.Counter("nic", "rx_buffer_used", now, static_cast<double>(rx_buffer_used_));
     }
 
-    ev_->ScheduleAt(timing.commit_done, [this, packet, core, touched] {
+    ev_->ScheduleAt(timing.commit_done,
+                    [this, packet, core, touched, epoch = quiesce_epoch_] {
+      if (epoch != quiesce_epoch_) {
+        // The ring was torn down while this DMA drained: the bytes landed in
+        // still-owned frames (teardown waits for drain_done), but no stale
+        // delivery or CQE may reach the rebooted driver.
+        return;
+      }
       rx_buffer_used_ -= packet.wire_size();
       if (deliver_) {
         deliver_(packet, core);
@@ -220,6 +303,10 @@ void Nic::PumpRx() {
 }
 
 bool Nic::EnqueueTx(const Packet& packet, std::vector<DmaMapping> mappings, std::uint32_t core) {
+  if (quiesced_) {
+    LazyCounter(&tx_quiesced_drops_, "nic.tx_quiesced_drops")->Add();
+    return false;
+  }
   TxQueue& q = tx_queues_[core % tx_queues_.size()];
   if (q.bytes + packet.wire_size() > config_.tx_queue_limit_bytes) {
     tx_drops_->Add();
@@ -257,6 +344,16 @@ Nic::TxWork Nic::NextTxWork() {
 }
 
 void Nic::PumpTx() {
+  if (quiesced_) {
+    for (TxQueue& q : tx_queues_) {
+      while (!q.work.empty()) {
+        LazyCounter(&dma_while_quiesced_, "nic.dma_while_quiesced")->Add();
+        q.bytes -= q.work.front().packet.wire_size();
+        q.work.pop_front();
+      }
+    }
+    return;
+  }
   while (!TxQueuesEmpty() && tx_inflight_ < config_.tx_max_inflight) {
     const TimeNs now = ev_->now();
     if (tx_engine_free_ > now) {
@@ -286,6 +383,9 @@ void Nic::PumpTx() {
     }
     const DmaTiming timing = rc_->DmaRead(now, segments);
     tx_engine_free_ = timing.link_done;
+    if (timing.commit_done > last_commit_done_) {
+      last_commit_done_ = timing.commit_done;
+    }
     tx_bytes_->Add(work.packet.payload);
     trace_.Complete("nic", "tx_fetch", now, timing.commit_done, "bytes",
                     static_cast<double>(work.packet.wire_size()), "core",
@@ -323,7 +423,10 @@ void Nic::PumpTx() {
       PumpTx();
     });
     const TimeNs completed = egress_free_;
-    ev_->ScheduleAt(completed, [this, work] {
+    ev_->ScheduleAt(completed, [this, work, epoch = quiesce_epoch_] {
+      if (epoch != quiesce_epoch_) {
+        return;  // CQE for a ring torn down mid-flight: swallowed
+      }
       if (tx_complete_) {
         tx_complete_(work.packet, work.mappings, work.core);
       }

@@ -101,6 +101,28 @@ class Nic {
   // Wire delivery from the switch.
   void OnWireArrival(const Packet& packet);
 
+  // Host crash-recovery quiesce protocol (driver-side teardown step 1).
+  // Everything the device owns is handed back in one shot: descriptor-fetch
+  // and both DMA engines stop, posted Rx descriptors and queued Tx work are
+  // stripped of their mappings (returned for the driver to unmap), buffered
+  // wire packets are discarded, and scheduled completion callbacks from
+  // before the quiesce are invalidated (epoch guard) so no stale delivery or
+  // CQE lands in the torn-down ring. `drain_done` is the time the last
+  // in-flight PCIe write/read commits: the driver must not reclaim frames
+  // before it. While quiesced, arriving wire packets and Tx enqueues are
+  // dropped (counted lazily as "nic.rx_quiesced_drops" /
+  // "nic.tx_quiesced_drops"); any DMA the device would still issue counts
+  // "nic.dma_while_quiesced" — the cross-host oracle invariant that must
+  // stay zero. Resume() re-enables the engines; the driver re-registers
+  // rings (SetRingIova + PostRxDescriptor) afterwards.
+  struct QuiesceResult {
+    std::vector<DmaMapping> mappings;  // Rx descriptor + queued Tx mappings
+    TimeNs drain_done = 0;
+  };
+  QuiesceResult Quiesce(TimeNs now);
+  void Resume() { quiesced_ = false; }
+  bool quiesced() const { return quiesced_; }
+
   std::uint64_t rx_drops() const { return drops_buffer_->value() + drops_nodesc_->value(); }
   std::uint64_t rx_buffer_used() const { return rx_buffer_used_; }
   std::uint64_t tx_queue_bytes() const {
@@ -140,11 +162,18 @@ class Nic {
   void MaybeFetchDescriptors(RxRing* ring, TimeNs at);
   void RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& desc);
 
+  Counter* LazyCounter(Counter** slot, const char* name);
+
   NicConfig config_;
   EventQueue* ev_;
   RootComplex* rc_;
+  StatsRegistry* stats_;
   FaultInjector* fault_injector_ = nullptr;
   TraceScope trace_;
+
+  bool quiesced_ = false;
+  std::uint64_t quiesce_epoch_ = 0;  // invalidates pre-quiesce callbacks
+  TimeNs last_commit_done_ = 0;      // latest in-flight DMA commit time
 
   DeliverFn deliver_;
   DescCompleteFn desc_complete_;
@@ -179,6 +208,9 @@ class Nic {
   Counter* desc_fetches_;
   Counter* completion_reorders_;
   Counter* completion_duplicates_;
+  Counter* rx_quiesced_drops_ = nullptr;   // lazy: quiesce-path only
+  Counter* tx_quiesced_drops_ = nullptr;
+  Counter* dma_while_quiesced_ = nullptr;
 };
 
 }  // namespace fsio

@@ -9,6 +9,7 @@ DctcpSender::DctcpSender(std::uint64_t flow_id, const DctcpConfig& config, Event
       ev_(ev),
       emit_(std::move(emit)),
       cwnd_(static_cast<double>(config.init_cwnd_packets) * config.mss_bytes),
+      stats_(stats),
       sent_packets_(stats->Get("dctcp.data_packets")),
       retransmit_packets_(stats->Get("dctcp.retransmits")),
       timeout_events_(stats->Get("dctcp.timeouts")) {
@@ -47,6 +48,9 @@ void DctcpSender::SendSegment(std::uint64_t seq, std::uint32_t len, bool retrans
 }
 
 void DctcpSender::MaybeSend() {
+  if (aborted_) {
+    return;  // peer declared dead: no data, no timer re-arm
+  }
   const std::uint32_t tso = config_.tso_segments == 0 ? 1 : config_.tso_segments;
   while (snd_nxt_ < app_limit_) {
     const std::uint64_t in_flight = snd_nxt_ - snd_una_;
@@ -107,6 +111,19 @@ void DctcpSender::OnRto(std::uint64_t armed_epoch) {
   timeout_events_->Add();
   trace_.Instant("transport", "rto", ev_->now(), "flow",
                  static_cast<double>(flow_id_), "snd_una", static_cast<double>(snd_una_));
+  ++consecutive_timeouts_;
+  if (config_.abort_after_timeouts > 0 &&
+      consecutive_timeouts_ >= config_.abort_after_timeouts) {
+    // RTO ceiling reached with zero forward progress: declare the peer dead
+    // and abort instead of probing a black hole forever. The counter is
+    // fetched lazily so abort-free runs publish the historical counter set.
+    aborted_ = true;
+    stats_->Get("dctcp.flow_aborts")->Add();
+    trace_.Instant("transport", "flow_abort", ev_->now(), "flow",
+                   static_cast<double>(flow_id_), "timeouts",
+                   static_cast<double>(consecutive_timeouts_));
+    return;
+  }
   snd_nxt_ = snd_una_;
   cwnd_ = config_.mss_bytes;
   dup_acks_ = 0;
@@ -135,8 +152,8 @@ void DctcpSender::UpdateAlphaWindow() {
 }
 
 void DctcpSender::OnAck(const Packet& ack) {
-  if (!ack.has_ack) {
-    return;
+  if (!ack.has_ack || aborted_) {
+    return;  // an aborted flow's connection state is gone; late ACKs drop
   }
   // RTT sample from the receiver's echo of our data-packet timestamp.
   if (ack.ts_echo != 0 && ev_->now() > ack.ts_echo) {
@@ -164,6 +181,7 @@ void DctcpSender::OnAck(const Packet& ack) {
     UpdateAlphaWindow();
     // Progress: reset the timeout backoff and re-arm the timer.
     rto_backoff_shift_ = 0;
+    consecutive_timeouts_ = 0;
     rto_armed_ = false;
     ++rto_epoch_;
     if (snd_una_ < snd_nxt_) {

@@ -39,6 +39,11 @@ struct DctcpConfig {
   // Exponential RTO backoff: each consecutive timeout doubles the next RTO,
   // up to 2^max_rto_backoff_shift; any new cumulative ACK resets it.
   std::uint32_t max_rto_backoff_shift = 6;
+  // Peer-death handling: after this many consecutive timeouts with no
+  // forward progress the flow aborts (counter "dctcp.flow_aborts") instead
+  // of retransmitting forever into a dead host. 0 (default) never aborts —
+  // the historical retransmit-forever behaviour.
+  std::uint32_t abort_after_timeouts = 0;
   TimeNs ack_delay_ns = 20 * kNsPerUs;   // max ACK coalescing delay
   std::uint32_t ack_every_bytes = 4;     // ACK at least every N * MSS in-order (GRO)
 };
@@ -79,6 +84,9 @@ class DctcpSender {
   double alpha() const { return alpha_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t fast_retransmits() const { return fast_retransmits_; }
+  // Peer-death abort state: once aborted the sender emits nothing further.
+  bool aborted() const { return aborted_; }
+  std::uint32_t consecutive_timeouts() const { return consecutive_timeouts_; }
   std::uint32_t rto_backoff_shift() const { return rto_backoff_shift_; }
   std::uint64_t snd_una() const { return snd_una_; }
   std::uint64_t snd_nxt() const { return snd_nxt_; }
@@ -123,6 +131,9 @@ class DctcpSender {
 
   std::uint64_t timeouts_ = 0;
   std::uint64_t fast_retransmits_ = 0;
+  std::uint32_t consecutive_timeouts_ = 0;
+  bool aborted_ = false;
+  StatsRegistry* stats_;
   Counter* sent_packets_;
   Counter* retransmit_packets_;
   Counter* timeout_events_;

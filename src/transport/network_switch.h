@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/faults/fault_injector.h"
 #include "src/simcore/time.h"
 #include "src/stats/counters.h"
 #include "src/transport/packet.h"
@@ -51,17 +52,45 @@ class NetworkSwitch {
   // Forwards `packet` (arriving at the switch at time `now`) out of the port
   // routed for packet->dst_host. Returns the arrival time at the far end of
   // that port's link (a NIC or the next switch), or nullopt if the packet
-  // was tail-dropped. May set packet->ce.
+  // was tail-dropped, the egress port/switch is down, or an injected fabric
+  // fault (corruption, loss burst) consumed it. May set packet->ce.
   std::optional<TimeNs> Forward(Packet* packet, TimeNs now);
 
+  // Cluster-scale fault domains. Port- and switch-down state is driven by
+  // the ClusterFaultController (link flaps, whole-switch failure); the fault
+  // injector adds probabilistic per-packet corruption / loss-burst drops
+  // (FaultKind::kPacketCorruption / kPacketLossBurst, target_core = egress
+  // port). Fault-drop counters are registered lazily under
+  // `<stats_prefix>.link_down_drops` / `.switch_down_drops` /
+  // `.corrupted_drops` / `.loss_burst_drops` on first use, so fault-free
+  // runs publish exactly the historical counter set.
+  void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
+  void SetPortDown(std::uint32_t port, bool down);
+  void SetSwitchDown(bool down) { switch_down_ = down; }
+  bool switch_down() const { return switch_down_; }
+  bool port_down(std::uint32_t port) const {
+    return port < port_down_.size() && port_down_[port] != 0;
+  }
+
  private:
+  Counter* LazyCounter(Counter** slot, const char* name);
+
   SwitchConfig config_;
   double bytes_per_ns_;
   std::vector<TimeNs> port_busy_until_;
   std::unordered_map<std::uint32_t, std::uint32_t> routes_;
+  StatsRegistry* stats_;
+  std::string stats_prefix_;
+  std::vector<std::uint8_t> port_down_;  // parallel to port_busy_until_
+  bool switch_down_ = false;
+  FaultInjector* fault_injector_ = nullptr;
   Counter* forwarded_;
   Counter* marked_;
   Counter* dropped_;
+  Counter* link_down_drops_ = nullptr;
+  Counter* switch_down_drops_ = nullptr;
+  Counter* corrupted_drops_ = nullptr;
+  Counter* loss_burst_drops_ = nullptr;
 };
 
 }  // namespace fsio

@@ -1,5 +1,7 @@
 // Tests for the N-host Cluster topology layer: Testbed compatibility,
-// multi-host incast, multi-switch routing, and per-host protection modes.
+// multi-host incast, multi-switch routing, per-host protection modes, and
+// cluster-scale fault domains (switch failure, host crash–recovery with the
+// DMA quiesce protocol, peer death).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -8,7 +10,10 @@
 #include "src/apps/incast.h"
 #include "src/apps/iperf.h"
 #include "src/core/cluster.h"
+#include "src/core/cluster_faults.h"
 #include "src/core/testbed.h"
+#include "src/faults/invariant_registry.h"
+#include "src/faults/safety_oracle.h"
 
 namespace fsio {
 namespace {
@@ -142,6 +147,151 @@ TEST(ClusterTest, HostIdsAreAssigned) {
   Cluster cluster(config);
   for (std::uint32_t h = 0; h < 4; ++h) {
     EXPECT_EQ(cluster.host(h).config().host_id, h);
+  }
+}
+
+// Shared fixture shape for the fault-domain tests: a 4-host / 2-switch
+// cluster with a 3→1 incast and the safety harness enabled.
+Cluster MakeFaultCluster(ProtectionMode mode, bool skip_recovery_invalidation = false,
+                         std::uint32_t abort_after_timeouts = 0) {
+  ClusterConfig config;
+  config.num_hosts = 4;
+  config.num_switches = 2;
+  config.cores = 2;
+  config.ring_size_pkts = 128;
+  config.mode = mode;
+  config.host.skip_recovery_invalidation = skip_recovery_invalidation;
+  config.dctcp.abort_after_timeouts = abort_after_timeouts;
+  return Cluster(config);
+}
+
+void StartFaultIncast(Cluster* cluster) {
+  for (std::uint32_t src = 1; src < cluster->num_hosts(); ++src) {
+    cluster->AddBulkFlows(src, /*dst_host=*/0, cluster->config().cores);
+  }
+}
+
+TEST(ClusterFaultTest, HostCrashRecoveryIsSafeAndResumesDelivery) {
+  for (ProtectionMode mode :
+       {ProtectionMode::kStrict, ProtectionMode::kFastSafe, ProtectionMode::kDeferred}) {
+    Cluster cluster = MakeFaultCluster(mode);
+    cluster.EnableFaultHarness();
+    ClusterFaultController controller(&cluster, /*seed=*/1);
+    ClusterFaultEvent crash;
+    crash.kind = FaultKind::kHostCrash;
+    crash.at = 2 * kNsPerMs;
+    crash.duration_ns = 1 * kNsPerMs;  // recovery starts at 3 ms
+    crash.host = 0;
+    controller.Add(crash);
+    controller.Arm();
+    StartFaultIncast(&cluster);
+
+    cluster.RunUntil(4 * kNsPerMs);  // recovery done, rings re-registered
+    const std::uint64_t mark = cluster.host(0).app_bytes_delivered();
+    cluster.RunUntil(6 * kNsPerMs);
+
+    StatsRegistry& h0 = cluster.host(0).stats();
+    EXPECT_EQ(h0.Value("host.crashes"), 1u) << ProtectionModeName(mode);
+    EXPECT_EQ(h0.Value("host.recoveries"), 1u) << ProtectionModeName(mode);
+    EXPECT_GT(cluster.host(0).app_bytes_delivered(), mark)
+        << ProtectionModeName(mode) << ": incast must resume after recovery";
+    for (std::uint32_t h = 0; h < cluster.num_hosts(); ++h) {
+      EXPECT_EQ(cluster.oracle(h)->total_violations(), 0u)
+          << ProtectionModeName(mode) << " host " << h << "\n"
+          << cluster.oracle(h)->TraceString();
+      EXPECT_EQ(cluster.invariants(h)->CheckAll(cluster.ev().now()), 0u)
+          << ProtectionModeName(mode) << " host " << h;
+      EXPECT_EQ(cluster.host(h).stats().Value("nic.dma_while_quiesced"), 0u)
+          << ProtectionModeName(mode) << " host " << h;
+    }
+  }
+}
+
+TEST(ClusterFaultTest, SkippedRecoveryInvalidationIsCaughtByOracle) {
+  // The intentional bug: recovery rebuilds the page table and reclaims
+  // frames but "forgets" the global IOTLB invalidation. Whether a stale
+  // cached entry actually aliases a post-recovery mapping depends on which
+  // descriptors were in flight at crash time, so sweep a few crash times —
+  // the oracle must catch the bug at at least one (and with correct
+  // recovery, HostCrashRecoveryIsSafeAndResumesDelivery holds zero at all).
+  std::uint64_t caught = 0;
+  for (const TimeNs crash_at :
+       {2 * kNsPerMs, 5 * kNsPerMs / 2, 3 * kNsPerMs}) {
+    Cluster cluster = MakeFaultCluster(ProtectionMode::kFastSafe,
+                                       /*skip_recovery_invalidation=*/true);
+    cluster.EnableFaultHarness();
+    ClusterFaultController controller(&cluster, /*seed=*/1);
+    ClusterFaultEvent crash;
+    crash.kind = FaultKind::kHostCrash;
+    crash.at = crash_at;
+    crash.duration_ns = 1 * kNsPerMs;
+    crash.host = 0;
+    controller.Add(crash);
+    controller.Arm();
+    StartFaultIncast(&cluster);
+    cluster.RunUntil(6 * kNsPerMs);
+
+    SafetyOracle* oracle = cluster.oracle(0);
+    caught += oracle->total_violations();
+    // Every violation must be one of the crash-family kinds.
+    EXPECT_EQ(oracle->count(SafetyViolationKind::kStaleDmaTranslation) +
+                  oracle->count(SafetyViolationKind::kDmaToReclaimedFrame) +
+                  oracle->count(SafetyViolationKind::kUseAfterUnmap),
+              oracle->total_violations())
+        << "crash_at=" << crash_at;
+  }
+  EXPECT_GT(caught, 0u) << "skipped invalidation was never detected";
+}
+
+TEST(ClusterFaultTest, PeerDeathAbortsFlowsViaRtoCeiling) {
+  // Host 0 dies and never recovers; every sender must hit the consecutive-
+  // timeout ceiling (3 RTOs: ~1+2+4 ms after the crash) and abort instead
+  // of retransmitting forever.
+  Cluster cluster = MakeFaultCluster(ProtectionMode::kFastSafe,
+                                     /*skip_recovery_invalidation=*/false,
+                                     /*abort_after_timeouts=*/3);
+  cluster.EnableFaultHarness();
+  ClusterFaultController controller(&cluster, /*seed=*/1);
+  ClusterFaultEvent crash;
+  crash.kind = FaultKind::kHostCrash;
+  crash.at = 1 * kNsPerMs;
+  crash.duration_ns = 0;  // never recover
+  crash.host = 0;
+  controller.Add(crash);
+  controller.Arm();
+  StartFaultIncast(&cluster);
+  cluster.RunUntil(10 * kNsPerMs);
+
+  std::uint64_t aborts = 0;
+  for (std::uint32_t h = 0; h < cluster.num_hosts(); ++h) {
+    aborts += cluster.host(h).stats().Value("dctcp.flow_aborts");
+    EXPECT_EQ(cluster.oracle(h)->total_violations(), 0u) << "host " << h;
+  }
+  EXPECT_EQ(aborts, 6u);  // 3 senders x 2 cores
+  EXPECT_EQ(cluster.host(0).stats().Value("host.recoveries"), 0u);
+}
+
+TEST(ClusterFaultTest, SwitchFailureBlackholesAndHeals) {
+  // Leaf switch 1 (hosts 1 and 3) black-holes for 1 ms; traffic through it
+  // drops, the incast survives, and no safety state is disturbed.
+  Cluster cluster = MakeFaultCluster(ProtectionMode::kFastSafe);
+  cluster.EnableFaultHarness();
+  ClusterFaultController controller(&cluster, /*seed=*/1);
+  ClusterFaultEvent fail;
+  fail.kind = FaultKind::kSwitchFailure;
+  fail.at = 1 * kNsPerMs;
+  fail.duration_ns = 1 * kNsPerMs;
+  fail.switch_id = 1;
+  controller.Add(fail);
+  controller.Arm();
+  StartFaultIncast(&cluster);
+  cluster.RunUntil(4 * kNsPerMs);
+
+  EXPECT_GT(cluster.switch_stats().Value("switch1.switch_down_drops"), 0u);
+  EXPECT_EQ(cluster.switch_stats().Value("switch0.switch_down_drops"), 0u);
+  EXPECT_GT(cluster.host(0).app_bytes_delivered(), 0u);
+  for (std::uint32_t h = 0; h < cluster.num_hosts(); ++h) {
+    EXPECT_EQ(cluster.oracle(h)->total_violations(), 0u) << "host " << h;
   }
 }
 

@@ -66,7 +66,8 @@ TEST(FaultInjectorTest, PerKindStreamsAreIndependent) {
   std::vector<bool> mixed_fires;
   for (int i = 0; i < 200; ++i) {
     pure_fires.push_back(pure.Sample(FaultKind::kInvalidationStall, i).fire);
-    mixed.Sample(FaultKind::kWalkerLatencySpike, i);
+    // Stream-advance only: this test checks per-kind stream independence.
+    mixed.Sample(FaultKind::kWalkerLatencySpike, i);  // fsio-lint: allow(discarded-fault-decision)
     mixed_fires.push_back(mixed.Sample(FaultKind::kInvalidationStall, i).fire);
   }
   EXPECT_EQ(pure_fires, mixed_fires);
@@ -107,6 +108,53 @@ TEST(FaultInjectorTest, WindowsAndBudgetsFilter) {
 
   EXPECT_FALSE(inj.Sample(FaultKind::kIovaExhaustion, 0, /*core=*/1).fire);
   EXPECT_TRUE(inj.Sample(FaultKind::kIovaExhaustion, 0, /*core=*/3).fire);
+}
+
+TEST(FaultInjectorTest, OpWindowBoundsAreExactCallIndices) {
+  // Contract (fault_injector.h): the per-kind op counter advances BEFORE the
+  // window check, so [op_start=N, op_end=N+1) matches exactly the (N+1)-th
+  // Sample call of that kind — never the N-th, never the (N+2)-th.
+  FaultPlan plan;
+  FaultSpec spec = Spec(FaultKind::kInvalidationDrop);
+  spec.op_start = 2;
+  spec.op_end = 3;
+  plan.Add(spec);
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);  // op 0
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);  // op 1
+  EXPECT_TRUE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);   // op 2: 3rd call
+  EXPECT_FALSE(inj.Sample(FaultKind::kInvalidationDrop, 0).fire);  // op 3
+  EXPECT_EQ(inj.fired(FaultKind::kInvalidationDrop), 1u);
+}
+
+TEST(FaultInjectorTest, SpentMaxFiresFallsThroughToLaterSpecs) {
+  // Contract: max_fires is checked BEFORE the probability draw, so a spent
+  // spec stops consuming its stream and later specs of the same kind take
+  // over (first-match-wins with fall-through).
+  FaultPlan plan;
+  FaultSpec first = Spec(FaultKind::kWalkerLatencySpike);
+  first.max_fires = 1;
+  first.magnitude_ns = 111;
+  plan.Add(first);
+  FaultSpec second = Spec(FaultKind::kWalkerLatencySpike);
+  second.magnitude_ns = 222;
+  plan.Add(second);
+  FaultInjector inj(plan);
+  EXPECT_EQ(inj.Sample(FaultKind::kWalkerLatencySpike, 0).magnitude_ns, 111u);
+  EXPECT_EQ(inj.Sample(FaultKind::kWalkerLatencySpike, 0).magnitude_ns, 222u);
+  EXPECT_EQ(inj.Sample(FaultKind::kWalkerLatencySpike, 0).magnitude_ns, 222u);
+  EXPECT_EQ(inj.fired(FaultKind::kWalkerLatencySpike), 3u);
+}
+
+TEST(FaultInjectorTest, ClusterScaleKindsHaveStableNames) {
+  // Repro files and fault-plan logs key on these strings; renaming one
+  // silently breaks replay of archived chaos repros.
+  EXPECT_STREQ(FaultKindName(FaultKind::kLinkFlap), "link_flap");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSwitchPortDown), "switch_port_down");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSwitchFailure), "switch_failure");
+  EXPECT_STREQ(FaultKindName(FaultKind::kPacketCorruption), "packet_corruption");
+  EXPECT_STREQ(FaultKindName(FaultKind::kPacketLossBurst), "packet_loss_burst");
+  EXPECT_STREQ(FaultKindName(FaultKind::kHostCrash), "host_crash");
 }
 
 TEST(SafetyOracleTest, EpochsOverlapsAndTrace) {
@@ -309,6 +357,98 @@ TEST_F(FaultedDriverTest, AllRetriesDroppedFallsBackToGlobalFlush) {
   // The global flush (never dropped) preserved safety.
   EXPECT_TRUE(iommu_->Translate(iova, 1'000'000).fault);
   EXPECT_EQ(oracle_->total_violations(), 0u);
+}
+
+TEST_F(FaultedDriverTest, DropBudgetExactlyExhaustingRetriesTriggersFallback) {
+  // Default retry budget: the initial submission plus inv_max_retries (4)
+  // re-submissions. A drop window covering exactly those 5 requests forces
+  // the global-flush fallback — the edge where the ladder is spent by one.
+  FaultPlan plan;
+  FaultSpec drop = Spec(FaultKind::kInvalidationDrop);
+  drop.op_end = 5;
+  plan.Add(drop);
+  Build(ProtectionMode::kFastSafe, plan);
+
+  const auto result = dma_->MapPages(0, Frames(4));
+  const Iova iova = result.mappings[0].iova;
+  iommu_->Translate(iova, 100);
+  dma_->UnmapDescriptor(0, result.mappings, 1'000);
+  EXPECT_EQ(stats_->Value("iommu.inv_dropped"), 5u);
+  EXPECT_EQ(stats_->Value("dma.inv_retries"), 4u);
+  EXPECT_EQ(stats_->Value("dma.inv_timeouts"), 5u);
+  EXPECT_EQ(stats_->Value("dma.inv_fallback_flushes"), 1u);
+  EXPECT_TRUE(iommu_->Translate(iova, 1'000'000).fault);
+  EXPECT_EQ(oracle_->total_violations(), 0u);
+}
+
+TEST_F(FaultedDriverTest, DropBudgetOneShortOfRetriesAvoidsFallback) {
+  // One fewer drop: the final retry is delivered, so the fallback must NOT
+  // engage — the boundary neighbour of the previous test.
+  FaultPlan plan;
+  FaultSpec drop = Spec(FaultKind::kInvalidationDrop);
+  drop.op_end = 4;
+  plan.Add(drop);
+  Build(ProtectionMode::kFastSafe, plan);
+
+  const auto result = dma_->MapPages(0, Frames(4));
+  const Iova iova = result.mappings[0].iova;
+  iommu_->Translate(iova, 100);
+  dma_->UnmapDescriptor(0, result.mappings, 1'000);
+  EXPECT_EQ(stats_->Value("iommu.inv_dropped"), 4u);
+  EXPECT_EQ(stats_->Value("dma.inv_retries"), 4u);
+  EXPECT_EQ(stats_->Value("dma.inv_fallback_flushes"), 0u);
+  EXPECT_TRUE(iommu_->Translate(iova, 1'000'000).fault);
+  EXPECT_EQ(oracle_->total_violations(), 0u);
+}
+
+TEST_F(FaultedDriverTest, FallbackGlobalFlushCanStallButStillCompletes) {
+  // The fallback InvalidateAll is one invalidation-queue request like any
+  // other: it can stall (kInvalidationStall) but is never dropped, so the
+  // unmap completes late yet safe.
+  FaultPlan plan;
+  plan.Add(Spec(FaultKind::kInvalidationDrop));  // every targeted request lost
+  FaultSpec stall = Spec(FaultKind::kInvalidationStall);
+  stall.magnitude_ns = 300'000;
+  plan.Add(stall);
+  Build(ProtectionMode::kFastSafe, plan);
+
+  const auto result = dma_->MapPages(0, Frames(4));
+  const Iova iova = result.mappings[0].iova;
+  iommu_->Translate(iova, 100);
+  const auto unmap = dma_->UnmapDescriptor(0, result.mappings, 1'000);
+  EXPECT_EQ(stats_->Value("dma.inv_fallback_flushes"), 1u);
+  EXPECT_GE(stats_->Value("iommu.inv_stall_ns"), 300'000u);
+  EXPECT_GE(unmap.hw_done, 300'000u);
+  EXPECT_TRUE(iommu_->Translate(iova, unmap.hw_done + 1'000'000).fault);
+  EXPECT_EQ(oracle_->total_violations(), 0u);
+}
+
+TEST_F(FaultedDriverTest, SameSeedRetryLaddersAreByteIdentical) {
+  // The probabilistic drop plan drives the retry ladder through different
+  // depths per round; two same-seed stacks must agree on every counter.
+  auto run = [this]() {
+    FaultPlan plan;
+    plan.seed = 11;
+    FaultSpec drop = Spec(FaultKind::kInvalidationDrop);
+    drop.probability = 0.5;
+    plan.Add(drop);
+    Build(ProtectionMode::kFastSafe, plan);
+    TimeNs now = 0;
+    for (int round = 0; round < 20; ++round) {
+      const auto result = dma_->MapPages(0, Frames(4));
+      iommu_->Translate(result.mappings[0].iova, now + 100);
+      dma_->UnmapDescriptor(0, result.mappings, now + 500);
+      now += 10'000;
+    }
+    return std::vector<std::uint64_t>{
+        stats_->Value("dma.inv_retries"), stats_->Value("dma.inv_timeouts"),
+        stats_->Value("dma.inv_fallback_flushes"), stats_->Value("iommu.inv_dropped"),
+        oracle_->total_violations()};
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first[0], 0u);  // the ladder actually engaged
 }
 
 TEST_F(FaultedDriverTest, StrictDoubleUnmapIsDetectedAndMasked) {

@@ -1,0 +1,9 @@
+// Lint fixture: discarded-fault-decision must fire twice — a single-line and
+// a multi-line statement-position Sample() call whose result is dropped.
+#include "src/faults/fault_injector.h"
+
+void Bad(fsio::FaultInjector& injector, fsio::FaultInjector* pinjector) {
+  injector.Sample(fsio::FaultKind::kInvalidationDrop, 100);  // violation
+  pinjector->Sample(fsio::FaultKind::kWalkerLatencySpike, 200,
+                    /*core=*/1);  // violation (call spans lines)
+}

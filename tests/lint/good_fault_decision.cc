@@ -1,0 +1,18 @@
+// Lint fixture: every way of consuming (or deliberately discarding) a
+// FaultDecision that discarded-fault-decision must stay quiet about.
+#include "src/faults/fault_injector.h"
+
+bool Good(fsio::FaultInjector& injector) {
+  if (injector.Sample(fsio::FaultKind::kInvalidationDrop, 100).fire) {
+    return true;
+  }
+  const fsio::FaultDecision decision =
+      injector.Sample(fsio::FaultKind::kInvalidationStall, 200);
+  const bool fired = injector
+                         .Sample(fsio::FaultKind::kFrameAllocFailure, 250,
+                                 /*core=*/2)
+                         .fire;
+  // Deliberate stream-advance-only call, justified and suppressed.
+  injector.Sample(fsio::FaultKind::kWalkerLatencySpike, 300);  // fsio-lint: allow(discarded-fault-decision)
+  return decision.fire || fired;
+}

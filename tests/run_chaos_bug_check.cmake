@@ -1,0 +1,28 @@
+# Oracle power, cluster scale: a recovery path that skips the global IOTLB
+# invalidation must be caught by the cross-host safety oracle, shrink to a
+# minimal fault-event list, and the written repro must replay the violation.
+# Invoked by ctest as
+#   cmake -DCHAOS=<fsio_chaos> -DWORKDIR=<build dir> -P run_chaos_bug_check.cmake
+if(NOT DEFINED CHAOS OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DCHAOS=<path to fsio_chaos> -DWORKDIR=<dir>")
+endif()
+
+set(repro "${WORKDIR}/repro_chaos_skip_invalidation.txt")
+
+execute_process(COMMAND ${CHAOS} --break-recovery --expect-violation
+                        --repro-out ${repro}
+                OUTPUT_VARIABLE out_break RESULT_VARIABLE rc_break)
+if(NOT rc_break EQUAL 0)
+  message(FATAL_ERROR "broken recovery was not caught (exit ${rc_break}):\n${out_break}")
+endif()
+if(NOT EXISTS ${repro})
+  message(FATAL_ERROR "shrunken repro was not written to ${repro}")
+endif()
+
+execute_process(COMMAND ${CHAOS} --replay ${repro}
+                OUTPUT_VARIABLE out_replay RESULT_VARIABLE rc_replay)
+if(NOT rc_replay EQUAL 0)
+  message(FATAL_ERROR "repro replay did not reproduce (exit ${rc_replay}):\n${out_replay}")
+endif()
+
+message(STATUS "chaos oracle-power check OK (repro at ${repro})")

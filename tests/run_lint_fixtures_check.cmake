@@ -48,6 +48,7 @@ check_fixture(bad_dma_pairing.cc      2 dma-pairing     tests)
 check_fixture(bad_include_guard.h     1 include-guard   "")
 check_fixture(bad_pragma_once.h       1 include-guard   "")
 check_fixture(bad_include_hygiene.cc  3 include-hygiene "")
+check_fixture(bad_discarded_fault_decision.cc 2 discarded-fault-decision "")
 
 # Scoping is real: wall-clock only applies to src/, so the same fixture is
 # clean when linted under its natural tests/ scope.
@@ -60,5 +61,6 @@ check_fixture(good_raw_mutex.cc       clean "" "")
 check_fixture(good_wall_clock.cc      clean "" src)
 check_fixture(good_dma_pairing.cc     clean "" tests)
 check_fixture(good_include_guard.h    clean "" "")
+check_fixture(good_fault_decision.cc  clean "" "")
 
 message(STATUS "fsio_lint fixture matrix passed")

@@ -1,0 +1,22 @@
+# Nightly chaos sweep: longer windows and multiple seeds. PR runs must stay
+# fast, so this test is a no-op unless FSIO_NIGHTLY is set (the scheduled CI
+# job exports it).
+if(NOT DEFINED ENV{FSIO_NIGHTLY})
+  message(STATUS "FSIO_NIGHTLY not set; skipping long chaos sweep")
+  return()
+endif()
+
+foreach(seed 1 7 23 99)
+  execute_process(COMMAND ${CHAOS} --seed ${seed} --window 12000000 --jobs 4
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "nightly chaos matrix failed (seed ${seed}, exit ${rc})")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CHAOS} --selftest-determinism --seed 23 --window 12000000
+                        --jobs 4
+                RESULT_VARIABLE rc_det)
+if(NOT rc_det EQUAL 0)
+  message(FATAL_ERROR "nightly chaos determinism selftest failed (exit ${rc_det})")
+endif()

@@ -8,6 +8,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/apps/iperf.h"
@@ -77,6 +78,57 @@ TEST(SweepRunnerTest, EnvOverridesDefaultThreads) {
   EXPECT_EQ(SweepRunner().threads(), 1u);
   ::unsetenv("FSIO_SWEEP_THREADS");
   EXPECT_GE(SweepRunner().threads(), 1u);
+}
+
+TEST(SweepRunnerTest, CancellableWithoutDeadlineRunsEverything) {
+  // deadline_ms == 0 disables the watchdog: no cancel flag ever flips and
+  // every point completes.
+  std::vector<std::atomic<int>> visits(16);
+  const SweepRunReport report = SweepRunner(4).RunCancellable(
+      16,
+      [&](std::size_t i, const std::atomic<bool>& cancel) {
+        EXPECT_FALSE(cancel.load());
+        visits[i].fetch_add(1);
+      },
+      /*deadline_ms=*/0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.completed, 16u);
+  EXPECT_TRUE(report.timed_out.empty());
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "point " << i;
+  }
+}
+
+TEST(SweepRunnerTest, DeadlineCancelsHungPointAndKeepsTheRest) {
+  // Point 3 simulates a hung sweep point: it spins until the watchdog flips
+  // its cancel flag. Everyone else finishes instantly and must be reported
+  // as completed — partial results plus a precise timed_out list.
+  std::atomic<bool> saw_cancel{false};
+  const SweepRunReport report = SweepRunner(4).RunCancellable(
+      8,
+      [&](std::size_t i, const std::atomic<bool>& cancel) {
+        if (i == 3) {
+          while (!cancel.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+          }
+          saw_cancel.store(true);
+        }
+      },
+      /*deadline_ms=*/50);
+  EXPECT_TRUE(saw_cancel.load());
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.timed_out.size(), 1u);
+  EXPECT_EQ(report.timed_out[0], 3u);
+  EXPECT_EQ(report.completed, 7u);
+}
+
+TEST(SweepRunnerTest, DefaultDeadlineMsReadsEnv) {
+  ::setenv("FSIO_SWEEP_DEADLINE_MS", "250", 1);
+  EXPECT_EQ(SweepRunner::DefaultDeadlineMs(), 250u);
+  ::setenv("FSIO_SWEEP_DEADLINE_MS", "0", 1);  // explicit off
+  EXPECT_EQ(SweepRunner::DefaultDeadlineMs(), 0u);
+  ::unsetenv("FSIO_SWEEP_DEADLINE_MS");
+  EXPECT_EQ(SweepRunner::DefaultDeadlineMs(), 0u);  // disabled by default
 }
 
 TEST(LoggerTest, LevelIsAtomicAndConcurrentWritesDoNotTear) {

@@ -1,0 +1,766 @@
+// Cluster-scale chaos harness: fault scenarios crossed with every protection
+// mode on a 4-host / 2-switch incast cluster.
+//
+// Each cell of the matrix builds an independent Cluster, arms a
+// ClusterFaultController with one scenario's fault events (link flaps, port
+// downs, whole-switch failure, packet corruption/loss bursts, host crash and
+// recovery, peer death), drives a 3→1 incast through the fault window, and
+// then asserts the cluster-scale safety matrix:
+//
+//   * every scenario, under EVERY protection mode, ends with ZERO safety-
+//     oracle violations on every host — a correctly recovered host never
+//     lets DMA land in reclaimed frames and never serves a stale
+//     translation;
+//   * "nic.dma_while_quiesced" stays 0 cluster-wide (the quiesce protocol's
+//     own invariant: no DMA is issued between quiesce and resume);
+//   * structural invariants (page-table consistency, no overlapping live
+//     maps) hold on every host at end of run;
+//   * each fabric scenario leaves its fingerprint (link_down / switch_down /
+//     corrupted / loss_burst drop counters fire);
+//   * the crash scenario recovers exactly once and delivers application
+//     bytes after recovery; the peer-death scenario aborts flows via the
+//     DCTCP consecutive-timeout ceiling instead of retransmitting forever.
+//
+// --break-recovery runs a single deliberately broken cell (recovery skips
+// the global IOTLB invalidation) and demonstrates the cross-host oracle
+// catching it; with --expect-violation the harness then SHRINKS the fault
+// event list to a minimal still-failing repro (greedy one-event-at-a-time
+// removal) and, with --repro-out, writes a replayable text repro that
+// --replay re-executes byte-deterministically.
+//
+// All randomness flows from --seed; cells are independent simulations run on
+// the SweepRunner pool with slot-per-cell reports emitted in cell order, so
+// output is byte-identical across reruns and across --jobs values (checked
+// by ctest and by --selftest-determinism).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/cluster_faults.h"
+#include "src/core/sweep_runner.h"
+#include "src/driver/protection.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/invariant_registry.h"
+#include "src/faults/safety_oracle.h"
+#include "src/simcore/time.h"
+
+namespace fsio {
+namespace {
+
+struct ChaosOptions {
+  TimeNs window = 6 * kNsPerMs;  // base fault window W
+  std::uint64_t seed = 1;
+  unsigned jobs = 1;
+  bool verbose = false;
+  bool break_recovery = false;
+  bool expect_violation = false;
+  std::string repro_out;
+  std::string replay;
+};
+
+// Stable CLI/repro keys for protection modes (ProtectionModeName() is a
+// human-facing label with spaces; repro files need single tokens).
+struct ModeEntry {
+  ProtectionMode mode;
+  const char* key;
+};
+constexpr ModeEntry kModes[] = {
+    {ProtectionMode::kOff, "off"},
+    {ProtectionMode::kStrict, "strict"},
+    {ProtectionMode::kDeferred, "deferred"},
+    {ProtectionMode::kStrictPreserve, "strict-preserve"},
+    {ProtectionMode::kStrictContig, "strict-contig"},
+    {ProtectionMode::kFastSafe, "fastsafe"},
+    {ProtectionMode::kHugepagePersistent, "hugepage-persistent"},
+};
+constexpr std::size_t kNumModes = sizeof(kModes) / sizeof(kModes[0]);
+
+const char* ModeKey(ProtectionMode mode) {
+  for (const ModeEntry& e : kModes) {
+    if (e.mode == mode) {
+      return e.key;
+    }
+  }
+  return "?";
+}
+
+bool ModeFromKey(const std::string& key, ProtectionMode* out) {
+  for (const ModeEntry& e : kModes) {
+    if (key == e.key) {
+      *out = e.mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+// One scenario: a named fault-event list plus the expectations it must meet
+// in every protection mode.
+struct Scenario {
+  std::string name;
+  std::vector<ClusterFaultEvent> events;
+  TimeNs run_until = 0;
+  std::uint32_t abort_after_timeouts = 0;  // DCTCP peer-death ceiling (0=off)
+  std::uint32_t crash_host = 0;
+  bool expect_link_down = false;
+  bool expect_switch_down = false;
+  bool expect_corrupted = false;
+  bool expect_loss_burst = false;
+  bool expect_recovery = false;     // exactly one crash + recovery + progress
+  bool expect_flow_aborts = false;  // peer never recovers; senders abort
+};
+
+// The cluster fault taxonomy exercised against every protection mode. All
+// times derive from the base window W so --window scales the whole matrix.
+std::vector<Scenario> BuildScenarios(TimeNs w) {
+  std::vector<Scenario> out;
+
+  {
+    // Short flap of sender host 1's access link mid-run; ACK and data
+    // traffic over that port drops for W/12, then DCTCP recovers.
+    Scenario s;
+    s.name = "link-flap";
+    s.run_until = w;
+    s.expect_link_down = true;
+    ClusterFaultEvent e;
+    e.kind = FaultKind::kLinkFlap;
+    e.at = w / 3;
+    e.duration_ns = w / 12;
+    e.host = 1;
+    s.events.push_back(e);
+    out.push_back(s);
+  }
+  {
+    // Long port-down on sender host 2: half the run with one incast source
+    // dark, then the link returns.
+    Scenario s;
+    s.name = "port-down";
+    s.run_until = w;
+    s.expect_link_down = true;
+    ClusterFaultEvent e;
+    e.kind = FaultKind::kSwitchPortDown;
+    e.at = w / 6;
+    e.duration_ns = w / 2;
+    e.host = 2;
+    s.events.push_back(e);
+    out.push_back(s);
+  }
+  {
+    // Whole leaf switch 1 (hosts 1 and 3) black-holes for a quarter window.
+    Scenario s;
+    s.name = "switch-failure";
+    s.run_until = w;
+    s.expect_switch_down = true;
+    ClusterFaultEvent e;
+    e.kind = FaultKind::kSwitchFailure;
+    e.at = w / 4;
+    e.duration_ns = w / 4;
+    e.switch_id = 1;
+    s.events.push_back(e);
+    out.push_back(s);
+  }
+  {
+    // Fabric-wide low-rate packet corruption (CRC drops on every port).
+    Scenario s;
+    s.name = "corruption";
+    s.run_until = w;
+    s.expect_corrupted = true;
+    ClusterFaultEvent e;
+    e.kind = FaultKind::kPacketCorruption;
+    e.at = w / 6;
+    e.duration_ns = w / 2;
+    e.any_port = true;
+    e.probability = 0.02;
+    s.events.push_back(e);
+    out.push_back(s);
+  }
+  {
+    // Heavy loss burst pinned to receiver host 0's access link.
+    Scenario s;
+    s.name = "loss-burst";
+    s.run_until = w;
+    s.expect_loss_burst = true;
+    ClusterFaultEvent e;
+    e.kind = FaultKind::kPacketLossBurst;
+    e.at = w / 3;
+    e.duration_ns = w / 6;
+    e.host = 0;
+    e.probability = 0.3;
+    s.events.push_back(e);
+    out.push_back(s);
+  }
+  {
+    // Receiver host 0 crashes with DMA in flight, recovers after W/6: NIC
+    // quiesce + drain, unmap-all, frame reclaim, global invalidation, ring
+    // re-registration — then the incast must make progress again.
+    Scenario s;
+    s.name = "host-crash";
+    s.run_until = w;
+    s.expect_recovery = true;
+    s.crash_host = 0;
+    ClusterFaultEvent e;
+    e.kind = FaultKind::kHostCrash;
+    e.at = w / 3;
+    e.duration_ns = w / 6;
+    e.host = 0;
+    s.events.push_back(e);
+    out.push_back(s);
+  }
+  {
+    // Receiver host 0 dies and never comes back. Senders must abort via the
+    // consecutive-RTO ceiling instead of retransmitting into the dead host
+    // forever. The horizon is crash time plus a fixed allowance for the RTO
+    // ladder (min_rto 1 ms doubling: 3 consecutive timeouts land within
+    // ~7 ms of the crash), so shrinking --window cannot starve the ladder.
+    Scenario s;
+    s.name = "peer-death";
+    s.run_until = w / 4 + 10 * kNsPerMs;
+    s.abort_after_timeouts = 3;
+    s.expect_flow_aborts = true;
+    s.crash_host = 0;
+    ClusterFaultEvent e;
+    e.kind = FaultKind::kHostCrash;
+    e.at = w / 4;
+    e.duration_ns = 0;  // never recover
+    e.host = 0;
+    s.events.push_back(e);
+    out.push_back(s);
+  }
+
+  return out;
+}
+
+struct CellResult {
+  std::string report;
+  bool cancelled = false;
+  std::uint64_t violations = 0;
+  std::uint64_t reclaimed_frame = 0;
+  std::uint64_t stale_translation = 0;
+  std::uint64_t use_after_unmap = 0;
+  std::uint64_t check_failures = 0;
+  std::uint64_t dma_while_quiesced = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t flow_aborts = 0;
+  std::uint64_t link_down = 0;
+  std::uint64_t switch_down = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t loss_burst = 0;
+  std::uint64_t app_bytes = 0;
+  std::uint64_t post_recovery_bytes = 0;
+};
+
+// Appends at most `limit` lines of `trace` with a deterministic elision
+// marker, keeping reports readable under failure storms.
+void AppendTrace(std::ostringstream* os, const std::string& trace, std::size_t limit) {
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < trace.size() && lines < limit) {
+    const std::size_t nl = trace.find('\n', pos);
+    const std::size_t end = nl == std::string::npos ? trace.size() : nl + 1;
+    os->write(trace.data() + pos, static_cast<std::streamsize>(end - pos));
+    pos = end;
+    ++lines;
+  }
+  if (pos < trace.size()) {
+    std::size_t rest = 0;
+    for (std::size_t i = pos; i < trace.size(); ++i) {
+      rest += trace[i] == '\n' ? 1 : 0;
+    }
+    *os << "  ... (" << rest << " more)\n";
+  }
+}
+
+// Runs one (mode, scenario) cell: an independent 4-host / 2-switch cluster
+// with a 3→1 incast, the scenario's faults armed, and full safety
+// instrumentation. `broken` skips the recovery global invalidation — the
+// intentional bug the cross-host oracle must catch.
+CellResult RunCell(ProtectionMode mode, const Scenario& scenario, const ChaosOptions& opt,
+                   bool broken, const std::atomic<bool>& cancel) {
+  ClusterConfig config;
+  config.num_hosts = 4;
+  config.num_switches = 2;
+  config.cores = 2;
+  config.ring_size_pkts = 128;
+  config.mode = mode;
+  config.dctcp.abort_after_timeouts = scenario.abort_after_timeouts;
+  config.host.skip_recovery_invalidation = broken;
+
+  Cluster cluster(config);
+  cluster.EnableFaultHarness();
+
+  ClusterFaultController controller(&cluster, opt.seed);
+  for (const ClusterFaultEvent& e : scenario.events) {
+    controller.Add(e);
+  }
+  controller.Arm();
+
+  // 3→1 incast: hosts 1..3 each run `cores` unbounded flows into host 0.
+  for (std::uint32_t src = 1; src < config.num_hosts; ++src) {
+    cluster.AddBulkFlows(src, /*dst_host=*/0, config.cores);
+  }
+
+  // Post-recovery progress probe: snapshot host 0's delivered bytes well
+  // after recovery completes; the final count must exceed it.
+  std::uint64_t mark_bytes = 0;
+  if (scenario.expect_recovery) {
+    const ClusterFaultEvent& crash = scenario.events.front();
+    const TimeNs mark_at = crash.at + crash.duration_ns + opt.window / 12;
+    cluster.ev().ScheduleAt(mark_at, [&cluster, &mark_bytes] {
+      mark_bytes = cluster.host(0).app_bytes_delivered();
+    });
+  }
+
+  CellResult r;
+  // Sliced run so the sweep watchdog's cancel flag is honoured between
+  // deterministic chunks (cancellation only ever loses a report, never
+  // perturbs a completed one).
+  constexpr int kSlices = 8;
+  for (int slice = 1; slice <= kSlices; ++slice) {
+    if (cancel.load(std::memory_order_relaxed)) {
+      r.cancelled = true;
+      r.report = "=== scenario=" + scenario.name + " mode=" + ModeKey(mode) +
+                 " ===\nTIMED OUT (partial cell dropped)\n";
+      return r;
+    }
+    cluster.RunUntil(scenario.run_until * slice / kSlices);
+  }
+  const TimeNs now = cluster.ev().now();
+
+  std::ostringstream vio;
+  for (std::uint32_t h = 0; h < config.num_hosts; ++h) {
+    SafetyOracle* oracle = cluster.oracle(h);
+    InvariantRegistry* inv = cluster.invariants(h);
+    r.violations += oracle->total_violations();
+    r.reclaimed_frame += oracle->count(SafetyViolationKind::kDmaToReclaimedFrame);
+    r.stale_translation += oracle->count(SafetyViolationKind::kStaleDmaTranslation);
+    r.use_after_unmap += oracle->count(SafetyViolationKind::kUseAfterUnmap);
+    r.check_failures += inv->CheckAll(now);
+    r.check_failures += inv->failure_count();
+    StatsRegistry& hs = cluster.host(h).stats();
+    r.dma_while_quiesced += hs.Value("nic.dma_while_quiesced");
+    r.flow_aborts += hs.Value("dctcp.flow_aborts");
+    if (oracle->total_violations() != 0) {
+      vio << "host " << h << " violations:\n";
+      AppendTrace(&vio, oracle->TraceString(), 20);
+    }
+  }
+  StatsRegistry& crash_stats = cluster.host(scenario.crash_host).stats();
+  r.crashes = crash_stats.Value("host.crashes");
+  r.recoveries = crash_stats.Value("host.recoveries");
+  for (std::uint32_t s = 0; s < cluster.num_switches(); ++s) {
+    const std::string p = "switch" + std::to_string(s);
+    StatsRegistry& ss = cluster.switch_stats();
+    r.link_down += ss.Value(p + ".link_down_drops");
+    r.switch_down += ss.Value(p + ".switch_down_drops");
+    r.corrupted += ss.Value(p + ".corrupted_drops");
+    r.loss_burst += ss.Value(p + ".loss_burst_drops");
+  }
+  r.app_bytes = cluster.host(0).app_bytes_delivered();
+  if (scenario.expect_recovery && r.app_bytes > mark_bytes) {
+    r.post_recovery_bytes = r.app_bytes - mark_bytes;
+  }
+
+  std::ostringstream os;
+  os << "=== scenario=" << scenario.name << " mode=" << ModeKey(mode)
+     << (broken ? " broken-recovery" : "") << " ===\n";
+  os << "violations=" << r.violations << " reclaimed_frame=" << r.reclaimed_frame
+     << " stale_translation=" << r.stale_translation
+     << " use_after_unmap=" << r.use_after_unmap
+     << " invariant_failures=" << r.check_failures << "\n";
+  os << "crashes=" << r.crashes << " recoveries=" << r.recoveries
+     << " dma_while_quiesced=" << r.dma_while_quiesced << " flow_aborts=" << r.flow_aborts
+     << " crash_rx_dropped=" << crash_stats.Value("host.crash_rx_dropped")
+     << " rx_quiesced_drops=" << crash_stats.Value("nic.rx_quiesced_drops") << "\n";
+  os << "fabric: link_down=" << r.link_down << " switch_down=" << r.switch_down
+     << " corrupted=" << r.corrupted << " loss_burst=" << r.loss_burst << "\n";
+  os << "app_bytes=" << r.app_bytes;
+  if (scenario.expect_recovery) {
+    os << " post_recovery_bytes=" << r.post_recovery_bytes;
+  }
+  os << "\n";
+  if (opt.verbose || r.violations != 0) {
+    os << vio.str();
+  }
+  r.report = os.str();
+  return r;
+}
+
+// Runs the full scenario x mode matrix on the SweepRunner pool and checks
+// every expectation. Returns the number of failed expectations.
+int RunSuite(const ChaosOptions& opt, std::string* output) {
+  const std::vector<Scenario> scenarios = BuildScenarios(opt.window);
+  const std::size_t n = scenarios.size() * kNumModes;
+  std::vector<CellResult> cells(n);
+
+  SweepRunner runner(opt.jobs);
+  const SweepRunReport sweep = runner.RunCancellable(
+      n,
+      [&](std::size_t i, const std::atomic<bool>& cancel) {
+        const Scenario& scenario = scenarios[i / kNumModes];
+        const ProtectionMode mode = kModes[i % kNumModes].mode;
+        cells[i] = RunCell(mode, scenario, opt, /*broken=*/false, cancel);
+      },
+      SweepRunner::DefaultDeadlineMs());
+
+  std::ostringstream all;
+  int failures = 0;
+  auto expect = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures;
+      all << "EXPECTATION FAILED: " << what << "\n";
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Scenario& scenario = scenarios[i / kNumModes];
+    const CellResult& r = cells[i];
+    all << r.report;
+    const std::string tag = scenario.name + " / " + kModes[i % kNumModes].key;
+    if (r.cancelled) {
+      expect(false, tag + ": cell hit the sweep deadline");
+      continue;
+    }
+    // The cluster-scale safety matrix: recovery is SAFE in every mode.
+    expect(r.violations == 0, tag + ": zero safety-oracle violations after recovery");
+    expect(r.check_failures == 0, tag + ": structural invariants must hold");
+    expect(r.dma_while_quiesced == 0, tag + ": no DMA between quiesce and resume");
+    if (scenario.expect_link_down) {
+      expect(r.link_down > 0, tag + ": port-down drops must be observed");
+    }
+    if (scenario.expect_switch_down) {
+      expect(r.switch_down > 0, tag + ": switch-failure drops must be observed");
+    }
+    if (scenario.expect_corrupted) {
+      expect(r.corrupted > 0, tag + ": corruption drops must be observed");
+    }
+    if (scenario.expect_loss_burst) {
+      expect(r.loss_burst > 0, tag + ": loss-burst drops must be observed");
+    }
+    if (scenario.expect_recovery) {
+      expect(r.crashes == 1 && r.recoveries == 1, tag + ": exactly one crash + recovery");
+      expect(r.post_recovery_bytes > 0, tag + ": application progress after recovery");
+    }
+    if (scenario.expect_flow_aborts) {
+      expect(r.crashes == 1 && r.recoveries == 0, tag + ": peer stays dead");
+      expect(r.flow_aborts > 0, tag + ": senders must abort into the dead peer");
+    }
+    expect(r.app_bytes > 0, tag + ": incast must deliver bytes");
+  }
+  if (!sweep.ok()) {
+    all << "(" << sweep.timed_out.size() << " cell(s) timed out under "
+        << "FSIO_SWEEP_DEADLINE_MS; rerun without a deadline for full coverage)\n";
+  }
+  all << (failures == 0 ? "CHAOS MATRIX OK\n" : "CHAOS MATRIX FAILED\n");
+  *output = all.str();
+  return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Broken-recovery demonstration: repro files, shrinking, replay.
+
+bool KindFromName(const std::string& name, FaultKind* out) {
+  for (int k = 0; k < static_cast<int>(FaultKind::kCount); ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Text repro: settings lines (key=value) then one "event <ToString()>" line
+// per fault event. Round-trips through ParseRepro for --replay.
+std::string FormatRepro(const ChaosOptions& opt, ProtectionMode mode,
+                        const std::vector<ClusterFaultEvent>& events) {
+  std::ostringstream os;
+  os << "# fsio_chaos repro: broken recovery (skipped global invalidation)\n";
+  os << "seed=" << opt.seed << "\n";
+  os << "window=" << opt.window << "\n";
+  os << "mode=" << ModeKey(mode) << "\n";
+  os << "break-recovery=1\n";
+  for (const ClusterFaultEvent& e : events) {
+    os << "event " << e.ToString() << "\n";
+  }
+  return os.str();
+}
+
+bool ParseReproLine(const std::string& line, ClusterFaultEvent* e) {
+  std::istringstream is(line);
+  std::string kind_name;
+  if (!(is >> kind_name) || !KindFromName(kind_name, &e->kind)) {
+    return false;
+  }
+  std::string field;
+  while (is >> field) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "at") {
+      e->at = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "dur") {
+      e->duration_ns = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "switch") {
+      e->switch_id = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "host") {
+      e->host = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "any_port") {
+      e->any_port = value == "1";
+    } else if (key == "p") {
+      e->probability = std::strtod(value.c_str(), nullptr);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseRepro(const std::string& path, ChaosOptions* opt, ProtectionMode* mode,
+                std::vector<ClusterFaultEvent>* events) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fsio_chaos: cannot open repro %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("event ", 0) == 0) {
+      ClusterFaultEvent e;
+      if (!ParseReproLine(line.substr(6), &e)) {
+        std::fprintf(stderr, "fsio_chaos: bad repro event line: %s\n", line.c_str());
+        return false;
+      }
+      events->push_back(e);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "fsio_chaos: bad repro line: %s\n", line.c_str());
+      return false;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "seed") {
+      opt->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "window") {
+      opt->window = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "mode") {
+      if (!ModeFromKey(value, mode)) {
+        std::fprintf(stderr, "fsio_chaos: unknown mode %s\n", value.c_str());
+        return false;
+      }
+    } else if (key == "break-recovery") {
+      opt->break_recovery = value == "1";
+    } else {
+      std::fprintf(stderr, "fsio_chaos: unknown repro key %s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Runs one broken-recovery cell over an explicit event list.
+CellResult RunBrokenCell(const std::vector<ClusterFaultEvent>& events, ProtectionMode mode,
+                         const ChaosOptions& opt) {
+  Scenario s;
+  s.name = "host-crash-broken";
+  s.events = events;
+  s.run_until = opt.window;
+  s.expect_recovery = true;
+  s.crash_host = 0;
+  for (const ClusterFaultEvent& e : events) {
+    if (e.kind == FaultKind::kHostCrash) {
+      s.crash_host = e.host;
+    }
+  }
+  static const std::atomic<bool> kNeverCancelled{false};
+  return RunCell(mode, s, opt, opt.break_recovery, kNeverCancelled);
+}
+
+// Greedy event-list shrink: repeatedly drop any single event whose removal
+// keeps the oracle violating, until no event can be removed. Deterministic
+// (fixed scan order) and quadratic in the (small) event count.
+std::vector<ClusterFaultEvent> ShrinkEvents(std::vector<ClusterFaultEvent> events,
+                                            ProtectionMode mode, const ChaosOptions& opt,
+                                            std::ostringstream* log) {
+  bool shrunk = true;
+  while (shrunk && events.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      std::vector<ClusterFaultEvent> candidate = events;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      const CellResult r = RunBrokenCell(candidate, mode, opt);
+      if (r.violations > 0) {
+        *log << "shrink: dropped [" << events[i].ToString() << "] — still violates ("
+             << r.violations << ")\n";
+        events = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+      *log << "shrink: kept [" << events[i].ToString() << "] — needed for repro\n";
+    }
+  }
+  return events;
+}
+
+// The --break-recovery entry point: crash host 0 with recovery that skips
+// the global invalidation, plus two noise events the shrinker must discard.
+int RunBrokenRecovery(const ChaosOptions& opt, std::string* output) {
+  const TimeNs w = opt.window;
+  const ProtectionMode mode = ProtectionMode::kFastSafe;
+
+  std::vector<ClusterFaultEvent> events;
+  {
+    ClusterFaultEvent crash;
+    crash.kind = FaultKind::kHostCrash;
+    crash.at = w / 3;
+    crash.duration_ns = w / 6;
+    crash.host = 0;
+    events.push_back(crash);
+    ClusterFaultEvent noise_flap;  // irrelevant to the bug; shrink removes it
+    noise_flap.kind = FaultKind::kLinkFlap;
+    noise_flap.at = w / 8;
+    noise_flap.duration_ns = w / 16;
+    noise_flap.host = 2;
+    events.push_back(noise_flap);
+    ClusterFaultEvent noise_loss;  // likewise
+    noise_loss.kind = FaultKind::kPacketLossBurst;
+    noise_loss.at = w / 2;
+    noise_loss.duration_ns = w / 8;
+    noise_loss.host = 1;
+    noise_loss.probability = 0.1;
+    events.push_back(noise_loss);
+  }
+
+  std::ostringstream all;
+  const CellResult full = RunBrokenCell(events, mode, opt);
+  all << full.report;
+
+  int failures = 0;
+  if (opt.expect_violation) {
+    if (full.violations == 0) {
+      all << "EXPECTATION FAILED: broken recovery must be caught by the oracle\n";
+      ++failures;
+    } else {
+      const std::vector<ClusterFaultEvent> minimal = ShrinkEvents(events, mode, opt, &all);
+      all << "minimal repro (" << minimal.size() << " of " << events.size()
+          << " events):\n";
+      for (const ClusterFaultEvent& e : minimal) {
+        all << "  event " << e.ToString() << "\n";
+      }
+      const CellResult check = RunBrokenCell(minimal, mode, opt);
+      if (check.violations == 0) {
+        all << "EXPECTATION FAILED: shrunken repro no longer violates\n";
+        ++failures;
+      }
+      if (!opt.repro_out.empty()) {
+        std::ofstream out(opt.repro_out);
+        out << FormatRepro(opt, mode, minimal);
+        all << "repro written to " << opt.repro_out << "\n";
+      }
+    }
+  } else if (full.violations == 0) {
+    // Without --expect-violation a broken run that somehow passes is an
+    // error too — the flag only controls whether we shrink.
+    all << "EXPECTATION FAILED: broken recovery must be caught by the oracle\n";
+    ++failures;
+  }
+  all << (failures == 0 ? "BROKEN RECOVERY CAUGHT\n" : "BROKEN RECOVERY MISSED\n");
+  *output = all.str();
+  return failures;
+}
+
+int RunReplay(const std::string& path, ChaosOptions opt, std::string* output) {
+  ProtectionMode mode = ProtectionMode::kFastSafe;
+  std::vector<ClusterFaultEvent> events;
+  if (!ParseRepro(path, &opt, &mode, &events) || events.empty()) {
+    *output = "REPLAY FAILED: unreadable repro\n";
+    return 1;
+  }
+  std::ostringstream all;
+  all << "replaying " << events.size() << " event(s), mode=" << ModeKey(mode)
+      << " seed=" << opt.seed << " window=" << opt.window
+      << " break-recovery=" << (opt.break_recovery ? 1 : 0) << "\n";
+  const CellResult r = RunBrokenCell(events, mode, opt);
+  all << r.report;
+  // A repro of a broken recovery must reproduce the violation; a repro of a
+  // healthy run must stay clean.
+  const bool ok = opt.break_recovery ? r.violations > 0 : r.violations == 0;
+  all << (ok ? "REPLAY REPRODUCED\n" : "REPLAY FAILED: behaviour did not reproduce\n");
+  *output = all.str();
+  return ok ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  ChaosOptions opt;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      opt.window = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else if (std::strcmp(argv[i], "--break-recovery") == 0) {
+      opt.break_recovery = true;
+    } else if (std::strcmp(argv[i], "--expect-violation") == 0) {
+      opt.expect_violation = true;
+    } else if (std::strcmp(argv[i], "--repro-out") == 0 && i + 1 < argc) {
+      opt.repro_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      opt.replay = argv[++i];
+    } else if (std::strcmp(argv[i], "--selftest-determinism") == 0) {
+      selftest = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--window NS] [--seed S] [--jobs N] [--verbose]\n"
+                   "          [--break-recovery [--expect-violation] [--repro-out F]]\n"
+                   "          [--replay F] [--selftest-determinism]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::string output;
+  int failures;
+  if (!opt.replay.empty()) {
+    failures = RunReplay(opt.replay, opt, &output);
+  } else if (opt.break_recovery) {
+    failures = RunBrokenRecovery(opt, &output);
+  } else {
+    failures = RunSuite(opt, &output);
+    if (selftest) {
+      std::string second;
+      failures += RunSuite(opt, &second);
+      if (second != output) {
+        std::fprintf(stdout, "%s", output.c_str());
+        std::fprintf(stdout, "DETERMINISM FAILED: two same-seed runs diverged\n");
+        return 1;
+      }
+      output += "DETERMINISM OK\n";
+    }
+  }
+  std::fprintf(stdout, "%s", output.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fsio
+
+int main(int argc, char** argv) { return fsio::Main(argc, argv); }

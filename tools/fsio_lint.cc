@@ -15,6 +15,7 @@
 //   raw-mutex        std::mutex/lock_guard/... anywhere but src/simcore/sync.h
 //   wall-clock       sleep/wall-clock time in src/ (breaks determinism)
 //   dma-pairing      gtest bodies that Map* DMA pages but never Unmap/Release
+//   discarded-fault-decision  FaultInjector::Sample() result dropped on the floor
 //   include-guard    headers must carry FASTSAFE_<PATH>_H_ guards
 //   include-hygiene  quoted includes repo-root-relative; never include a .cc
 //
@@ -400,6 +401,120 @@ void CheckDmaPairing(const SourceFile& file, std::vector<Diagnostic>* diags) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: discarded-fault-decision — FaultInjector::Sample() both advances the
+// kind's deterministic RNG/op-counter streams AND decides whether a fault
+// fires, so a statement-position call whose FaultDecision is dropped on the
+// floor is almost always a bug: the fault silently never takes effect while
+// the plan's op windows still advance. Flags member calls `x.Sample(...)` /
+// `x->Sample(...)` that begin a statement and whose full expression ends at
+// `;`. Deliberate stream-advance-only calls carry a per-line allow directive
+// (or a (void) cast, which the rule does not match).
+
+void CheckDiscardedFaultDecision(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    std::size_t pos = line.find("Sample(");
+    while (pos != std::string::npos) {
+      const std::size_t next = line.find("Sample(", pos + 1);
+      // Member call only (`.Sample(` / `->Sample(`): a free function or a
+      // local helper that happens to be called Sample is out of scope.
+      const bool member = (pos >= 1 && line[pos - 1] == '.') ||
+                          (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>');
+      if (!member) {
+        pos = next;
+        continue;
+      }
+      // Walk back over the receiver chain (identifiers, `.`, `->`, `::`).
+      std::size_t start = line[pos - 1] == '.' ? pos - 1 : pos - 2;
+      while (start > 0) {
+        const char c = line[start - 1];
+        if (IsIdentChar(c) || c == '.' || c == ':') {
+          --start;
+        } else if (c == '>' && start >= 2 && line[start - 2] == '-') {
+          start -= 2;
+        } else {
+          break;
+        }
+      }
+      // The chain must begin the statement; `if (x.Sample(...)` or
+      // `= x.Sample(...)` or `(void)x.Sample(...)` all use the result.
+      std::size_t before = start;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(line[before - 1])) != 0) {
+        --before;
+      }
+      bool stmt_start;
+      if (before > 0) {
+        stmt_start = line[before - 1] == ';' || line[before - 1] == '{' ||
+                     line[before - 1] == '}';
+      } else {
+        // The call opens this line: it begins a statement only if the
+        // previous non-blank line ended one (`;`, `{`, `}`) — a trailing
+        // `=`, `(`, `,`, `&&` etc. means this is a continuation (e.g. the
+        // initializer of `if (const FaultDecision d = ...;`).
+        stmt_start = true;
+        for (std::size_t prev = li; prev > 0; --prev) {
+          const std::string& above = file.code[prev - 1];
+          const std::size_t tail = above.find_last_not_of(" \t");
+          if (tail == std::string::npos) {
+            continue;
+          }
+          const char c = above[tail];
+          stmt_start = c == ';' || c == '{' || c == '}';
+          break;
+        }
+      }
+      if (!stmt_start) {
+        pos = next;
+        continue;
+      }
+      // Find the call's matching ')' (the argument list may span lines) and
+      // look at the first character after it: `;` means discarded, anything
+      // else (`.fire`, `)`, `,`) means the result is consumed.
+      int depth = 0;
+      bool resolved = false;
+      bool discarded = false;
+      const std::size_t last_line = std::min(file.code.size(), li + 12);
+      std::size_t col = pos + std::strlen("Sample");
+      for (std::size_t ln = li; ln < last_line && !resolved; ++ln) {
+        const std::string& scan = file.code[ln];
+        for (std::size_t k = ln == li ? col : 0; k < scan.size(); ++k) {
+          if (scan[k] == '(') {
+            ++depth;
+          } else if (scan[k] == ')') {
+            --depth;
+            if (depth == 0) {
+              std::size_t m = k + 1;
+              for (std::size_t tail = ln; tail < last_line; ++tail, m = 0) {
+                const std::string& after = file.code[tail];
+                while (m < after.size() &&
+                       std::isspace(static_cast<unsigned char>(after[m])) != 0) {
+                  ++m;
+                }
+                if (m < after.size()) {
+                  discarded = after[m] == ';';
+                  break;
+                }
+              }
+              resolved = true;
+              break;
+            }
+          }
+        }
+      }
+      if (resolved && discarded && !Suppressed(file, li + 1, "discarded-fault-decision")) {
+        diags->push_back(
+            {file.path, li + 1, "discarded-fault-decision",
+             "FaultInjector::Sample() result discarded: the fault can never fire; "
+             "use the FaultDecision (or justify with a fsio-lint allow directive "
+             "if only the sample stream must advance)"});
+      }
+      pos = next;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: include-guard — headers carry FASTSAFE_<PATH>_H_ guards.
 
 std::string ExpectedGuard(const std::string& path) {
@@ -537,6 +652,9 @@ const RuleInfo kRules[] = {
      &CheckWallClock},
     {"dma-pairing", "gtest bodies that Map* DMA pages must Unmap*/Release*",
      &CheckDmaPairing},
+    {"discarded-fault-decision",
+     "FaultInjector::Sample() results must be used (the fault never fires otherwise)",
+     &CheckDiscardedFaultDecision},
     {"include-guard", "headers carry FASTSAFE_<PATH>_H_ guards", &CheckIncludeGuard},
     {"include-hygiene", "repo-root-relative quoted includes; never include .cc",
      &CheckIncludeHygiene},
