@@ -55,6 +55,25 @@ std::optional<std::uint64_t> SetAssocCache::Lookup(std::uint64_t tag) {
   return e->payload;
 }
 
+std::optional<std::uint64_t> SetAssocCache::Lookup(std::uint64_t tag, HitHandle* handle) {
+  Entry* e = FindEntry(tag);
+  if (e == nullptr) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  e->lru = ++tick_;
+  *handle = static_cast<HitHandle>(e - entries_.data());
+  return e->payload;
+}
+
+std::uint64_t SetAssocCache::RepeatHit(HitHandle handle) {
+  Entry& e = entries_[handle];
+  ++hits_;
+  e.lru = ++tick_;
+  return e.payload;
+}
+
 std::optional<std::uint64_t> SetAssocCache::Peek(std::uint64_t tag) const {
   const Entry* e = FindEntry(tag);
   if (e == nullptr) {
@@ -64,6 +83,7 @@ std::optional<std::uint64_t> SetAssocCache::Peek(std::uint64_t tag) const {
 }
 
 std::optional<std::uint64_t> SetAssocCache::Insert(std::uint64_t tag, std::uint64_t payload) {
+  ++mut_version_;
   if (Entry* existing = FindEntry(tag); existing != nullptr) {
     existing->payload = payload;
     existing->lru = ++tick_;
@@ -100,6 +120,7 @@ bool SetAssocCache::Invalidate(std::uint64_t tag) {
   }
   e->valid = false;
   ++invalidations_;
+  ++mut_version_;
   return true;
 }
 
@@ -125,6 +146,9 @@ std::uint64_t SetAssocCache::InvalidateRange(std::uint64_t first, std::uint64_t 
       ++invalidations_;
     }
   }
+  if (removed > 0) {
+    ++mut_version_;
+  }
   return removed;
 }
 
@@ -137,10 +161,14 @@ std::uint64_t SetAssocCache::InvalidateByPayload(std::uint64_t payload) {
       ++invalidations_;
     }
   }
+  if (removed > 0) {
+    ++mut_version_;
+  }
   return removed;
 }
 
 void SetAssocCache::InvalidateAll() {
+  ++mut_version_;
   for (Entry& e : entries_) {
     if (e.valid) {
       e.valid = false;

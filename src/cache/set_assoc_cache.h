@@ -23,8 +23,28 @@ class SetAssocCache {
   // of N entries is (num_sets=1, ways=N).
   SetAssocCache(std::uint32_t num_sets, std::uint32_t ways);
 
+  // Handle to the entry a Lookup hit. Stays valid — and RepeatHit stays
+  // equivalent to a fresh Lookup of the same tag — until mutation_version()
+  // changes.
+  using HitHandle = std::uint32_t;
+
   // Looks up `tag`; on hit, refreshes LRU order and returns the payload.
   std::optional<std::uint64_t> Lookup(std::uint64_t tag);
+
+  // As above; on hit also writes a handle for RepeatHit.
+  std::optional<std::uint64_t> Lookup(std::uint64_t tag, HitHandle* handle);
+
+  // Replays the exact effects of re-looking-up a previously hit entry
+  // (hit counter + LRU refresh) without the tag search. Caller must have
+  // checked mutation_version() is unchanged since the handle was obtained.
+  std::uint64_t RepeatHit(HitHandle handle);
+
+  // Replays the effects of a Lookup miss (miss counter only).
+  void NoteRepeatMiss() { ++misses_; }
+
+  // Incremented by every call that may change entry contents (Insert and all
+  // invalidations that remove at least one entry). Lookup never bumps it.
+  std::uint64_t mutation_version() const { return mut_version_; }
 
   // Looks up without disturbing LRU order or counters (for tests/debug).
   std::optional<std::uint64_t> Peek(std::uint64_t tag) const;
@@ -73,6 +93,7 @@ class SetAssocCache {
   std::uint32_t num_sets_;
   std::uint32_t ways_;
   std::uint64_t tick_ = 0;
+  std::uint64_t mut_version_ = 0;
   std::vector<Entry> entries_;  // num_sets_ * ways_, set-major
 
   std::uint64_t hits_ = 0;

@@ -34,6 +34,10 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     hosts_.push_back(std::make_unique<Host>(host_config, &ev_));
   }
   WireHosts();
+  // Pre-size the event arena for the expected steady-state event population
+  // (per-core NAPI batches, per-packet DMA commits, transport timers), so
+  // warm-up does not grow it chunk by chunk.
+  ev_.Reserve(static_cast<std::size_t>(config_.num_hosts) * config_.cores * 64);
 }
 
 void Cluster::BuildFabric() {
@@ -169,10 +173,23 @@ WindowResult Cluster::ComputeResult(std::uint32_t host_id,
   return out;
 }
 
+void Cluster::UpdateEvqStats() {
+  const auto set = [this](const char* name, std::uint64_t v) {
+    Counter* c = evq_stats_.Get(name);
+    c->Reset();
+    c->Add(v);
+  };
+  set("evq.allocations", ev_.allocations());
+  set("evq.arena_capacity", static_cast<std::uint64_t>(ev_.arena_capacity()));
+  set("evq.executed", ev_.executed());
+  set("evq.pending", static_cast<std::uint64_t>(ev_.pending()));
+}
+
 WindowResult Cluster::MeasureWindow(std::uint32_t host_id, TimeNs duration) {
   const auto before = hosts_[host_id]->stats().Snapshot();
   const TimeNs busy_before = hosts_[host_id]->total_cpu_busy_ns();
   ev_.RunUntil(ev_.now() + duration);
+  UpdateEvqStats();
   WindowResult result = ComputeResult(host_id, before, duration);
   const TimeNs busy = hosts_[host_id]->total_cpu_busy_ns() - busy_before;
   result.cpu_utilization = static_cast<double>(busy) /
@@ -190,6 +207,7 @@ std::vector<WindowResult> Cluster::MeasureWindowAll(TimeNs duration) {
     busy_before.push_back(host->total_cpu_busy_ns());
   }
   ev_.RunUntil(ev_.now() + duration);
+  UpdateEvqStats();
   std::vector<WindowResult> results;
   results.reserve(hosts_.size());
   for (std::uint32_t id = 0; id < hosts_.size(); ++id) {

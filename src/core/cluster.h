@@ -127,6 +127,18 @@ class Cluster {
   // the counters are per-switch: "switch<i>.*").
   StatsRegistry& switch_stats() { return *switch_stats_; }
 
+  // Scheduler health counters, refreshed by MeasureWindow/MeasureWindowAll:
+  //   evq.allocations    — arena chunk + boxed-closure allocations to date;
+  //                        constant across steady-state windows (the arena
+  //                        recycles records, so a warmed-up run stops
+  //                        allocating — cluster_test asserts this)
+  //   evq.arena_capacity — event records currently owned by the arena
+  //   evq.executed       — events executed over the queue's lifetime
+  //   evq.pending        — events pending at the end of the last window
+  // A dedicated registry (not switch_stats_ / host stats) so scheduler
+  // internals never leak into golden CSV or time-series counter unions.
+  StatsRegistry& evq_stats() { return evq_stats_; }
+
   // Observability: hands every host a per-host-scoped view of `tracer`
   // (trace pid == host id). Pass nullptr to detach.
   void SetTracer(Tracer* tracer) {
@@ -141,6 +153,7 @@ class Cluster {
   }
   void BuildFabric();
   void WireHosts();
+  void UpdateEvqStats();
   WindowResult ComputeResult(std::uint32_t host_id,
                              const std::map<std::string, std::uint64_t>& before,
                              TimeNs window_ns) const;
@@ -150,6 +163,7 @@ class Cluster {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<NetworkSwitch>> switches_;
   std::unique_ptr<StatsRegistry> switch_stats_;
+  StatsRegistry evq_stats_;
   std::vector<std::unique_ptr<SafetyOracle>> oracles_;
   std::vector<std::unique_ptr<InvariantRegistry>> invariant_registries_;
   std::uint64_t next_flow_id_ = 1;

@@ -190,6 +190,8 @@ void Host::RunCore(std::uint32_t core_idx) {
     for (const DmaMapping& m : mappings) {
       frames_.FreeFrame(m.phys);
     }
+    mappings.clear();
+    mapvec_pool_.push_back(std::move(mappings));
   }
   bool replenish = false;
   while (!core.desc_completions.empty()) {
@@ -211,6 +213,8 @@ void Host::RunCore(std::uint32_t core_idx) {
         frames_.FreeFrame(m.phys);
       }
     }
+    mappings.clear();
+    mapvec_pool_.push_back(std::move(mappings));
     replenish = true;
   }
   if (replenish) {
@@ -218,7 +222,7 @@ void Host::RunCore(std::uint32_t core_idx) {
   }
 
   // NAPI: process up to a budget of received packets.
-  std::vector<Packet> batch;
+  std::vector<Packet> batch = TakeBatchVec();
   std::uint32_t budget = config_.cpu.napi_budget;
   while (!core.rx_queue.empty() && budget-- > 0) {
     const Packet& p = core.rx_queue.front();
@@ -235,12 +239,14 @@ void Host::RunCore(std::uint32_t core_idx) {
   }
   core.busy_until = t + cpu;
   cpu_busy_ns_ += cpu;
-  ev_->ScheduleAt(core.busy_until, [this, core_idx, batch = std::move(batch)] {
+  ev_->ScheduleAt(core.busy_until, [this, core_idx, batch = std::move(batch)]() mutable {
     Core& c = cores_[core_idx];
     c.running = false;
     for (const Packet& p : batch) {
       RouteToTransport(p);
     }
+    batch.clear();
+    batch_pool_.push_back(std::move(batch));
     if (!c.rx_queue.empty() || !c.desc_completions.empty() || !c.tx_unmaps.empty()) {
       ScheduleCore(core_idx);
     }
@@ -286,7 +292,7 @@ void Host::TransmitFromCore(const Packet& packet, std::uint32_t core_idx) {
   const std::uint64_t bytes = packet.wire_size();
   const std::uint32_t pages =
       static_cast<std::uint32_t>((bytes + kPageSize - 1) / kPageSize);
-  std::vector<DmaMapping> mappings;
+  std::vector<DmaMapping> mappings = TakeMapVec();
   TimeNs cpu = config_.cpu.tx_packet_ns;
   mappings.reserve(pages);
   for (std::uint32_t i = 0; i < pages; ++i) {
@@ -372,6 +378,24 @@ void Host::ChargeCpu(std::uint32_t core_idx, TimeNs ns) {
   const TimeNs base = core.busy_until > ev_->now() ? core.busy_until : ev_->now();
   core.busy_until = base + ns;
   cpu_busy_ns_ += ns;
+}
+
+std::vector<Packet> Host::TakeBatchVec() {
+  if (batch_pool_.empty()) {
+    return {};
+  }
+  std::vector<Packet> v = std::move(batch_pool_.back());
+  batch_pool_.pop_back();
+  return v;
+}
+
+std::vector<DmaMapping> Host::TakeMapVec() {
+  if (mapvec_pool_.empty()) {
+    return {};
+  }
+  std::vector<DmaMapping> v = std::move(mapvec_pool_.back());
+  mapvec_pool_.pop_back();
+  return v;
 }
 
 Counter* Host::LazyCounter(Counter** slot, const char* name) {

@@ -166,6 +166,11 @@ class Host {
   void SetupRings();
   void FinishRecovery(std::vector<DmaMapping> device_mappings);
   Counter* LazyCounter(Counter** slot, const char* name);
+  // Vector recycling: NAPI batches and per-packet Tx mapping vectors cycle
+  // host -> NIC -> host, so their capacity is pooled instead of reallocated
+  // every packet (keeps the steady-state datapath allocation-free).
+  std::vector<Packet> TakeBatchVec();
+  std::vector<DmaMapping> TakeMapVec();
   void ScheduleCore(std::uint32_t core_idx);
   void RunCore(std::uint32_t core_idx);
   void ReplenishRing(std::uint32_t core_idx, TimeNs at, TimeNs* cpu_ns);
@@ -195,6 +200,10 @@ class Host {
   std::unordered_map<std::uint64_t, std::uint32_t> flow_core_;
   // TSQ state: bytes each flow currently holds in the NIC Tx path.
   std::unordered_map<std::uint64_t, std::uint64_t> flow_nic_bytes_;
+
+  // Capacity pools backing TakeBatchVec()/TakeMapVec().
+  std::vector<std::vector<Packet>> batch_pool_;
+  std::vector<std::vector<DmaMapping>> mapvec_pool_;
 
   WireOutFn wire_out_;
   TimeNs cpu_busy_ns_ = 0;

@@ -49,7 +49,34 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
   TranslationResult out;
   const std::uint64_t page = PageNumber(iova);
 
-  if (auto hit = iotlb_.Lookup(page); hit.has_value()) {
+  // Repeat-hit fast path: consecutive TLPs of one DMA fall in the same 4 KB
+  // page, so the hit below would find the same entry and the safety walk
+  // would return the same answer. Replay the memoized outcome — with the
+  // exact counter and LRU effects of the probes it skips — as long as
+  // neither the IOTLB nor the page table has mutated since the memo formed.
+  if (page == repeat_.page &&
+      iotlb_.mutation_version() == repeat_.iotlb_version &&
+      (!config_.track_safety ||
+       page_table_->mutation_version() == repeat_.pt_version)) {
+    out.iotlb_hit = true;
+    out.phys = repeat_.base + (iova & repeat_.offset_mask);
+    out.done = start;
+    if (repeat_.huge) {
+      iotlb_.NoteRepeatMiss();  // the 4 KB-granularity probe misses again
+    }
+    iotlb_.RepeatHit(repeat_.entry);
+    if (repeat_.stale) {
+      out.stale_use = true;
+      out.stale_iotlb = true;
+      stale_iotlb_use_->Add();
+      trace_.Instant("iommu", "stale_iotlb_use", start);
+    }
+    NotifyOracle(iova, start, out);
+    return out;
+  }
+
+  SetAssocCache::HitHandle handle = 0;
+  if (auto hit = iotlb_.Lookup(page, &handle); hit.has_value()) {
     out.iotlb_hit = true;
     out.phys = *hit + (iova & (kPageSize - 1));
     out.done = start;
@@ -61,11 +88,14 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
       stale_iotlb_use_->Add();
       trace_.Instant("iommu", "stale_iotlb_use", start);
     }
+    repeat_ = RepeatMemo{page,  handle, *hit, kPageSize - 1, false, out.stale_iotlb,
+                         iotlb_.mutation_version(), page_table_->mutation_version()};
     NotifyOracle(iova, start, out);
     return out;
   }
   // 2 MB-granularity IOTLB entries (hugepage mappings).
-  if (auto hit = iotlb_.Lookup(kHugeIotlbTagBit | LevelTag(iova, 3)); hit.has_value()) {
+  if (auto hit = iotlb_.Lookup(kHugeIotlbTagBit | LevelTag(iova, 3), &handle);
+      hit.has_value()) {
     out.iotlb_hit = true;
     out.phys = *hit + (iova & (LevelEntrySpan(3) - 1));
     out.done = start;
@@ -75,6 +105,8 @@ TranslationResult Iommu::Translate(Iova iova, TimeNs start) {
       stale_iotlb_use_->Add();
       trace_.Instant("iommu", "stale_iotlb_use", start);
     }
+    repeat_ = RepeatMemo{page,  handle, *hit, LevelEntrySpan(3) - 1, true, out.stale_iotlb,
+                         iotlb_.mutation_version(), page_table_->mutation_version()};
     NotifyOracle(iova, start, out);
     return out;
   }
@@ -203,10 +235,10 @@ TranslationResult Iommu::WalkAndFill(Iova iova, TimeNs start) {
     }
   }
   TimeNs t = walker_free_[walker] > start ? walker_free_[walker] : start;
-  for (int i = 0; i < reads - 1; ++i) {
-    // Non-leaf table reads: cold, from DRAM.
-    t = memory_->Read(t + config_.walk_step_overhead_ns, config_.pte_read_bytes);
-  }
+  // Non-leaf table reads: cold, from DRAM — one grouped memory-model call
+  // for the whole dependent sequence instead of a call per PTE.
+  t = memory_->ReadWalkSequence(t, reads - 1, config_.walk_step_overhead_ns,
+                                config_.pte_read_bytes);
   // Leaf read: served from the cache hierarchy (recently written PTE).
   t += config_.leaf_pte_read_ns;
   if (fault_injector_ != nullptr) {

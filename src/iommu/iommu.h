@@ -133,7 +133,10 @@ class Iommu {
   // Host crash-recovery: the rebooted driver builds a fresh IO page table;
   // the IOMMU hardware (and whatever stale state its caches hold — exactly
   // the hazard recovery must invalidate) persists across the reboot.
-  void SetPageTable(IoPageTable* page_table) { page_table_ = page_table; }
+  void SetPageTable(IoPageTable* page_table) {
+    page_table_ = page_table;
+    repeat_.page = kNoMemoPage;
+  }
   // Observability: page-walk spans, invalidation spans, stale-use instants.
   void SetTrace(const TraceScope& trace) { trace_ = trace; }
 
@@ -141,6 +144,22 @@ class Iommu {
   struct PendingWalk {
     TimeNs done = 0;
     PhysAddr phys = 0;
+  };
+
+  // Memo of the last IOTLB hit. Consecutive TLPs of one DMA translate the
+  // same 4 KB page, so Translate can replay the hit (identical counter, LRU
+  // and safety effects) without the tag search or the safety walk — valid
+  // only while neither the IOTLB nor the page table has mutated.
+  static constexpr std::uint64_t kNoMemoPage = ~0ULL;
+  struct RepeatMemo {
+    std::uint64_t page = kNoMemoPage;      // 4 KB page number of the hit
+    SetAssocCache::HitHandle entry = 0;    // hit IOTLB entry
+    PhysAddr base = 0;                     // entry payload (region phys base)
+    std::uint64_t offset_mask = 0;         // iova bits added to `base`
+    bool huge = false;                     // hit was a 2 MB-granularity entry
+    bool stale = false;                    // memoized !IsMapped() outcome
+    std::uint64_t iotlb_version = 0;
+    std::uint64_t pt_version = 0;
   };
 
   TranslationResult WalkAndFill(Iova iova, TimeNs start);
@@ -162,6 +181,7 @@ class Iommu {
 
   std::vector<TimeNs> walker_free_;
   std::unordered_map<std::uint64_t, PendingWalk> pending_walks_;  // page -> walk
+  RepeatMemo repeat_;
 
   Counter* translations_;
   Counter* iotlb_miss_;

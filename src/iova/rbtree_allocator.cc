@@ -1,5 +1,6 @@
 #include "src/iova/rbtree_allocator.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace fsio {
@@ -15,12 +16,23 @@ struct RbTreeAllocator::Node {
   Node* parent = nullptr;
   Node* left = nullptr;
   Node* right = nullptr;
+  // In-order neighbors (nullptr at the ends). Rotations never reorder nodes,
+  // so these only change when a neighbor is inserted or removed.
+  Node* prev = nullptr;
+  Node* next = nullptr;
+  // Augmentation: free PFNs in the gap directly below this range, i.e.
+  // lo - (prev->hi + 1) (or lo - 0 with no prev), and the maximum such gap
+  // anywhere in this node's subtree. The gap above the topmost range is not
+  // represented here; Alloc checks it explicitly first.
+  std::uint64_t below_gap = 0;
+  std::uint64_t max_gap = 0;
 };
 
 RbTreeAllocator::RbTreeAllocator(std::uint64_t limit_pfn) : limit_pfn_(limit_pfn) {
   nil_ = new Node();
   nil_->color = kBlack;
   nil_->parent = nil_->left = nil_->right = nil_;
+  nil_->max_gap = 0;  // permanent: lets RecomputeMaxGap treat children uniformly
   root_ = nil_;
 }
 
@@ -58,16 +70,18 @@ RbTreeAllocator::Node* RbTreeAllocator::Maximum(Node* x) const {
   return x;
 }
 
-RbTreeAllocator::Node* RbTreeAllocator::Predecessor(Node* x) const {
-  if (x->left != nil_) {
-    return Maximum(x->left);
+void RbTreeAllocator::RecomputeMaxGap(Node* x) {
+  x->max_gap = std::max({x->below_gap, x->left->max_gap, x->right->max_gap});
+}
+
+// Recomputes max_gap from `x` up to the root (after a below_gap change or a
+// structural change whose deepest affected node is `x`). Safe to call with
+// nil_: its parent always points at a real node or itself.
+void RbTreeAllocator::PullUpMaxGap(Node* x) {
+  while (x != nil_) {
+    RecomputeMaxGap(x);
+    x = x->parent;
   }
-  Node* y = x->parent;
-  while (y != nil_ && x == y->left) {
-    x = y;
-    y = y->parent;
-  }
-  return y;
 }
 
 void RbTreeAllocator::LeftRotate(Node* x) {
@@ -86,6 +100,10 @@ void RbTreeAllocator::LeftRotate(Node* x) {
   }
   y->left = x;
   x->parent = y;
+  // A rotation moves subtrees but keeps the in-order sequence, so only the
+  // two pivot nodes' aggregates change (x is y's child after the rotation).
+  RecomputeMaxGap(x);
+  RecomputeMaxGap(y);
 }
 
 void RbTreeAllocator::RightRotate(Node* x) {
@@ -104,6 +122,8 @@ void RbTreeAllocator::RightRotate(Node* x) {
   }
   y->right = x;
   x->parent = y;
+  RecomputeMaxGap(x);
+  RecomputeMaxGap(y);
 }
 
 void RbTreeAllocator::InsertNode(Node* z) {
@@ -116,15 +136,35 @@ void RbTreeAllocator::InsertNode(Node* z) {
   z->parent = y;
   if (y == nil_) {
     root_ = z;
+    z->prev = nullptr;
+    z->next = nullptr;
   } else if (z->lo < y->lo) {
     y->left = z;
+    z->prev = y->prev;
+    z->next = y;
   } else {
     y->right = z;
+    z->prev = y;
+    z->next = y->next;
+  }
+  if (z->prev != nullptr) {
+    z->prev->next = z;
+  }
+  if (z->next != nullptr) {
+    z->next->prev = z;
   }
   z->left = nil_;
   z->right = nil_;
   z->color = kRed;
+  // Gap bookkeeping: z splits its successor's old below-gap in two.
+  z->below_gap = z->lo - (z->prev != nullptr ? z->prev->hi + 1 : 0);
+  z->max_gap = z->below_gap;
+  PullUpMaxGap(z->parent);
   InsertFixup(z);
+  if (z->next != nullptr) {
+    z->next->below_gap = z->next->lo - (z->hi + 1);
+    PullUpMaxGap(z->next);
+  }
 }
 
 void RbTreeAllocator::InsertFixup(Node* z) {
@@ -178,33 +218,57 @@ void RbTreeAllocator::Transplant(Node* u, Node* v) {
 }
 
 void RbTreeAllocator::DeleteNode(Node* z) {
+  // Neighbor bookkeeping first: removing z merges the gaps on its two sides
+  // into its successor's below-gap. Aggregates are pulled up after the tree
+  // is restructured (the new below_gap value is already in place).
+  Node* const succ = z->next;
+  if (z->prev != nullptr) {
+    z->prev->next = z->next;
+  }
+  if (z->next != nullptr) {
+    z->next->prev = z->prev;
+    z->next->below_gap = z->next->lo - (z->prev != nullptr ? z->prev->hi + 1 : 0);
+  }
+
   Node* y = z;
   Node* x = nil_;
   Color y_original = y->color;
   if (z->left == nil_) {
     x = z->right;
     Transplant(z, z->right);
+    PullUpMaxGap(x->parent);
   } else if (z->right == nil_) {
     x = z->left;
     Transplant(z, z->left);
+    PullUpMaxGap(x->parent);
   } else {
     y = Minimum(z->right);
     y_original = y->color;
     x = y->right;
     if (y->parent == z) {
       x->parent = y;
+      Transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->color = z->color;
+      PullUpMaxGap(y);
     } else {
+      Node* pull_from = y->parent;  // deepest node whose subtree changed
       Transplant(y, y->right);
       y->right = z->right;
       y->right->parent = y;
+      Transplant(z, y);
+      y->left = z->left;
+      y->left->parent = y;
+      y->color = z->color;
+      PullUpMaxGap(pull_from);  // runs through y on the way to the root
     }
-    Transplant(z, y);
-    y->left = z->left;
-    y->left->parent = y;
-    y->color = z->color;
   }
   if (y_original == kBlack) {
     DeleteFixup(x);
+  }
+  if (succ != nullptr) {
+    PullUpMaxGap(succ);
   }
   delete z;
 }
@@ -275,6 +339,31 @@ RbTreeAllocator::Node* RbTreeAllocator::FindByStart(std::uint64_t start_pfn) con
   return nullptr;
 }
 
+// Visits the gaps below the ranges in subtree `t` in strictly descending
+// address order, skipping (whole subtrees of) gaps too small to fit, and
+// returns the first placement the alignment predicate accepts. Identical
+// placement to the pre-augmentation linear walk: gaps smaller than `pages`
+// could never pass the size check there either.
+std::uint64_t RbTreeAllocator::SearchGapsDown(Node* t, std::uint64_t pages,
+                                              std::uint64_t align_mask) const {
+  while (t != nil_ && t->max_gap >= pages) {
+    const std::uint64_t from_right = SearchGapsDown(t->right, pages, align_mask);
+    if (from_right != kInvalidPfn) {
+      return from_right;
+    }
+    if (t->below_gap >= pages) {
+      const std::uint64_t gap_top = t->lo;  // exclusive
+      const std::uint64_t gap_lo = t->lo - t->below_gap;
+      const std::uint64_t start = (gap_top - pages) & ~align_mask;
+      if (start >= gap_lo && start + pages <= gap_top) {
+        return start;
+      }
+    }
+    t = t->left;  // tail call: continue with lower addresses
+  }
+  return kInvalidPfn;
+}
+
 std::uint64_t RbTreeAllocator::Alloc(std::uint64_t pages, std::uint64_t align_pages) {
   if (pages == 0 || pages > limit_pfn_) {
     return kInvalidPfn;
@@ -283,33 +372,29 @@ std::uint64_t RbTreeAllocator::Alloc(std::uint64_t pages, std::uint64_t align_pa
     align_pages = 1;
   }
   const std::uint64_t align_mask = align_pages - 1;
-  // Walk allocated ranges from the top of the space downward, trying to place
-  // the new range at the top of each free gap (Linux-style top-down search).
-  std::uint64_t gap_top = limit_pfn_;  // exclusive upper bound of current gap
-  Node* node = root_ == nil_ ? nil_ : Maximum(root_);
-  while (true) {
-    const std::uint64_t gap_lo = node == nil_ ? 0 : node->hi + 1;
-    if (gap_top >= gap_lo && gap_top - gap_lo >= pages) {
-      std::uint64_t start = (gap_top - pages) & ~align_mask;
-      if (start >= gap_lo && start + pages <= gap_top) {
-        auto* range = new Node();
-        range->lo = start;
-        range->hi = start + pages - 1;
-        InsertNode(range);
-        ++size_;
-        allocated_pages_ += pages;
-        return start;
-      }
-    }
-    if (node == nil_) {
-      return kInvalidPfn;
-    }
-    gap_top = node->lo;
-    node = Predecessor(node);
-    if (node == nullptr) {
-      node = nil_;
+  // Topmost gap first — between the highest allocated range (or 0) and the
+  // address-space limit — then the per-node gaps in descending order.
+  std::uint64_t start = kInvalidPfn;
+  const std::uint64_t top_lo = root_ == nil_ ? 0 : Maximum(root_)->hi + 1;
+  if (limit_pfn_ >= top_lo && limit_pfn_ - top_lo >= pages) {
+    const std::uint64_t candidate = (limit_pfn_ - pages) & ~align_mask;
+    if (candidate >= top_lo && candidate + pages <= limit_pfn_) {
+      start = candidate;
     }
   }
+  if (start == kInvalidPfn) {
+    start = SearchGapsDown(root_, pages, align_mask);
+    if (start == kInvalidPfn) {
+      return kInvalidPfn;
+    }
+  }
+  auto* range = new Node();
+  range->lo = start;
+  range->hi = start + pages - 1;
+  InsertNode(range);
+  ++size_;
+  allocated_pages_ += pages;
+  return start;
 }
 
 bool RbTreeAllocator::Free(std::uint64_t start_pfn) {
@@ -348,6 +433,23 @@ bool RbTreeAllocator::CheckSubtree(const Node* node, std::uint64_t* black_height
   }
   if (node->color == kRed &&
       (node->left->color == kRed || node->right->color == kRed)) {
+    return false;
+  }
+  // Augmentation invariants: below_gap matches the in-order predecessor,
+  // neighbor links agree, and max_gap aggregates the subtree.
+  const std::uint64_t expect_gap =
+      node->lo - (node->prev != nullptr ? node->prev->hi + 1 : 0);
+  if (node->below_gap != expect_gap) {
+    return false;
+  }
+  if (node->prev != nullptr && node->prev->next != node) {
+    return false;
+  }
+  if (node->next != nullptr && node->next->prev != node) {
+    return false;
+  }
+  if (node->max_gap != std::max({node->below_gap, node->left->max_gap,
+                                 node->right->max_gap})) {
     return false;
   }
   std::uint64_t left_bh = 0;

@@ -45,6 +45,45 @@ TimeNs MemorySystem::Access(TimeNs start, std::uint64_t bytes) {
 
 TimeNs MemorySystem::Read(TimeNs start, std::uint64_t bytes) { return Access(start, bytes); }
 
+TimeNs MemorySystem::ReadWalkSequence(TimeNs start, int reads, TimeNs step_overhead_ns,
+                                      std::uint64_t bytes_per_read) {
+  if (reads <= 0) {
+    return start;
+  }
+  // Every read in the sequence moves the same byte count, so the occupancy
+  // computation hoists out of the loop; the bank choice and queueing charge
+  // stay per-read, bit-for-bit what the old per-PTE Read() calls produced.
+  std::uint64_t bytes = bytes_per_read;
+  if (bytes < kCachelineSize) {
+    bytes = kCachelineSize;
+  }
+  const double per_bank_bw = bytes_per_ns_ / static_cast<double>(bank_free_.size());
+  auto occupancy = static_cast<TimeNs>(static_cast<double>(bytes) / per_bank_bw);
+  if (occupancy == 0) {
+    occupancy = 1;
+  }
+  total_bytes_ += bytes * static_cast<std::uint64_t>(reads);
+  accesses_->Add(static_cast<std::uint64_t>(reads));
+  TimeNs t = start;
+  for (int i = 0; i < reads; ++i) {
+    const TimeNs issue = t + step_overhead_ns;
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < bank_free_.size(); ++b) {
+      if (bank_free_[b] < bank_free_[best]) {
+        best = b;
+      }
+    }
+    TimeNs& bank = bank_free_[best];
+    const TimeNs grant = bank > issue ? bank : issue;
+    if (grant > issue) {
+      queued_ns_->Add(grant - issue);
+    }
+    bank = grant + occupancy;
+    t = grant + config_.access_latency_ns;
+  }
+  return t;
+}
+
 TimeNs MemorySystem::Write(TimeNs start, std::uint64_t bytes) { return Access(start, bytes); }
 
 void MemorySystem::Post(TimeNs start, std::uint64_t bytes) { Access(start, bytes); }

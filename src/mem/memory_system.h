@@ -34,6 +34,15 @@ class MemorySystem {
   // Issues a write of `bytes` at time `start`; returns the completion time.
   TimeNs Write(TimeNs start, std::uint64_t bytes);
 
+  // Page-walk batch: `reads` dependent reads of `bytes_per_read` each, the
+  // i-th issued `step_overhead_ns` after the (i-1)-th completes. One grouped
+  // call replaces the walker's per-PTE Read() loop; timing, byte accounting
+  // and the mem.accesses / mem.queued_ns counters are identical to issuing
+  // the reads individually. Returns the completion time of the last read
+  // (== `start` when `reads` is zero).
+  TimeNs ReadWalkSequence(TimeNs start, int reads, TimeNs step_overhead_ns,
+                          std::uint64_t bytes_per_read);
+
   // Posted write: consumes bank bandwidth (affecting later accesses' queueing)
   // but the caller does not wait for it. Used for pipelined payload commits.
   void Post(TimeNs start, std::uint64_t bytes);

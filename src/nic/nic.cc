@@ -51,6 +51,7 @@ Nic::QuiesceResult Nic::Quiesce(TimeNs now) {
     ring.ring_pages = 0;
     ring.fetch_cursor = 0;
     ring.packets_since_fetch = 0;
+    ring.avail_pages = 0;
   }
   for (TxQueue& q : tx_queues_) {
     for (const TxWork& w : q.work) {
@@ -87,6 +88,7 @@ void Nic::PostRxDescriptor(std::uint32_t core, std::vector<DmaMapping> mappings)
   auto desc = std::make_shared<RxDesc>();
   desc->mappings = std::move(mappings);
   desc->posted_at = ev_->now();
+  ring.avail_pages += desc->mappings.size();
   ring.descs.push_back(std::move(desc));
   if (!rx_queue_.empty() && !rx_pump_scheduled_) {
     // Packets may have been waiting for descriptor space.
@@ -110,14 +112,10 @@ std::uint32_t Nic::PostedDescriptors(std::uint32_t core) const {
 }
 
 std::uint64_t Nic::AvailableRxPages(std::uint32_t core) const {
-  const RxRing& ring = rings_[core % rings_.size()];
-  std::uint64_t pages = 0;
-  for (const auto& desc : ring.descs) {
-    if (!desc->retired) {
-      pages += desc->mappings.size() - desc->next_page;
-    }
-  }
-  return pages;
+  // Maintained incrementally: post adds a descriptor's pages, PumpRx
+  // subtracts each page it consumes, quiesce zeroes the ring. Retirement
+  // never adjusts it — only exhausted (zero-page) descriptors retire.
+  return rings_[core % rings_.size()].avail_pages;
 }
 
 void Nic::OnWireArrival(const Packet& packet) {
@@ -151,17 +149,26 @@ void Nic::MaybeFetchDescriptors(RxRing* ring, TimeNs at) {
   const Iova iova =
       ring->ring_iova + (ring->fetch_cursor % (ring->ring_pages * kPageSize / 512)) * 512;
   ++ring->fetch_cursor;
-  rc_->DmaRead(at, {DmaSegment{iova, 512}});
+  fetch_scratch_.clear();
+  fetch_scratch_.push_back(DmaSegment{iova, 512});
+  rc_->DmaRead(at, fetch_scratch_);
 }
 
-void Nic::RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& desc) {
+void Nic::RetireIfComplete(std::uint32_t core, RxDesc* desc) {
   if (!desc->retired && desc->exhausted() && desc->outstanding_packets == 0) {
     desc->retired = true;
     // Lifecycle span: post → all pages consumed and their DMAs committed.
     trace_.Complete("nic", "rx_desc", desc->posted_at, ev_->now(), "pages",
                     static_cast<double>(desc->mappings.size()));
     RxRing& ring = rings_[core % rings_.size()];
+    // The deque slots hold the only owning references; popping the retired
+    // run below may free `desc` itself, whose mappings the completion
+    // dispatch still reads. Pin it for the rest of this call.
+    std::shared_ptr<RxDesc> keep;
     while (!ring.descs.empty() && ring.descs.front()->retired) {
+      if (ring.descs.front().get() == desc) {
+        keep = std::move(ring.descs.front());
+      }
       ring.descs.pop_front();
     }
     if (desc_complete_) {
@@ -241,24 +248,35 @@ void Nic::PumpRx() {
     rx_queue_.pop_front();
 
     // Consume pages from the head descriptor(s) and build DMA segments.
-    std::vector<DmaSegment> segments;
-    std::vector<std::shared_ptr<RxDesc>> touched;
+    // Scratch + a small pointer array: no per-packet allocation. (A packet
+    // touches at most one descriptor per page it needs; jumbo configs beyond
+    // the inline array take the heap fallback.)
+    seg_scratch_.clear();
+    RxDesc* touched_inline[16];
+    std::vector<RxDesc*> touched_heap;
+    RxDesc** touched = touched_inline;
+    if (pages_needed > 16) {
+      touched_heap.resize(pages_needed);
+      touched = touched_heap.data();
+    }
+    std::uint32_t touched_n = 0;
     std::uint64_t remaining = dma_bytes;
     for (auto& desc : ring.descs) {
       if (desc->retired) {
         continue;
       }
-      const std::size_t before = segments.size();
+      const std::size_t before = seg_scratch_.size();
       while (remaining > 0 && !desc->exhausted()) {
         const DmaMapping& m = desc->mappings[desc->next_page++];
+        --ring.avail_pages;
         const std::uint32_t len =
             remaining > kPageSize ? static_cast<std::uint32_t>(kPageSize)
                                   : static_cast<std::uint32_t>(remaining);
-        segments.push_back(DmaSegment{m.iova, len});
+        seg_scratch_.push_back(DmaSegment{m.iova, len});
         remaining -= len;
       }
-      if (segments.size() > before) {
-        touched.push_back(desc);
+      if (seg_scratch_.size() > before) {
+        touched[touched_n++] = desc.get();
         ++desc->outstanding_packets;
       }
       if (remaining == 0) {
@@ -267,7 +285,7 @@ void Nic::PumpRx() {
     }
 
     MaybeFetchDescriptors(&ring, now);
-    const DmaTiming timing = rc_->DmaWrite(now, segments);
+    const DmaTiming timing = rc_->DmaWrite(now, seg_scratch_);
     rx_engine_free_ = timing.link_done;
     if (timing.commit_done > last_commit_done_) {
       last_commit_done_ = timing.commit_done;
@@ -282,23 +300,48 @@ void Nic::PumpRx() {
       trace_.Counter("nic", "rx_buffer_used", now, static_cast<double>(rx_buffer_used_));
     }
 
-    ev_->ScheduleAt(timing.commit_done,
-                    [this, packet, core, touched, epoch = quiesce_epoch_] {
-      if (epoch != quiesce_epoch_) {
-        // The ring was torn down while this DMA drained: the bytes landed in
-        // still-owned frames (teardown waits for drain_done), but no stale
-        // delivery or CQE may reach the rebooted driver.
-        return;
+    if (touched_n <= kInlineTouchedDescs) {
+      // Hot path: the whole commit context fits in the event record.
+      TouchedDescs set;
+      for (std::uint32_t i = 0; i < touched_n; ++i) {
+        set.d[i] = touched[i];
       }
-      rx_buffer_used_ -= packet.wire_size();
-      if (deliver_) {
-        deliver_(packet, core);
-      }
-      for (const auto& desc : touched) {
-        --desc->outstanding_packets;
-        RetireIfComplete(core, desc);
-      }
-    });
+      set.n = static_cast<std::uint16_t>(touched_n);
+      set.core = static_cast<std::uint16_t>(core);
+      auto commit = [this, packet, set, epoch = quiesce_epoch_] {
+        if (epoch != quiesce_epoch_) {
+          // The ring was torn down while this DMA drained: the bytes landed
+          // in still-owned frames (teardown waits for drain_done), but no
+          // stale delivery or CQE may reach the rebooted driver.
+          return;
+        }
+        CommitRx(packet, set.core, set.d.data(), set.n);
+      };
+      static_assert(sizeof(commit) <= EventQueue::kInlinePayloadBytes,
+                    "Rx commit closure must stay inline in the event record");
+      ev_->ScheduleAt(timing.commit_done, std::move(commit));
+    } else {
+      std::vector<RxDesc*> set(touched, touched + touched_n);
+      ev_->ScheduleAt(timing.commit_done,
+                      [this, packet, core, set = std::move(set), epoch = quiesce_epoch_] {
+        if (epoch != quiesce_epoch_) {
+          return;
+        }
+        CommitRx(packet, core, set.data(), static_cast<std::uint32_t>(set.size()));
+      });
+    }
+  }
+}
+
+void Nic::CommitRx(const Packet& packet, std::uint32_t core, RxDesc* const* descs,
+                   std::uint32_t count) {
+  rx_buffer_used_ -= packet.wire_size();
+  if (deliver_) {
+    deliver_(packet, core);
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    --descs[i]->outstanding_packets;
+    RetireIfComplete(core, descs[i]);
   }
 }
 
@@ -369,19 +412,19 @@ void Nic::PumpTx() {
     TxWork work = NextTxWork();
 
     // Fetch the payload (headers + data) from the mapped pages.
-    std::vector<DmaSegment> segments;
+    seg_scratch_.clear();
     std::uint64_t remaining = work.packet.wire_size();
     for (const DmaMapping& m : work.mappings) {
       const std::uint32_t len = remaining > kPageSize
                                     ? static_cast<std::uint32_t>(kPageSize)
                                     : static_cast<std::uint32_t>(remaining);
-      segments.push_back(DmaSegment{m.iova, len});
+      seg_scratch_.push_back(DmaSegment{m.iova, len});
       remaining -= len;
       if (remaining == 0) {
         break;
       }
     }
-    const DmaTiming timing = rc_->DmaRead(now, segments);
+    const DmaTiming timing = rc_->DmaRead(now, seg_scratch_);
     tx_engine_free_ = timing.link_done;
     if (timing.commit_done > last_commit_done_) {
       last_commit_done_ = timing.commit_done;
@@ -423,12 +466,15 @@ void Nic::PumpTx() {
       PumpTx();
     });
     const TimeNs completed = egress_free_;
-    ev_->ScheduleAt(completed, [this, work, epoch = quiesce_epoch_] {
+    // Move the TxWork (packet + mapping vector) into the event payload: the
+    // CQE context rides inline in the record, no copy, no allocation.
+    ev_->ScheduleAt(completed, [this, work = std::move(work),
+                                epoch = quiesce_epoch_]() mutable {
       if (epoch != quiesce_epoch_) {
         return;  // CQE for a ring torn down mid-flight: swallowed
       }
       if (tx_complete_) {
-        tx_complete_(work.packet, work.mappings, work.core);
+        tx_complete_(work.packet, std::move(work.mappings), work.core);
       }
     });
   }

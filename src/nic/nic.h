@@ -15,6 +15,7 @@
 #ifndef FASTSAFE_SRC_NIC_NIC_H_
 #define FASTSAFE_SRC_NIC_NIC_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -148,6 +149,10 @@ class Nic {
     std::uint64_t ring_pages = 0;
     std::uint64_t fetch_cursor = 0;
     std::uint64_t packets_since_fetch = 0;
+    // Unconsumed pages across live descriptors, maintained incrementally so
+    // AvailableRxPages() is O(1) on the per-packet path (it used to scan the
+    // descriptor deque per call).
+    std::uint64_t avail_pages = 0;
   };
   struct TxWork {
     Packet packet;
@@ -160,7 +165,23 @@ class Nic {
   bool TxQueuesEmpty() const;
   TxWork NextTxWork();
   void MaybeFetchDescriptors(RxRing* ring, TimeNs at);
-  void RetireIfComplete(std::uint32_t core, const std::shared_ptr<RxDesc>& desc);
+  void RetireIfComplete(std::uint32_t core, RxDesc* desc);
+  // Rx DMA commit: release buffer space, deliver, unref the touched
+  // descriptors. `descs` pointers stay valid until this runs — a touched
+  // descriptor holds an outstanding_packets reference, and the quiesce epoch
+  // guard keeps torn-down rings out entirely.
+  void CommitRx(const Packet& packet, std::uint32_t core, RxDesc* const* descs,
+                std::uint32_t count);
+
+  // Touched-descriptor set captured inline in the commit event. MTU-sized
+  // packets span at most ceil(mtu/4 KB) descriptors; larger (unusual-config)
+  // packets fall back to a heap-allocated capture.
+  static constexpr std::uint32_t kInlineTouchedDescs = 3;
+  struct TouchedDescs {
+    std::array<RxDesc*, kInlineTouchedDescs> d;
+    std::uint16_t n = 0;
+    std::uint16_t core = 0;
+  };
 
   Counter* LazyCounter(Counter** slot, const char* name);
 
@@ -182,6 +203,11 @@ class Nic {
 
   std::vector<RxRing> rings_;
   std::deque<Packet> rx_queue_;
+  // Per-packet scratch, reused across pump iterations so the steady-state
+  // datapath allocates nothing (separate buffers: a descriptor fetch can be
+  // issued while PumpRx is still assembling its payload segments).
+  std::vector<DmaSegment> seg_scratch_;
+  std::vector<DmaSegment> fetch_scratch_;
   std::uint64_t rx_buffer_used_ = 0;
   TimeNs rx_engine_free_ = 0;
   bool rx_pump_scheduled_ = false;

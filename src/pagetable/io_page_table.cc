@@ -23,6 +23,7 @@ void IoPageTable::ReleasePage(TablePage* page, UnmapResult* out) {
 }
 
 bool IoPageTable::Map(Iova iova, PhysAddr phys) {
+  ++mutation_version_;
   iova = PageAlignDown(iova);
   TablePage* page = root_.get();
   for (int level = 1; level < kPtLevels; ++level) {
@@ -48,6 +49,7 @@ bool IoPageTable::Map(Iova iova, PhysAddr phys) {
 }
 
 bool IoPageTable::MapHuge(Iova iova, PhysAddr phys) {
+  ++mutation_version_;
   const std::uint64_t huge_size = LevelEntrySpan(3);
   if ((iova & (huge_size - 1)) != 0 || (phys & (huge_size - 1)) != 0) {
     return false;
@@ -132,6 +134,7 @@ void IoPageTable::UnmapRange(TablePage* page, Iova page_base, Iova start, Iova e
 }
 
 UnmapResult IoPageTable::Unmap(Iova start, std::uint64_t len) {
+  ++mutation_version_;
   UnmapResult out;
   if (len == 0) {
     return out;

@@ -85,6 +85,10 @@ class IoPageTable {
   // On failure returns false and writes a description to `detail`.
   bool CheckConsistency(std::string* detail) const;
 
+  // Incremented by every mutator (Map/MapHuge/Unmap). Lets callers memoize
+  // IsMapped/Walk results for as long as the table is untouched.
+  std::uint64_t mutation_version() const { return mutation_version_; }
+
   std::uint64_t mapped_pages() const { return mapped_pages_; }
   std::uint64_t live_table_pages() const { return live_page_ids_.size(); }
   std::uint64_t total_table_pages_created() const { return next_page_id_ - 1; }
@@ -113,6 +117,7 @@ class IoPageTable {
   std::unique_ptr<TablePage> root_;
   std::uint64_t next_page_id_ = 1;
   std::uint64_t mapped_pages_ = 0;
+  std::uint64_t mutation_version_ = 0;
   std::uint64_t reclaimed_pages_ = 0;
   std::unordered_set<std::uint64_t> live_page_ids_;
 };

@@ -1,0 +1,36 @@
+#include "src/simcore/reference_event_queue.h"
+
+namespace fsio {
+
+std::uint64_t ReferenceEventQueue::RunUntil(TimeNs deadline) {
+  std::uint64_t ran = 0;
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    // Copy out before pop: the callback may schedule new events and mutate
+    // the heap underneath a reference.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb();
+    ++ran;
+    ++executed_;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return ran;
+}
+
+std::uint64_t ReferenceEventQueue::RunAll() {
+  std::uint64_t ran = 0;
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+}  // namespace fsio

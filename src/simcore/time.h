@@ -13,6 +13,10 @@ namespace fsio {
 // Simulated time, in nanoseconds since simulation start.
 using TimeNs = std::uint64_t;
 
+// Largest representable simulated time (~584 years). Relative scheduling
+// saturates here instead of wrapping (see EventQueue::ScheduleAfter).
+inline constexpr TimeNs kTimeNsMax = ~TimeNs{0};
+
 inline constexpr TimeNs kNsPerUs = 1000;
 inline constexpr TimeNs kNsPerMs = 1000 * kNsPerUs;
 inline constexpr TimeNs kNsPerSec = 1000 * kNsPerMs;

@@ -141,6 +141,29 @@ TEST(ClusterTest, PerHostModeOverrides) {
   EXPECT_NE(cluster.host(2).iommu(), nullptr);
 }
 
+TEST(ClusterTest, SteadyStateSchedulerIsAllocationFree) {
+  // The cluster reserves event-arena capacity up front and recycles records
+  // across measurement windows: after warm-up, evq.allocations (arena chunk
+  // growth + boxed-closure fallbacks, exported each window from the
+  // dedicated scheduler registry) must stay flat window over window.
+  ClusterConfig config;
+  config.num_hosts = 3;
+  config.mode = ProtectionMode::kFastSafe;
+  config.cores = 2;
+  Cluster cluster(config);
+  StartIncast(&cluster, /*dst_host=*/0);
+  cluster.RunUntil(kWarmup);
+  cluster.MeasureWindowAll(kWindow);
+  const std::uint64_t after_first = cluster.evq_stats().Value("evq.allocations");
+  EXPECT_GT(cluster.evq_stats().Value("evq.arena_capacity"), 0u);
+  for (int window = 0; window < 3; ++window) {
+    cluster.MeasureWindowAll(kWindow);
+    EXPECT_EQ(cluster.evq_stats().Value("evq.allocations"), after_first)
+        << "scheduler allocated in steady-state window " << window;
+  }
+  EXPECT_GT(cluster.evq_stats().Value("evq.executed"), 0u);
+}
+
 TEST(ClusterTest, HostIdsAreAssigned) {
   ClusterConfig config;
   config.num_hosts = 4;

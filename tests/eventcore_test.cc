@@ -1,0 +1,297 @@
+// Calendar-queue event core tests (ISSUE 7 satellite): ordering guarantees
+// the rearchitected EventQueue must share bit-for-bit with the reference
+// scheduler — same-timestamp FIFO chains, past-clamp ordering, bucket
+// rollover at calendar-epoch boundaries, far-future overflow promotion —
+// plus the arena-allocation contract (Reserve(), allocations()) and the
+// ScheduleAfter overflow saturation regression. The randomized differential
+// section replays identical schedules through EventQueue and
+// ReferenceEventQueue and requires identical execution sequences.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/event_queue.h"
+#include "src/simcore/reference_event_queue.h"
+#include "src/simcore/time.h"
+
+namespace fsio {
+namespace {
+
+// Calendar geometry mirrored from event_queue.cc (private there): 4096
+// buckets of 64 ns. The epoch-boundary tests below straddle multiples of
+// this span; if the geometry changes, they still probe interesting offsets.
+constexpr TimeNs kCalendarSpanNs = 4096 * 64;
+
+TEST(EventCoreOrdering, SameTimestampFifoChains) {
+  // Three interleaved chains scheduling at one timestamp: execution must be
+  // exactly global insertion order, including events inserted by running
+  // events at the already-current time.
+  EventQueue q;
+  std::vector<int> order;
+  for (int chain = 0; chain < 3; ++chain) {
+    q.ScheduleAt(50, [&q, &order, chain] {
+      order.push_back(chain);
+      q.ScheduleAt(50, [&order, chain] { order.push_back(10 + chain); });
+    });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11, 12}));
+  EXPECT_EQ(q.now(), 50u);
+  EXPECT_EQ(q.executed(), 6u);
+}
+
+TEST(EventCoreOrdering, PastClampRunsBeforeClockAdvances) {
+  // Scheduling into the past clamps to now(): the clamped event runs after
+  // events already pending at now() (it got a later sequence number) but
+  // before anything at a later timestamp.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(100, [&q, &order] {
+    order.push_back(1);
+    q.ScheduleAt(100, [&order] { order.push_back(2); });
+    q.ScheduleAt(30, [&order] { order.push_back(3); });  // the past: clamped
+    q.ScheduleAt(101, [&order] { order.push_back(4); });
+  });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventCoreOrdering, BucketRolloverAtEpochBoundaries) {
+  // Events placed just below, at, and just above multiples of the calendar
+  // span land in different windows of the wrapped bucket array; execution
+  // order must still be globally sorted with FIFO ties.
+  EventQueue q;
+  std::vector<std::pair<TimeNs, int>> ran;
+  int tag = 0;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const TimeNs base = static_cast<TimeNs>(epoch) * kCalendarSpanNs;
+    for (const TimeNs off : {kCalendarSpanNs - 1, TimeNs{0}, TimeNs{1}, TimeNs{63},
+                             TimeNs{64}}) {
+      const TimeNs when = base + off;
+      q.ScheduleAt(when, [&ran, when, t = tag++] { ran.emplace_back(when, t); });
+    }
+  }
+  q.RunAll();
+  ASSERT_EQ(ran.size(), 20u);
+  for (std::size_t i = 1; i < ran.size(); ++i) {
+    const bool ordered = ran[i - 1].first < ran[i].first ||
+                         (ran[i - 1].first == ran[i].first &&
+                          ran[i - 1].second < ran[i].second);
+    EXPECT_TRUE(ordered) << "out of order at " << i;
+  }
+}
+
+TEST(EventCoreOrdering, FarFutureOverflowPromotion) {
+  // Events far beyond the calendar window sit in the overflow tier until the
+  // window slides onto them; interleave near and far work across several
+  // window-spans and verify global order survives every promotion.
+  EventQueue q;
+  std::vector<TimeNs> ran;
+  for (int i = 0; i < 6; ++i) {
+    const TimeNs far = static_cast<TimeNs>(i + 2) * 7 * kCalendarSpanNs + i;
+    q.ScheduleAt(far, [&q, &ran, far] {
+      ran.push_back(far);
+      // Refill the near future from inside a promoted event.
+      q.ScheduleAfter(3, [&q, &ran] { ran.push_back(q.now()); });
+    });
+    q.ScheduleAt(static_cast<TimeNs>(i) * 17, [&q, &ran] { ran.push_back(q.now()); });
+  }
+  q.RunAll();
+  ASSERT_EQ(ran.size(), 18u);
+  for (std::size_t i = 1; i < ran.size(); ++i) {
+    EXPECT_LE(ran[i - 1], ran[i]);
+  }
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventCoreOrdering, RunUntilParksClockBetweenDistantEvents) {
+  // RunUntil deadlines that land inside empty calendar regions (and inside
+  // the overflow tier's span) must not disturb ordering or the clock.
+  EventQueue q;
+  std::vector<TimeNs> ran;
+  q.ScheduleAt(10, [&ran, &q] { ran.push_back(q.now()); });
+  q.ScheduleAt(5 * kCalendarSpanNs, [&ran, &q] { ran.push_back(q.now()); });
+  EXPECT_EQ(q.RunUntil(kCalendarSpanNs), 1u);
+  EXPECT_EQ(q.now(), kCalendarSpanNs);
+  EXPECT_EQ(q.RunUntil(3 * kCalendarSpanNs), 0u);
+  EXPECT_EQ(q.now(), 3 * kCalendarSpanNs);
+  EXPECT_EQ(q.RunUntil(10 * kCalendarSpanNs), 1u);
+  EXPECT_EQ(ran, (std::vector<TimeNs>{10, 5 * kCalendarSpanNs}));
+}
+
+// --- ScheduleAfter overflow saturation (satellite regression test) -------
+
+TEST(EventCoreSaturation, ScheduleAfterSaturatesInsteadOfWrapping) {
+  // Before the fix, now + delay wrapped modulo 2^64 and the event fired in
+  // the past (immediately, via the clamp). It must instead park at
+  // kTimeNsMax — reachable only by an explicit run to the end of time.
+  EventQueue q;
+  q.ScheduleAt(1000, [] {});
+  q.RunAll();
+  ASSERT_EQ(q.now(), 1000u);
+  bool ran = false;
+  q.ScheduleAfter(kTimeNsMax - 5, [&ran] { ran = true; });  // now + delay > max
+  EXPECT_EQ(q.RunUntil(2000), 0u) << "saturated event must not fire early";
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), kTimeNsMax);
+}
+
+TEST(EventCoreSaturation, ReferenceQueueSaturatesIdentically) {
+  ReferenceEventQueue q;
+  q.ScheduleAt(1000, [] {});
+  q.RunAll();
+  bool ran = false;
+  q.ScheduleAfter(kTimeNsMax - 5, [&ran] { ran = true; });
+  EXPECT_EQ(q.RunUntil(2000), 0u);
+  EXPECT_FALSE(ran);
+  q.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), kTimeNsMax);
+}
+
+// --- Arena allocation contract (satellite) -------------------------------
+
+TEST(EventCoreArena, SteadyStateSchedulingDoesNotAllocate) {
+  EventQueue q;
+  q.Reserve(4096);
+  EXPECT_GE(q.arena_capacity(), 4096u);
+  const std::uint64_t after_reserve = q.allocations();
+  // Churn far more events than the reserved population, but never more than
+  // 4096 pending at once: the arena recycles records and must not grow.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      q.ScheduleAfter(static_cast<TimeNs>(i % 97), [] {});
+    }
+    q.RunAll();
+  }
+  EXPECT_EQ(q.allocations(), after_reserve);
+  EXPECT_EQ(q.executed(), 100000u);
+}
+
+TEST(EventCoreArena, ReserveIsIdempotentAndMonotonic) {
+  EventQueue q;
+  q.Reserve(100);
+  const std::size_t cap = q.arena_capacity();
+  const std::uint64_t allocs = q.allocations();
+  q.Reserve(50);  // already satisfied: no growth
+  EXPECT_EQ(q.arena_capacity(), cap);
+  EXPECT_EQ(q.allocations(), allocs);
+  q.Reserve(10 * cap);
+  EXPECT_GE(q.arena_capacity(), 10 * cap);
+}
+
+TEST(EventCoreArena, OversizedClosureTakesCountedHeapFallback) {
+  EventQueue q;
+  q.Reserve(16);
+  const std::uint64_t base = q.allocations();
+  std::array<std::uint64_t, 64> big{};  // 512 B capture: cannot ride inline
+  big[0] = 7;
+  std::uint64_t seen = 0;
+  q.ScheduleAt(1, [big, &seen] { seen = big[0]; });
+  EXPECT_EQ(q.allocations(), base + 1);
+  q.RunAll();
+  EXPECT_EQ(seen, 7u);
+  // Inline-sized closures stay allocation-free.
+  q.ScheduleAt(2, [&seen] { seen = 8; });
+  q.RunAll();
+  EXPECT_EQ(q.allocations(), base + 1);
+  EXPECT_EQ(seen, 8u);
+}
+
+// --- Randomized differential vs the reference scheduler ------------------
+
+// Deterministic 64-bit generator (splitmix64): the schedule must be a pure
+// function of the seed so failures replay.
+class SplitMix {
+ public:
+  explicit SplitMix(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Drives one queue implementation through a seeded schedule where events
+// reschedule follow-ups (same time, near future, past, far future), and
+// records (time, tag) of every execution plus periodic RunUntil stops.
+template <typename Queue>
+std::vector<std::pair<TimeNs, int>> DriveSchedule(std::uint64_t seed) {
+  Queue q;
+  SplitMix rng(seed);
+  std::vector<std::pair<TimeNs, int>> trace;
+  int tag = 0;
+  // Recursive rescheduling up to a bounded total so RunAll terminates.
+  struct Ctx {
+    Queue* q;
+    SplitMix* rng;
+    std::vector<std::pair<TimeNs, int>>* trace;
+    int* tag;
+    int budget = 4000;
+  } ctx{&q, &rng, &trace, &tag};
+
+  struct Spawner {
+    static void Spawn(Ctx* ctx, TimeNs when) {
+      const int t = (*ctx->tag)++;
+      ctx->q->ScheduleAt(when, [ctx, t] {
+        ctx->trace->emplace_back(ctx->q->now(), t);
+        if (--ctx->budget <= 0) {
+          return;
+        }
+        const std::uint64_t kind = ctx->rng->Below(100);
+        if (kind < 35) {
+          Spawn(ctx, ctx->q->now());  // same-timestamp chain
+        } else if (kind < 55) {
+          const TimeNs back = ctx->rng->Below(500);
+          Spawn(ctx, ctx->q->now() > back ? ctx->q->now() - back : 0);  // past
+        } else if (kind < 90) {
+          Spawn(ctx, ctx->q->now() + ctx->rng->Below(3 * kCalendarSpanNs));
+        } else {
+          Spawn(ctx, ctx->q->now() + 5 * kCalendarSpanNs +
+                         ctx->rng->Below(40 * kCalendarSpanNs));  // overflow tier
+        }
+      });
+    }
+  };
+
+  SplitMix layout(seed ^ 0xabcdef);
+  for (int i = 0; i < 64; ++i) {
+    Spawner::Spawn(&ctx, layout.Below(2 * kCalendarSpanNs));
+  }
+  // Mix RunUntil stops (exercising window slides with the clock parked) with
+  // a final drain.
+  TimeNs deadline = 0;
+  for (int i = 0; i < 8; ++i) {
+    deadline += layout.Below(10 * kCalendarSpanNs);
+    q.RunUntil(deadline);
+    trace.emplace_back(q.now(), -1);  // clock checkpoints must match too
+  }
+  q.RunAll();
+  trace.emplace_back(q.now(), -2);
+  return trace;
+}
+
+TEST(EventCoreDifferential, MatchesReferenceQueueOnRandomSchedules) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xfeedull, 7777ull, 123456789ull}) {
+    const auto calendar = DriveSchedule<EventQueue>(seed);
+    const auto reference = DriveSchedule<ReferenceEventQueue>(seed);
+    ASSERT_EQ(calendar.size(), reference.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < calendar.size(); ++i) {
+      ASSERT_EQ(calendar[i], reference[i]) << "seed " << seed << " step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsio

@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): wrapping event callbacks in std::function
+// before scheduling re-introduces one type-erased heap allocation per event.
+// The std-function-event rule (scoped to src/) must flag both call sites
+// below when linted with --scope=src.
+#include <functional>
+
+#include "src/simcore/event_queue.h"
+
+namespace fsio {
+
+void BadSchedule(EventQueue* ev) {
+  std::function<void()> cb = [] {};
+  ev->ScheduleAt(100, std::function<void()>(cb));  // std-function-event
+}
+
+void BadScheduleAfter(EventQueue* ev, std::function<void()> cb) {
+  ev->ScheduleAfter(50, std::move(cb));  // fine: not wrapped at the call
+  auto wrap = [ev] { ev->ScheduleAfter(1, std::function<void()>([] {})); };  // std-function-event
+  wrap();
+}
+
+}  // namespace fsio

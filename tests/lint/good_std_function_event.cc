@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): concrete lambdas ride the typed-callback
+// arena inline; std::function is fine for non-scheduling plumbing (wire-out
+// hooks, delivery callbacks) as long as it never crosses ScheduleAt /
+// ScheduleAfter. Clean under --scope=src.
+#include <functional>
+#include <utility>
+
+#include "src/simcore/event_queue.h"
+
+namespace fsio {
+
+// std::function as stored plumbing state, not as an event payload wrapper.
+struct GoodPlumbing {
+  std::function<void(int)> deliver;
+};
+
+void GoodSchedule(EventQueue* ev, GoodPlumbing* p) {
+  ev->ScheduleAt(100, [p] { p->deliver(1); });
+  ev->ScheduleAfter(50, [] {});
+}
+
+}  // namespace fsio

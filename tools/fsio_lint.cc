@@ -637,6 +637,42 @@ void CheckIncludeHygiene(const SourceFile& file, std::vector<Diagnostic>* diags)
 }
 
 // ---------------------------------------------------------------------------
+// Rule: std-function-event — hot-path scheduling passes concrete callables.
+// The event core stores typed trampolines with inline payloads (DESIGN.md
+// §11); wrapping a callback in std::function before handing it to
+// ScheduleAt/ScheduleAfter re-introduces a type-erased heap allocation per
+// event, exactly the cost the arena removed. The reference scheduler keeps
+// the old std::function representation on purpose — it exists to be
+// differentially tested against — so it is the one sanctioned user.
+
+void CheckStdFunctionEvent(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (file.scope != "src") {
+    return;
+  }
+  if (file.path == "src/simcore/reference_event_queue.h" ||
+      file.path == "src/simcore/reference_event_queue.cc") {
+    return;  // the legacy heap scheduler, kept for differential testing
+  }
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    if (FindToken(line, "std::function") == std::string::npos) {
+      continue;
+    }
+    if (FindToken(line, "ScheduleAt") == std::string::npos &&
+        FindToken(line, "ScheduleAfter") == std::string::npos) {
+      continue;
+    }
+    if (!Suppressed(file, li + 1, "std-function-event")) {
+      diags->push_back({file.path, li + 1, "std-function-event",
+                        "std::function passed to ScheduleAt/ScheduleAfter in "
+                        "src/: schedule a concrete lambda so the event rides "
+                        "the typed-callback arena (DESIGN.md sec. 11), not a "
+                        "type-erased heap closure"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 struct RuleInfo {
@@ -655,6 +691,9 @@ const RuleInfo kRules[] = {
     {"discarded-fault-decision",
      "FaultInjector::Sample() results must be used (the fault never fires otherwise)",
      &CheckDiscardedFaultDecision},
+    {"std-function-event",
+     "src/ hot paths schedule concrete callables, never std::function",
+     &CheckStdFunctionEvent},
     {"include-guard", "headers carry FASTSAFE_<PATH>_H_ guards", &CheckIncludeGuard},
     {"include-hygiene", "repo-root-relative quoted includes; never include .cc",
      &CheckIncludeHygiene},
