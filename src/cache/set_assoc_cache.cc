@@ -90,8 +90,17 @@ std::optional<std::uint64_t> SetAssocCache::Insert(std::uint64_t tag, std::uint6
     return std::nullopt;
   }
   const std::size_t base = SetIndexFor(tag) * ways_;
+  // Victim search range: the whole set, or the tag's way partition.
+  std::uint32_t way_first = 0;
+  std::uint32_t way_last = ways_;
+  if (partitions_ > 1) {
+    const std::uint32_t p = static_cast<std::uint32_t>(
+        ((tag >> partition_field_shift_) & partition_field_mask_) % partitions_);
+    way_first = p * ways_ / partitions_;
+    way_last = (p + 1) * ways_ / partitions_;
+  }
   Entry* victim = nullptr;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
+  for (std::uint32_t w = way_first; w < way_last; ++w) {
     Entry& e = entries_[base + w];
     if (!e.valid) {
       victim = &e;
@@ -165,6 +174,38 @@ std::uint64_t SetAssocCache::InvalidateByPayload(std::uint64_t payload) {
     ++mut_version_;
   }
   return removed;
+}
+
+std::uint64_t SetAssocCache::InvalidateMasked(std::uint64_t mask, std::uint64_t value) {
+  std::uint64_t removed = 0;
+  for (Entry& e : entries_) {
+    if (e.valid && (e.tag & mask) == value) {
+      e.valid = false;
+      ++removed;
+      ++invalidations_;
+    }
+  }
+  if (removed > 0) {
+    ++mut_version_;
+  }
+  return removed;
+}
+
+std::uint64_t SetAssocCache::CountMatching(std::uint64_t mask, std::uint64_t value) const {
+  std::uint64_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.valid && (e.tag & mask) == value) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void SetAssocCache::EnableWayPartitioning(std::uint32_t partitions, std::uint64_t field_shift,
+                                          std::uint64_t field_mask) {
+  partitions_ = partitions > ways_ ? ways_ : partitions;
+  partition_field_shift_ = field_shift;
+  partition_field_mask_ = field_mask;
 }
 
 void SetAssocCache::InvalidateAll() {

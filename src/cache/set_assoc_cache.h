@@ -65,7 +65,23 @@ class SetAssocCache {
   // table page is reclaimed: all cached pointers to it become stale).
   std::uint64_t InvalidateByPayload(std::uint64_t payload);
 
+  // Removes every entry with (tag & mask) == value — a domain-selective
+  // invalidation over domain-tagged entries. Returns the number removed.
+  std::uint64_t InvalidateMasked(std::uint64_t mask, std::uint64_t value);
+
+  // Counts entries with (tag & mask) == value without touching LRU order,
+  // counters or the mutation version (tests/benchmarks only).
+  std::uint64_t CountMatching(std::uint64_t mask, std::uint64_t value) const;
+
   void InvalidateAll();
+
+  // Way-partitioned replacement: Insert's victim search is confined to the
+  // partition selected by ((tag >> field_shift) & field_mask) % partitions,
+  // so one partition's insertions can never evict another's entries (the
+  // IOTLB side-channel defense). Lookups still probe every way. `partitions`
+  // is clamped to the way count; partitions <= 1 restores the shared policy.
+  void EnableWayPartitioning(std::uint32_t partitions, std::uint64_t field_shift,
+                             std::uint64_t field_mask);
 
   std::uint32_t num_sets() const { return num_sets_; }
   std::uint32_t ways() const { return ways_; }
@@ -92,6 +108,10 @@ class SetAssocCache {
 
   std::uint32_t num_sets_;
   std::uint32_t ways_;
+  // Way partitioning (EnableWayPartitioning); partitions_ <= 1 = disabled.
+  std::uint32_t partitions_ = 1;
+  std::uint64_t partition_field_shift_ = 0;
+  std::uint64_t partition_field_mask_ = 0;
   std::uint64_t tick_ = 0;
   std::uint64_t mut_version_ = 0;
   std::vector<Entry> entries_;  // num_sets_ * ways_, set-major

@@ -73,7 +73,7 @@ TimeNs DmaApi::SubmitInvalidationWithRetry(Iova base, std::uint64_t len, bool le
   TimeNs backoff = config_.inv_retry_backoff_ns;
   for (std::uint32_t attempt = 0; attempt <= config_.inv_max_retries; ++attempt) {
     const TimeNs submit = *t + config_.inv_submit_cpu_ns;
-    const TimeNs hw = iommu_->InvalidateRange(base, len, leaf_only, submit);
+    const TimeNs hw = iommu_->InvalidateRange(config_.domain, base, len, leaf_only, submit);
     inv_requests_submitted_->Add();
     ++*requests;
     *t = submit;
@@ -100,13 +100,16 @@ TimeNs DmaApi::SubmitInvalidationWithRetry(Iova base, std::uint64_t len, bool le
     *t += backoff;
     backoff *= 2;
   }
-  // Retry budget exhausted: fall back to a global flush. The flush is a
+  // Retry budget exhausted: fall back to a full flush. The flush is a
   // single always-delivered command, so safety holds even when every
-  // per-range request was lost.
+  // per-range request was lost. A tenant driver scopes the fallback to its
+  // own domain — blowing away co-resident tenants' cached translations is
+  // not its call to make; the host driver keeps the global flush.
   inv_fallback_flushes_->Add();
   trace_.Instant("driver", "inv_fallback_flush", *t);
   const TimeNs submit = *t + config_.inv_submit_cpu_ns;
-  const TimeNs hw = iommu_->InvalidateAll(submit);
+  const TimeNs hw = config_.domain.value != 0 ? iommu_->InvalidateDomain(config_.domain, submit)
+                                              : iommu_->InvalidateAll(submit);
   inv_requests_submitted_->Add();
   ++*requests;
   *t = submit;
@@ -403,7 +406,7 @@ void DmaApi::HandleReclamation(const UnmapResult& result) {
     return;  // injected bug: stale PTcache pointers survive (tests catch it)
   }
   for (const ReclaimedTablePage& page : result.reclaimed) {
-    iommu_->OnTablePageReclaimed(page);
+    iommu_->OnTablePageReclaimed(config_.domain, page);
     reclaim_invalidations_->Add();
   }
 }
@@ -486,7 +489,11 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
         return out;
       }
       const TimeNs flush_start = t;
-      const TimeNs hw = iommu_->InvalidateAll(t);
+      // The deferred flush-queue drain is a full flush in Linux; a tenant
+      // driver's version is domain-selective for the same reason as the
+      // retry fallback.
+      const TimeNs hw = config_.domain.value != 0 ? iommu_->InvalidateDomain(config_.domain, t)
+                                                  : iommu_->InvalidateAll(t);
       inv_requests_submitted_->Add();
       ++out.invalidation_requests;
       t += config_.inv_submit_cpu_ns;

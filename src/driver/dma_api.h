@@ -69,6 +69,11 @@ struct DmaApiConfig {
   // IOVA / frame allocation failures are retried this many times before the
   // map call gives up and returns an empty result.
   std::uint32_t iova_alloc_max_retries = 8;
+  // Protection domain this driver instance maps/invalidates on behalf of.
+  // Default (host domain 0) preserves single-tenant behavior; tenant drivers
+  // scope every invalidation to their own domain, and the retry path's
+  // last-resort flush becomes domain-selective instead of global.
+  DomainId domain{};
 };
 
 // One mapped DMA page handed to the NIC.

@@ -95,9 +95,14 @@ void SafetyOracle::Record(SafetyViolationKind kind, Iova iova, TimeNs now) {
 }
 
 void SafetyOracle::OnDeviceAccess(Iova iova, TimeNs now, const DeviceAccess& access) {
-  // Classification priority: a walk through reclaimed memory is the gravest
-  // (hardware dereferences freed pages), then a stale-but-live pointer, then
-  // plain use-after-unmap of an IOVA the driver gave up.
+  // Classification priority: a cross-domain cache hit (isolation breach) is
+  // the gravest, then a walk through reclaimed memory (hardware dereferences
+  // freed pages), then a stale-but-live pointer, then plain use-after-unmap
+  // of an IOVA the driver gave up.
+  if (access.cross_domain) {
+    Record(SafetyViolationKind::kCrossDomainHit, iova, now);
+    return;
+  }
   if (access.stale_ptcache_reclaimed) {
     Record(SafetyViolationKind::kReclaimedTableWalk, iova, now);
     return;

@@ -26,6 +26,10 @@
 //                             driver's current mapping (a stale IOTLB entry
 //                             silently aliasing after a skipped recovery
 //                             invalidation).
+//   * kCrossDomainHit       — a device access resolved through a cache entry
+//                             owned by a DIFFERENT protection domain (broken
+//                             domain tagging: the multi-tenant isolation
+//                             breach, graver than any single-domain class).
 //
 // Violations are recorded in observation order with deterministic content,
 // so a trace from a seeded run is byte-stable (TraceString()).
@@ -51,6 +55,7 @@ enum class SafetyViolationKind : int {
   kReclaimedTableWalk,
   kDmaToReclaimedFrame,
   kStaleDmaTranslation,
+  kCrossDomainHit,
   kCount,
 };
 
@@ -66,6 +71,8 @@ constexpr const char* SafetyViolationKindName(SafetyViolationKind kind) {
       return "dma_to_reclaimed_frame";
     case SafetyViolationKind::kStaleDmaTranslation:
       return "stale_dma_translation";
+    case SafetyViolationKind::kCrossDomainHit:
+      return "dma_cross_domain_hit";
     case SafetyViolationKind::kCount:
       break;
   }
@@ -86,6 +93,10 @@ struct DeviceAccess {
   bool stale_iotlb = false;               // IOTLB entry for an unmapped IOVA
   bool stale_ptcache_live = false;        // cached pointer to replaced subtree
   bool stale_ptcache_reclaimed = false;   // cached pointer to reclaimed page
+  // The translation was served by a cached entry another protection domain
+  // installed (only possible when cache tagging is broken): an isolation
+  // breach, the gravest multi-tenant violation.
+  bool cross_domain = false;
   // Physical target of the translation, when the IOMMU produced one. Enables
   // the frame-level cross-host checks (reclaimed-frame hit, silent stale
   // aliasing); phys_valid == false disables them for this access.

@@ -15,6 +15,17 @@
 // invalidate an IOVA range's IOTLB entries while *preserving* the page table
 // caches (leaf_only = true).
 //
+// Multi-tenant operation: a DomainTable (src/tenant/domain.h) maps PASID-
+// style protection-domain ids to per-domain page-table roots. All domains
+// share the IOTLB, the PTcaches, the walkers and the invalidation queue;
+// every cached entry's tag carries the owning domain id in bits 48..57, so a
+// lookup by domain A can never hit an entry installed by domain B — unless
+// the test-only `inject_untagged_iotlb` knob breaks the tagging, in which
+// case the safety oracle's `dma_cross_domain_hit` invariant catches the
+// breach. Domain 0 (the host domain) tags as 0: the single-tenant
+// configuration computes exactly the same tags, set indices and counters as
+// the pre-domain model.
+//
 // Safety accounting: every cached entry stores the id of the page-table page
 // it points at. If a translation consumes a cached pointer to a page that
 // has since been reclaimed, or an IOTLB entry for an IOVA that is no longer
@@ -36,6 +47,7 @@
 #include "src/pagetable/io_page_table.h"
 #include "src/simcore/time.h"
 #include "src/stats/counters.h"
+#include "src/tenant/domain.h"
 #include "src/trace/tracer.h"
 
 namespace fsio {
@@ -69,6 +81,15 @@ struct IommuConfig {
   TimeNs invalidation_hw_ns = 50;
   // Detect stale-entry use (safety oracle). Costs extra software walks.
   bool track_safety = true;
+  // Way-partitioned IOTLB (iotlb_partition=per_domain): insertion victims
+  // are confined to the inserting domain's way partition, so one tenant's
+  // traffic cannot evict another's entries (the IOTLB-SC defense). 1 = the
+  // shared policy; clamped to iotlb_ways.
+  std::uint32_t iotlb_partitions = 1;
+  // Test-only cache-tagging bug: IOTLB tags omit the domain id, so one
+  // domain's lookups can hit another domain's entries. The safety oracle
+  // must catch the resulting dma_cross_domain_hit violations.
+  bool inject_untagged_iotlb = false;
 };
 
 // Namespace bit distinguishing 2 MB-granularity IOTLB tags from 4 KB ones
@@ -96,6 +117,7 @@ struct TranslationResult {
   bool stale_iotlb = false;               // IOTLB entry for an unmapped IOVA
   bool stale_ptcache = false;             // stale PTcache pointer consumed
   bool stale_ptcache_reclaimed = false;   // ... and its target was reclaimed
+  bool cross_domain = false;              // served by another domain's entry
 };
 
 class Iommu {
@@ -103,25 +125,56 @@ class Iommu {
   Iommu(const IommuConfig& config, MemorySystem* memory, IoPageTable* page_table,
         StatsRegistry* stats);
 
-  // Translates `iova` for a DMA issued at time `start`. Concurrent misses on
-  // the same page coalesce onto one in-flight walk.
-  TranslationResult Translate(Iova iova, TimeNs start);
+  // Translates `iova` for a DMA issued at time `start` on behalf of
+  // `domain`. Concurrent misses on the same (domain, page) coalesce onto one
+  // in-flight walk. Translating against a dead/unknown domain faults.
+  TranslationResult Translate(DomainId domain, Iova iova, TimeNs start);
+  // Host-domain shorthand (the single-device configuration).
+  TranslationResult Translate(Iova iova, TimeNs start) {
+    return Translate(kHostDomain, iova, start);
+  }
 
-  // Invalidation-queue request covering [start, start + len): always drops
-  // the range's IOTLB entries; when `leaf_only` is false, also drops the
-  // PTcache entries whose span intersects the range (Linux strict-mode
-  // default). Returns the time the hardware completes the request, given it
-  // was submitted at `at`. The caller (driver) models the CPU-side wait.
-  TimeNs InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, TimeNs at);
+  // Invalidation-queue request covering [start, start + len) of `domain`'s
+  // IOVA space: always drops the range's IOTLB entries; when `leaf_only` is
+  // false, also drops the PTcache entries whose span intersects the range
+  // (Linux strict-mode default). Returns the time the hardware completes the
+  // request, given it was submitted at `at`. The caller (driver) models the
+  // CPU-side wait.
+  TimeNs InvalidateRange(DomainId domain, Iova start, std::uint64_t len, bool leaf_only,
+                         TimeNs at);
+  TimeNs InvalidateRange(Iova start, std::uint64_t len, bool leaf_only, TimeNs at) {
+    return InvalidateRange(kHostDomain, start, len, leaf_only, at);
+  }
 
-  // Flushes every IOTLB and PTcache entry (deferred-mode bulk flush).
+  // Flushes every IOTLB and PTcache entry of every domain (global flush).
   TimeNs InvalidateAll(TimeNs at);
 
-  // Must be called when the page table reclaims a table page so hardware
-  // caches drop pointers into it. F&S invokes this on the rare reclamation;
-  // skipping it (see config of the driver) lets tests demonstrate the
-  // resulting safety violation.
-  void OnTablePageReclaimed(const ReclaimedTablePage& page);
+  // Domain-selective flush: drops every IOTLB and PTcache entry tagged with
+  // `domain`, leaving all other domains' entries resident. Invalidating a
+  // dead or never-allocated domain id is a safe no-op (returns `at`).
+  TimeNs InvalidateDomain(DomainId domain, TimeNs at);
+
+  // Must be called when a domain's page table reclaims a table page so
+  // hardware caches drop pointers into it. F&S invokes this on the rare
+  // reclamation; skipping it (see config of the driver) lets tests
+  // demonstrate the resulting safety violation.
+  void OnTablePageReclaimed(DomainId domain, const ReclaimedTablePage& page);
+  void OnTablePageReclaimed(const ReclaimedTablePage& page) {
+    OnTablePageReclaimed(kHostDomain, page);
+  }
+
+  // Domain management. AddDomain registers a tenant's page-table root and
+  // switches the IOMMU into multi-domain operation (per-domain "tenant.<id>"
+  // counters, owner tracking for eviction attribution and cross-domain
+  // detection). RetireDomain marks the id dead; its cached entries may
+  // linger until InvalidateDomain, but translations against it fault.
+  DomainId AddDomain(IoPageTable* page_table);
+  void RetireDomain(DomainId domain);
+  // Crash recovery: installs a fresh page-table root for a live domain (the
+  // hardware caches persist — exactly the hazard recovery must invalidate).
+  void SetDomainPageTable(DomainId domain, IoPageTable* page_table);
+  void SetDomainOracle(DomainId domain, SafetyOracle* oracle);
+  const DomainTable& domains() const { return domains_; }
 
   const SetAssocCache& iotlb() const { return iotlb_; }
   const SetAssocCache& ptcache(int level) const { return *ptcaches_[level - 1]; }
@@ -129,12 +182,12 @@ class Iommu {
   // Optional fault injection (invalidation stalls/drops, walker latency
   // spikes) and safety-oracle observation of every device translation.
   void SetFaultInjector(FaultInjector* faults) { fault_injector_ = faults; }
-  void SetSafetyOracle(SafetyOracle* oracle) { oracle_ = oracle; }
+  void SetSafetyOracle(SafetyOracle* oracle) { domains_.at(kHostDomain).oracle = oracle; }
   // Host crash-recovery: the rebooted driver builds a fresh IO page table;
   // the IOMMU hardware (and whatever stale state its caches hold — exactly
   // the hazard recovery must invalidate) persists across the reboot.
   void SetPageTable(IoPageTable* page_table) {
-    page_table_ = page_table;
+    domains_.at(kHostDomain).page_table = page_table;
     repeat_.page = kNoMemoPage;
   }
   // Observability: page-walk spans, invalidation spans, stale-use instants.
@@ -158,20 +211,40 @@ class Iommu {
     std::uint64_t offset_mask = 0;         // iova bits added to `base`
     bool huge = false;                     // hit was a 2 MB-granularity entry
     bool stale = false;                    // memoized !IsMapped() outcome
+    bool cross_domain = false;             // memoized foreign-entry outcome
+    DomainId domain{};                     // domain the memo was formed for
     std::uint64_t iotlb_version = 0;
     std::uint64_t pt_version = 0;
   };
 
-  TranslationResult WalkAndFill(Iova iova, TimeNs start);
-  // Reports the translation to the safety oracle (no-op without one).
-  void NotifyOracle(Iova iova, TimeNs now, const TranslationResult& result);
+  // Per-domain counters ("tenant.<id>.*"), created lazily on the first
+  // AddDomain so the single-tenant stats namespace is untouched.
+  struct DomainCounters {
+    Counter* translations = nullptr;
+    Counter* iotlb_hits = nullptr;
+    Counter* iotlb_misses = nullptr;
+    Counter* iotlb_evictions = nullptr;    // this domain's entries evicted
+    Counter* iotlb_invalidated = nullptr;  // entries dropped by selective flush
+    Counter* inv_requests = nullptr;
+  };
+
+  TranslationResult WalkAndFill(DomainId domain, IoPageTable* pt, Iova iova, TimeNs start);
+  // Reports the translation to the domain's safety oracle (no-op without one).
+  void NotifyOracle(DomainId domain, Iova iova, TimeNs now, const TranslationResult& result);
+  // Owner bookkeeping around IOTLB inserts (multi-domain only): attributes
+  // the eviction to the victim's owner and records the new entry's owner.
+  void NoteIotlbInsert(std::uint64_t tag, DomainId domain,
+                       const std::optional<std::uint64_t>& evicted);
+  void EnsureDomainCounters();
+  DomainCounters& CountersFor(DomainId domain) { return domain_counters_[domain.value]; }
 
   IommuConfig config_;
   MemorySystem* memory_;
-  IoPageTable* page_table_;
   FaultInjector* fault_injector_ = nullptr;
-  SafetyOracle* oracle_ = nullptr;
+  StatsRegistry* stats_;
   TraceScope trace_;
+
+  DomainTable domains_;
 
   SetAssocCache iotlb_;
   std::vector<SetAssocCache*> ptcaches_;  // [0]=L1, [1]=L2, [2]=L3
@@ -180,8 +253,16 @@ class Iommu {
   SetAssocCache ptcache_l3_;
 
   std::vector<TimeNs> walker_free_;
-  std::unordered_map<std::uint64_t, PendingWalk> pending_walks_;  // page -> walk
+  // (domain-tagged page) -> in-flight walk.
+  std::unordered_map<std::uint64_t, PendingWalk> pending_walks_;
   RepeatMemo repeat_;
+
+  // Owner of each resident IOTLB entry, keyed by the entry's tag as stored.
+  // Maintained only in multi-domain operation: it is the ground truth that
+  // lets the oracle catch broken tagging (when tags are correct, the owner
+  // is just DomainOfTag(tag)). Pruned against the cache when it outgrows it.
+  std::unordered_map<std::uint64_t, DomainId> iotlb_owner_;
+  std::vector<DomainCounters> domain_counters_;
 
   Counter* translations_;
   Counter* iotlb_miss_;
@@ -197,6 +278,7 @@ class Iommu {
   Counter* inv_dropped_;
   Counter* inv_stall_ns_;
   Counter* walk_stall_ns_;
+  Counter* cross_domain_hits_;
 };
 
 }  // namespace fsio

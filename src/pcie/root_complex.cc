@@ -55,11 +55,11 @@ void RootComplex::ReleaseAt(TimeNs when, std::uint32_t bytes) {
   rc_buffer_occupancy_ += bytes;
 }
 
-TimeNs RootComplex::TranslateAt(Iova iova, TimeNs at, bool* fault) {
+TimeNs RootComplex::TranslateAt(DomainId domain, Iova iova, TimeNs at, bool* fault) {
   if (iommu_ == nullptr) {
     return at;
   }
-  const TranslationResult tr = iommu_->Translate(iova, at);
+  const TranslationResult tr = iommu_->Translate(domain, iova, at);
   if (tr.fault) {
     *fault = true;
     faults_->Add();
@@ -99,7 +99,7 @@ DmaTiming RootComplex::DmaWrite(TimeNs start, const std::vector<DmaSegment>& seg
       // Lookahead translation: starts at arrival, independent of the commit
       // pointer.
       bool fault = false;
-      const TimeNs translated = TranslateAt(iova, arrival, &fault);
+      const TimeNs translated = TranslateAt(seg.domain, iova, arrival, &fault);
       if (fault) {
         timing.fault = true;
         // Faulted transaction is dropped by the IOMMU; it occupies no
@@ -177,7 +177,7 @@ DmaTiming RootComplex::DmaRead(TimeNs start, const std::vector<DmaSegment>& segm
       t = arrival;
 
       bool fault = false;
-      const TimeNs translated = TranslateAt(iova, arrival, &fault);
+      const TimeNs translated = TranslateAt(seg.domain, iova, arrival, &fault);
       if (fault) {
         timing.fault = true;
         off += payload;

@@ -51,9 +51,12 @@ struct PcieConfig {
 
 // One contiguous piece of a DMA in IOVA space. Segments never cross page
 // boundaries when produced by the NIC (one descriptor page per segment).
+// `domain` is the protection domain the issuing function belongs to (the
+// PASID carried in the TLP prefix); host-domain traffic leaves it default.
 struct DmaSegment {
   Iova iova = 0;
   std::uint32_t len = 0;
+  DomainId domain{};
 };
 
 // Timing of one DMA operation.
@@ -94,7 +97,7 @@ class RootComplex {
   // the admission time.
   TimeNs WaitForBufferSpace(TimeNs t, std::uint32_t bytes);
   void ReleaseAt(TimeNs when, std::uint32_t bytes);
-  TimeNs TranslateAt(Iova iova, TimeNs at, bool* fault);
+  TimeNs TranslateAt(DomainId domain, Iova iova, TimeNs at, bool* fault);
 
   PcieConfig config_;
   Iommu* iommu_;

@@ -1,6 +1,7 @@
 #include "src/refmodel/diff_harness.h"
 
 #include <deque>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -58,7 +59,8 @@ bool ParseModeToken(const std::string& token, ProtectionMode* mode) {
 
 bool ParseBugToken(const std::string& token, InjectedBug* bug) {
   for (InjectedBug b : {InjectedBug::kNone, InjectedBug::kUseAfterUnmap,
-                        InjectedBug::kSkipInvalidation, InjectedBug::kEarlyReclaim}) {
+                        InjectedBug::kSkipInvalidation, InjectedBug::kEarlyReclaim,
+                        InjectedBug::kUntaggedIotlb}) {
     if (token == InjectedBugName(b)) {
       *bug = b;
       return true;
@@ -96,36 +98,75 @@ std::vector<DiffOp> DifferentialHarness::GenerateOps(const DiffConfig& config) {
 
 DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<DiffOp>& ops) {
   DiffResult out;
+  const std::uint32_t num_domains = config.num_domains == 0 ? 1 : config.num_domains;
+  const bool multi = num_domains > 1;
   StatsRegistry stats;
   FrameAllocator frame_alloc;
-  IoPageTable pt;
   MemorySystem mem(MemoryConfig{}, &stats);
-  Iommu iommu(IommuConfig{}, &mem, &pt, &stats);
-  IovaAllocatorConfig iova_config;
-  iova_config.num_cores = config.num_cores;
-  iova_config.enable_rcache = config.enable_rcache;
-  IovaAllocator iova(iova_config, &stats);
-  DmaApiConfig dma_config;
-  dma_config.mode = config.mode;
-  dma_config.pages_per_chunk = config.pages_per_chunk;
-  dma_config.num_cores = config.num_cores;
-  // Keep frees on the issuing core: cross-core migration only perturbs IOVA
-  // cache locality, which the contract does not speak about, and removing
-  // it makes shrunken repros stabler.
-  dma_config.free_migration_fraction = 0.0;
-  dma_config.inject_skip_reclaim_invalidation = config.bug == InjectedBug::kEarlyReclaim;
-  DmaApi dma(dma_config, &iova, &pt, &iommu, &stats);
-  SafetyOracle oracle(&stats);
-  dma.SetSafetyOracle(&oracle);
-  iommu.SetSafetyOracle(&oracle);
-  RefModel model(config.mode);
+
+  // One stack per protection domain: the real driver objects plus the model
+  // and the live/retired descriptor pools. A single-domain run is exactly
+  // the classic harness (one stack in the host domain); multi-domain runs
+  // hang one stack behind each tenant domain of one shared IOMMU, so tenants
+  // contend for the same IOTLB/PTcache while each stack's contract is
+  // checked independently.
+  struct DomainStack {
+    DomainId id{};
+    std::unique_ptr<IoPageTable> pt;
+    std::unique_ptr<IovaAllocator> iova;
+    std::unique_ptr<DmaApi> dma;
+    std::unique_ptr<SafetyOracle> oracle;
+    std::unique_ptr<RefModel> model;
+    std::vector<LiveDesc> live;
+    std::deque<Iova> retired;
+  };
+  std::vector<DomainStack> stacks(num_domains);
+  for (DomainStack& s : stacks) {
+    s.pt = std::make_unique<IoPageTable>();
+  }
+  // Multi-domain runs park an empty table in the (unused) host domain;
+  // every stack then gets its own tenant domain id.
+  std::unique_ptr<IoPageTable> host_pt;
+  if (multi) {
+    host_pt = std::make_unique<IoPageTable>();
+  }
+  IommuConfig iommu_config;
+  iommu_config.inject_untagged_iotlb = config.bug == InjectedBug::kUntaggedIotlb;
+  Iommu iommu(iommu_config, &mem, multi ? host_pt.get() : stacks[0].pt.get(), &stats);
+
+  for (DomainStack& s : stacks) {
+    s.id = multi ? iommu.AddDomain(s.pt.get()) : kHostDomain;
+    IovaAllocatorConfig iova_config;
+    iova_config.num_cores = config.num_cores;
+    iova_config.enable_rcache = config.enable_rcache;
+    s.iova = std::make_unique<IovaAllocator>(iova_config, &stats);
+    DmaApiConfig dma_config;
+    dma_config.mode = config.mode;
+    dma_config.pages_per_chunk = config.pages_per_chunk;
+    dma_config.num_cores = config.num_cores;
+    // Keep frees on the issuing core: cross-core migration only perturbs IOVA
+    // cache locality, which the contract does not speak about, and removing
+    // it makes shrunken repros stabler.
+    dma_config.free_migration_fraction = 0.0;
+    dma_config.inject_skip_reclaim_invalidation = config.bug == InjectedBug::kEarlyReclaim;
+    dma_config.domain = s.id;
+    s.dma = std::make_unique<DmaApi>(dma_config, s.iova.get(), s.pt.get(), &iommu, &stats);
+    // Tenant oracles keep private counts (no registry) so violation
+    // attribution stays per-domain instead of blurring across tenants.
+    s.oracle = std::make_unique<SafetyOracle>(multi ? nullptr : &stats);
+    s.dma->SetSafetyOracle(s.oracle.get());
+    if (multi) {
+      iommu.SetDomainOracle(s.id, s.oracle.get());
+    } else {
+      iommu.SetSafetyOracle(s.oracle.get());
+    }
+    s.model = std::make_unique<RefModel>(config.mode);
+  }
 
   const bool off = config.mode == ProtectionMode::kOff;
   const bool persistent = config.mode == ProtectionMode::kHugepagePersistent;
   const bool real_unmaps = !off && !persistent;
 
-  std::vector<LiveDesc> live;
-  std::deque<Iova> retired;
   TimeNs t = 0;
 
   auto diverge = [&](std::size_t index, const std::string& why) {
@@ -136,52 +177,79 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
     out.message = os.str();
   };
 
-  // Cross-checks run after every op: the real page table and the model must
-  // agree on the mapped-page count, and the safety oracle's classification
-  // counters must match the model's predictions exactly.
+  // Cross-checks run after every op, per domain: the real page table and the
+  // model must agree on the mapped-page count, the safety oracle's
+  // classification counters must match the model's predictions exactly, and
+  // no domain may ever consume another domain's cached translation.
   auto check_state = [&](std::size_t index) {
-    if (!off && pt.mapped_pages() != model.mapped_pages()) {
-      std::ostringstream os;
-      os << "page table holds " << pt.mapped_pages() << " pages but the model expects "
-         << model.mapped_pages();
-      diverge(index, os.str());
-      return;
-    }
-    if (oracle.count(SafetyViolationKind::kUseAfterUnmap) != model.predicted_use_after_unmap()) {
-      std::ostringstream os;
-      os << "oracle recorded " << oracle.count(SafetyViolationKind::kUseAfterUnmap)
-         << " use-after-unmap violations but the model predicts "
-         << model.predicted_use_after_unmap();
-      diverge(index, os.str());
-      return;
-    }
-    if (oracle.count(SafetyViolationKind::kStalePtcachePointer) != 0 ||
-        oracle.count(SafetyViolationKind::kReclaimedTableWalk) != 0) {
-      std::ostringstream os;
-      os << "oracle recorded stale-PTcache violations (live="
-         << oracle.count(SafetyViolationKind::kStalePtcachePointer)
-         << " reclaimed=" << oracle.count(SafetyViolationKind::kReclaimedTableWalk)
-         << "); the contract allows none";
-      diverge(index, os.str());
+    for (std::size_t di = 0; di < stacks.size(); ++di) {
+      const DomainStack& s = stacks[di];
+      std::string tag;
+      if (multi) {
+        tag = "domain " + std::to_string(di) + ": ";
+      }
+      if (!off && s.pt->mapped_pages() != s.model->mapped_pages()) {
+        std::ostringstream os;
+        os << tag << "page table holds " << s.pt->mapped_pages()
+           << " pages but the model expects " << s.model->mapped_pages();
+        diverge(index, os.str());
+        return;
+      }
+      if (s.oracle->count(SafetyViolationKind::kUseAfterUnmap) !=
+          s.model->predicted_use_after_unmap()) {
+        std::ostringstream os;
+        os << tag << "oracle recorded " << s.oracle->count(SafetyViolationKind::kUseAfterUnmap)
+           << " use-after-unmap violations but the model predicts "
+           << s.model->predicted_use_after_unmap();
+        diverge(index, os.str());
+        return;
+      }
+      if (s.oracle->count(SafetyViolationKind::kStalePtcachePointer) != 0 ||
+          s.oracle->count(SafetyViolationKind::kReclaimedTableWalk) != 0) {
+        std::ostringstream os;
+        os << tag << "oracle recorded stale-PTcache violations (live="
+           << s.oracle->count(SafetyViolationKind::kStalePtcachePointer)
+           << " reclaimed=" << s.oracle->count(SafetyViolationKind::kReclaimedTableWalk)
+           << "); the contract allows none";
+        diverge(index, os.str());
+        return;
+      }
+      if (s.oracle->count(SafetyViolationKind::kCrossDomainHit) != 0) {
+        std::ostringstream os;
+        os << tag << "oracle recorded "
+           << s.oracle->count(SafetyViolationKind::kCrossDomainHit)
+           << " cross-domain device hits; tenant isolation allows none";
+        diverge(index, os.str());
+        return;
+      }
     }
   };
 
-  auto do_translate = [&](std::size_t index, Iova iova_addr) {
+  auto do_translate = [&](DomainStack& s, std::size_t index, Iova iova_addr) {
     ++out.dmas;
-    const TranslationResult res = iommu.Translate(iova_addr, t);
+    const TranslationResult res = iommu.Translate(s.id, iova_addr, t);
     if (res.fault) {
       ++out.faults;
     }
     if (res.stale_use) {
       ++out.stale_uses;
     }
-    if (auto err = model.CheckTranslation(iova_addr, res); err.has_value()) {
+    if (auto err = s.model->CheckTranslation(iova_addr, res); err.has_value()) {
       diverge(index, *err);
     }
   };
 
   for (std::size_t i = 0; i < ops.size() && !out.diverged; ++i) {
     const DiffOp& op = ops[i];
+    // Domain dispatch rides the arg's high bits: independent of the low
+    // bits' pool selections, so ops stay self-contained for shrinking.
+    DomainStack& s = stacks[multi ? static_cast<std::size_t>((op.arg >> 44) % num_domains) : 0];
+    DmaApi& dma = *s.dma;
+    IoPageTable& pt = *s.pt;
+    SafetyOracle& oracle = *s.oracle;
+    RefModel& model = *s.model;
+    std::vector<LiveDesc>& live = s.live;
+    std::deque<Iova>& retired = s.retired;
     ++out.ops_executed;
     // Advance past the longest possible walk so pending-walk coalescing
     // (a latency feature, invisible to the contract) never kicks in.
@@ -329,14 +397,14 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
         const LiveDesc& d = live[static_cast<std::size_t>(op.arg % live.size())];
         const DmaMapping& m =
             d.mappings[static_cast<std::size_t>((op.arg >> 20) % d.mappings.size())];
-        do_translate(i, m.iova);
+        do_translate(s, i, m.iova);
         break;
       }
       case OpKind::kDmaRetired: {
         if (off || retired.empty()) {
           break;
         }
-        do_translate(i, retired[static_cast<std::size_t>(op.arg % retired.size())]);
+        do_translate(s, i, retired[static_cast<std::size_t>(op.arg % retired.size())]);
         break;
       }
     }
@@ -344,9 +412,15 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
       check_state(i);
     }
     if (!out.diverged && (i % 128 == 127 || i + 1 == ops.size())) {
-      std::string detail;
-      if (!pt.CheckConsistency(&detail)) {
-        diverge(i, "page table structurally inconsistent: " + detail);
+      for (std::size_t di = 0; di < stacks.size() && !out.diverged; ++di) {
+        std::string detail;
+        if (!stacks[di].pt->CheckConsistency(&detail)) {
+          std::string tag;
+          if (multi) {
+            tag = "domain " + std::to_string(di) + ": ";
+          }
+          diverge(i, tag + "page table structurally inconsistent: " + detail);
+        }
       }
     }
   }
@@ -431,6 +505,11 @@ std::string DifferentialHarness::Serialize(const DiffConfig& config,
   os << "seed " << config.seed << "\n";
   os << "pages_per_chunk " << config.pages_per_chunk << "\n";
   os << "num_cores " << config.num_cores << "\n";
+  if (config.num_domains != 1) {
+    // Only multi-domain repros carry the key, so single-domain repro files
+    // stay byte-identical to the pre-tenant format.
+    os << "num_domains " << config.num_domains << "\n";
+  }
   os << "bug " << InjectedBugName(config.bug) << "\n";
   os << "ops " << ops.size() << "\n";
   for (const DiffOp& op : ops) {
@@ -480,6 +559,8 @@ bool DifferentialHarness::Parse(const std::string& text, DiffConfig* config,
       ls >> config->pages_per_chunk;
     } else if (key == "num_cores") {
       ls >> config->num_cores;
+    } else if (key == "num_domains") {
+      ls >> config->num_domains;
     } else if (key == "bug") {
       std::string token;
       ls >> token;
@@ -515,6 +596,9 @@ bool DifferentialHarness::Parse(const std::string& text, DiffConfig* config,
   }
   if (config->pages_per_chunk == 0 || config->num_cores == 0) {
     return fail("pages_per_chunk and num_cores must be positive");
+  }
+  if (config->num_domains == 0) {
+    return fail("num_domains must be positive");
   }
   return true;
 }

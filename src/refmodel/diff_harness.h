@@ -20,6 +20,16 @@
 //   * kEarlyReclaim       — table pages are reclaimed without the PTcache
 //                           invalidation (DmaApiConfig::
 //                           inject_skip_reclaim_invalidation, PR-1).
+//   * kUntaggedIotlb      — IOTLB entries lose their domain tag
+//                           (IommuConfig::inject_untagged_iotlb): one
+//                           tenant's lookups can hit another tenant's
+//                           entries. Meaningful only with num_domains >= 2.
+//
+// Multi-domain runs (num_domains >= 2) drive one shared IOMMU with a full
+// per-domain stack (page table, IOVA allocator, DmaApi, oracle, RefModel)
+// behind each domain id; each op dispatches to a domain by its arg's high
+// bits. Per-domain semantics must hold independently, and the cross-domain
+// violation count must stay zero — tenant isolation as a checkable contract.
 #ifndef FASTSAFE_SRC_REFMODEL_DIFF_HARNESS_H_
 #define FASTSAFE_SRC_REFMODEL_DIFF_HARNESS_H_
 
@@ -37,6 +47,7 @@ enum class InjectedBug : int {
   kUseAfterUnmap,
   kSkipInvalidation,
   kEarlyReclaim,
+  kUntaggedIotlb,
 };
 
 constexpr const char* InjectedBugName(InjectedBug bug) {
@@ -49,6 +60,8 @@ constexpr const char* InjectedBugName(InjectedBug bug) {
       return "skip-invalidation";
     case InjectedBug::kEarlyReclaim:
       return "early-reclaim";
+    case InjectedBug::kUntaggedIotlb:
+      return "untagged-iotlb";
   }
   return "?";
 }
@@ -91,6 +104,9 @@ struct DiffConfig {
   std::uint32_t pages_per_chunk = 64;
   std::uint32_t num_cores = 4;
   InjectedBug bug = InjectedBug::kNone;
+  // 1 = the classic single-tenant harness (host domain only). >= 2 builds a
+  // per-domain stack behind each of that many tenant domains on one IOMMU.
+  std::uint32_t num_domains = 1;
 };
 
 struct DiffResult {

@@ -1,0 +1,121 @@
+// Protection-domain identifiers and the IOMMU-side domain table.
+//
+// A protection domain is the PASID-style unit of IO isolation: each domain
+// owns an IO page table (and, at the driver layer, an IOVA allocator and a
+// protection mode), while every domain shares the one IOMMU — its IOTLB, its
+// PTcaches, its walkers and its invalidation queue. Hardware keeps the shared
+// caches safe by tagging every entry with the owning domain id, exactly like
+// VT-d tags IOTLB entries with the translation's domain-id/PASID.
+//
+// Tag encoding: IOVAs are 48 bits, so IOTLB tags (page numbers, <= 2^36) and
+// PTcache tags (IOVA prefixes, <= 2^36) never use bits 48..61. The domain id
+// occupies bits 48..57, below the 2 MB-granularity namespace bit (bit 62).
+// Domain 0 — the host/default domain — tags as 0, which is what makes the
+// single-tenant configuration bit-for-bit identical to the pre-domain model:
+// every tag, set index, LRU decision and counter is computed from the exact
+// same values.
+//
+// This header is dependency-free on purpose: the IOMMU, driver and PCIe
+// layers include it without pulling in the tenant subsystem.
+#ifndef FASTSAFE_SRC_TENANT_DOMAIN_H_
+#define FASTSAFE_SRC_TENANT_DOMAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fsio {
+
+class IoPageTable;
+class SafetyOracle;
+
+// Strongly-typed domain id. Domain ids must flow as this type — never as a
+// bare integer — so a tenant index can not be confused with a core id or a
+// tag (enforced by the fsio_lint `raw-domain-id` rule).
+struct DomainId {
+  std::uint32_t value = 0;
+  friend bool operator==(DomainId a, DomainId b) { return a.value == b.value; }
+  friend bool operator!=(DomainId a, DomainId b) { return a.value != b.value; }
+};
+
+// The host/default domain: always present, always live, tags as 0.
+inline constexpr DomainId kHostDomain{0};
+
+inline constexpr std::uint64_t kDomainTagShift = 48;
+inline constexpr std::uint64_t kDomainIdBits = 10;
+inline constexpr std::uint64_t kMaxDomains = 1ULL << kDomainIdBits;
+inline constexpr std::uint64_t kDomainFieldMask = (kMaxDomains - 1) << kDomainTagShift;
+
+// Domain field of a cache tag. DomainTagBits(kHostDomain) == 0.
+constexpr std::uint64_t DomainTagBits(DomainId domain) {
+  return (static_cast<std::uint64_t>(domain.value) & (kMaxDomains - 1)) << kDomainTagShift;
+}
+
+// Owning domain encoded in a (correctly tagged) cache tag.
+constexpr DomainId DomainOfTag(std::uint64_t tag) {
+  return DomainId{static_cast<std::uint32_t>((tag >> kDomainTagShift) & (kMaxDomains - 1))};
+}
+
+// The tag with its domain field cleared (page number / level prefix / id).
+constexpr std::uint64_t StripDomainTag(std::uint64_t tag) { return tag & ~kDomainFieldMask; }
+
+// The IOMMU's domain table: maps a domain id to the domain's translation
+// context (IO page table root) and its safety oracle. Entry 0 is the host
+// domain, installed at construction and never retired. Ids are never reused —
+// a retired entry stays dead, so a late invalidation or translation against a
+// reclaimed id is detectable (and safe to ignore).
+class DomainTable {
+ public:
+  struct Entry {
+    IoPageTable* page_table = nullptr;
+    SafetyOracle* oracle = nullptr;
+    bool live = false;
+  };
+
+  explicit DomainTable(IoPageTable* host_page_table) {
+    entries_.push_back(Entry{host_page_table, nullptr, true});
+  }
+
+  // Registers a new domain and returns its id. The table is append-only; the
+  // simulator never approaches the kMaxDomains hardware field width.
+  DomainId Add(IoPageTable* page_table) {
+    entries_.push_back(Entry{page_table, nullptr, true});
+    return DomainId{static_cast<std::uint32_t>(entries_.size() - 1)};
+  }
+
+  // Marks a domain dead. Its id is never handed out again.
+  void Retire(DomainId domain) {
+    if (domain.value != 0 && domain.value < entries_.size()) {
+      entries_[domain.value].live = false;
+      entries_[domain.value].page_table = nullptr;
+      entries_[domain.value].oracle = nullptr;
+    }
+  }
+
+  bool IsLive(DomainId domain) const {
+    return domain.value < entries_.size() && entries_[domain.value].live;
+  }
+
+  // Live entry for `domain`, or nullptr for dead / never-allocated ids.
+  Entry* Find(DomainId domain) {
+    return IsLive(domain) ? &entries_[domain.value] : nullptr;
+  }
+  const Entry* Find(DomainId domain) const {
+    return IsLive(domain) ? &entries_[domain.value] : nullptr;
+  }
+
+  Entry& at(DomainId domain) { return entries_[domain.value]; }
+
+  std::size_t size() const { return entries_.size(); }
+  // True once any domain beyond the host domain was ever registered. The
+  // IOMMU keeps its single-domain fast path (no owner bookkeeping, no
+  // per-domain counters) while this is false.
+  bool multi_domain() const { return entries_.size() > 1; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TENANT_DOMAIN_H_

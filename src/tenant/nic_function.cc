@@ -1,0 +1,41 @@
+#include "src/tenant/nic_function.h"
+
+namespace fsio {
+
+void FunctionArbiter::Register(NicFunction* fn) {
+  functions_.push_back(fn);
+  credits_.push_back(fn->weight());
+}
+
+NicFunction* FunctionArbiter::Next() {
+  if (functions_.empty()) {
+    return nullptr;
+  }
+  bool any_work = false;
+  // At most two sweeps: one with current credits, one after a refill.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      const std::size_t idx = (cursor_ + i) % functions_.size();
+      if (!functions_[idx]->HasWork()) {
+        continue;
+      }
+      any_work = true;
+      if (credits_[idx] > 0) {
+        --credits_[idx];
+        cursor_ = (idx + 1) % functions_.size();
+        return functions_[idx];
+      }
+    }
+    if (!any_work) {
+      return nullptr;
+    }
+    // Work exists but every backlogged function is out of credits: start a
+    // new credit cycle.
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      credits_[i] = functions_[i]->weight();
+    }
+  }
+  return nullptr;  // unreachable with positive weights; defensive
+}
+
+}  // namespace fsio

@@ -1,0 +1,47 @@
+#include "src/tenant/protection_domain.h"
+
+namespace fsio {
+
+ProtectionDomain::ProtectionDomain(const ProtectionDomainConfig& config, Iommu* iommu,
+                                   StatsRegistry* stats)
+    : config_(config), iommu_(iommu), stats_(stats) {
+  page_table_ = std::make_unique<IoPageTable>();
+  id_ = iommu_->AddDomain(page_table_.get());
+  oracle_ = std::make_unique<SafetyOracle>(nullptr);
+  iommu_->SetDomainOracle(id_, oracle_.get());
+  BuildStack();
+}
+
+void ProtectionDomain::BuildStack() {
+  IovaAllocatorConfig iova_config;
+  iova_config.num_cores = config_.num_cores;
+  iova_config.enable_rcache = config_.enable_rcache;
+  iova_ = std::make_unique<IovaAllocator>(iova_config, stats_);
+
+  DmaApiConfig dma_config;
+  dma_config.mode = config_.mode;
+  dma_config.pages_per_chunk = config_.pages_per_chunk;
+  dma_config.num_cores = config_.num_cores;
+  dma_config.free_migration_fraction = config_.free_migration_fraction;
+  dma_config.domain = id_;
+  dma_ = std::make_unique<DmaApi>(dma_config, iova_.get(), page_table_.get(), iommu_, stats_);
+  dma_->SetSafetyOracle(oracle_.get());
+}
+
+TimeNs ProtectionDomain::Rebuild(TimeNs at) {
+  // The crashed instance's driver intent is void: every mapping it held is
+  // now dead, so any device access through a surviving cache entry is a
+  // caught violation rather than silently "still mapped".
+  oracle_->ForceUnmapAll();
+  retired_tables_.push_back(std::move(page_table_));
+  page_table_ = std::make_unique<IoPageTable>();
+  iommu_->SetDomainPageTable(id_, page_table_.get());
+  BuildStack();
+  // Domain-selective flush: co-resident tenants' cached translations stay
+  // resident — the whole point of per-domain invalidation.
+  return iommu_->InvalidateDomain(id_, at);
+}
+
+void ProtectionDomain::Retire() { iommu_->RetireDomain(id_); }
+
+}  // namespace fsio

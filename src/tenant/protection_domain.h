@@ -1,0 +1,84 @@
+// A tenant's PASID-style protection domain: the per-tenant software stack
+// behind one DomainId on a shared IOMMU.
+//
+// Each domain owns its own IO page table (its IOVA space's translation
+// root), its own IOVA allocator (tenants' IOVA spaces alias numerically —
+// isolation comes from the domain tag, exactly as with per-PASID tables in
+// VT-d scalable mode), its own safety oracle (per-domain ground truth for
+// the isolation invariants) and its own DmaApi instance configured with the
+// tenant's protection mode. The IOMMU hardware — IOTLB, PTcaches, walkers,
+// invalidation queue — is shared with every other domain.
+#ifndef FASTSAFE_SRC_TENANT_PROTECTION_DOMAIN_H_
+#define FASTSAFE_SRC_TENANT_PROTECTION_DOMAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/driver/dma_api.h"
+#include "src/driver/protection.h"
+#include "src/faults/safety_oracle.h"
+#include "src/iommu/iommu.h"
+#include "src/iova/iova_allocator.h"
+#include "src/pagetable/io_page_table.h"
+#include "src/simcore/time.h"
+#include "src/stats/counters.h"
+#include "src/tenant/domain.h"
+
+namespace fsio {
+
+struct ProtectionDomainConfig {
+  ProtectionMode mode = ProtectionMode::kFastSafe;
+  std::uint32_t pages_per_chunk = 64;
+  std::uint32_t num_cores = 4;
+  bool enable_rcache = true;
+  // Tenant drivers default to no cross-core free migration so multi-tenant
+  // scenarios stay deterministic without seeding per-tenant RNG streams.
+  double free_migration_fraction = 0.0;
+};
+
+class ProtectionDomain {
+ public:
+  // Registers a fresh domain on `iommu` (allocating its DomainId) and builds
+  // the tenant-side stack on top of it. `stats` is the shared registry.
+  ProtectionDomain(const ProtectionDomainConfig& config, Iommu* iommu, StatsRegistry* stats);
+
+  DomainId id() const { return id_; }
+  DmaApi& dma() { return *dma_; }
+  SafetyOracle& oracle() { return *oracle_; }
+  const SafetyOracle& oracle() const { return *oracle_; }
+  IoPageTable& page_table() { return *page_table_; }
+  ProtectionMode mode() const { return config_.mode; }
+
+  // Crash recovery: tears down the tenant's driver state (every live mapping
+  // goes dead in the oracle), installs a fresh page table / IOVA allocator /
+  // DmaApi, and issues a domain-selective invalidation so the shared caches
+  // drop this domain's — and only this domain's — entries. Returns the
+  // invalidation's hardware completion time.
+  TimeNs Rebuild(TimeNs at);
+
+  // Marks the domain dead on the IOMMU: further translations fault, and
+  // invalidating the id becomes a no-op. Irreversible.
+  void Retire();
+
+ private:
+  void BuildStack();
+
+  ProtectionDomainConfig config_;
+  Iommu* iommu_;
+  StatsRegistry* stats_;
+  DomainId id_{};
+
+  std::unique_ptr<IoPageTable> page_table_;
+  std::unique_ptr<IovaAllocator> iova_;
+  std::unique_ptr<SafetyOracle> oracle_;
+  std::unique_ptr<DmaApi> dma_;
+  // Pre-crash page tables are kept alive: the shared caches may briefly hold
+  // entries created against them (until the rebuild invalidation lands), and
+  // dangling roots would turn a model bug into UB instead of a caught
+  // violation.
+  std::vector<std::unique_ptr<IoPageTable>> retired_tables_;
+};
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_TENANT_PROTECTION_DOMAIN_H_

@@ -1,0 +1,183 @@
+#include "src/tenant/tenant_system.h"
+
+namespace fsio {
+
+TenantSystem::TenantSystem(const TenantSystemConfig& config) : config_(config) {
+  memory_ = std::make_unique<MemorySystem>(config_.memory, &stats_);
+  host_page_table_ = std::make_unique<IoPageTable>();
+  iommu_ = std::make_unique<Iommu>(config_.iommu, memory_.get(), host_page_table_.get(),
+                                   &stats_);
+  root_complex_ =
+      std::make_unique<RootComplex>(config_.pcie, iommu_.get(), memory_.get(), &stats_);
+  frames_ = std::make_unique<FrameAllocator>();
+
+  tenants_.reserve(config_.tenants.size());
+  for (const TenantConfig& tc : config_.tenants) {
+    Tenant tenant;
+    tenant.config = tc;
+    ProtectionDomainConfig pd;
+    pd.mode = tc.mode;
+    pd.pages_per_chunk = config_.churn_pages;
+    tenant.domain = std::make_unique<ProtectionDomain>(pd, iommu_.get(), &stats_);
+    tenant.function = std::make_unique<NicFunction>(tenant.domain->id(), tc.weight);
+    tenants_.push_back(std::move(tenant));
+  }
+  for (Tenant& tenant : tenants_) {
+    arbiter_.Register(tenant.function.get());
+  }
+}
+
+void TenantSystem::RetireInFlight(Tenant* tenant, TimeNs* t) {
+  const std::uint32_t depth = tenant->config.pipeline_depth == 0
+                                  ? 1
+                                  : tenant->config.pipeline_depth;
+  while (tenant->in_flight.size() >= depth) {
+    Desc& d = tenant->in_flight.front();
+    const DmaApi::UnmapResultInfo u = tenant->domain->dma().UnmapDescriptor(0, d.mappings, *t);
+    *t += u.cpu_ns;
+    for (PhysAddr f : d.frames) {
+      frames_->FreeFrame(f);
+    }
+    tenant->in_flight.pop_front();
+  }
+}
+
+void TenantSystem::RunOp(Tenant* tenant) {
+  const std::uint32_t pages =
+      tenant->config.latency_critical ? config_.rpc_pages : config_.churn_pages;
+  const DomainId did = tenant->domain->id();
+  const TimeNs start = now_;
+  TimeNs t = start;
+  std::vector<DmaSegment> segments;
+  segments.reserve(pages);
+
+  if (tenant->config.mode == ProtectionMode::kOff) {
+    // Passthrough: the buffer pool is identity-mapped once and reused for
+    // every op — zero per-op protection work, permanent device access.
+    while (tenant->off_pool.size() < pages) {
+      const PhysAddr f = frames_->AllocFrame();
+      tenant->domain->page_table().Map(f, f);
+      tenant->domain->oracle().OnMap(f, 1);
+      tenant->domain->oracle().OnMapBacking(f, 1, f);
+      tenant->off_pool.push_back(DmaMapping{f, f, 0});
+    }
+    const std::uint64_t base = tenant->op_seq % tenant->off_pool.size();
+    for (std::uint32_t i = 0; i < pages; ++i) {
+      const DmaMapping& m = tenant->off_pool[(base + i) % tenant->off_pool.size()];
+      segments.push_back(DmaSegment{m.iova, static_cast<std::uint32_t>(kPageSize), did});
+    }
+    const DmaTiming w = root_complex_->DmaWrite(t, segments);
+    if (tenant->config.latency_critical) {
+      if (w.commit_done > t) {
+        t = w.commit_done;
+      }
+    } else {
+      tenant->busy_until = w.commit_done;
+    }
+  } else {
+    // Make room in the pipeline first, then map and DMA this op's descriptor.
+    RetireInFlight(tenant, &t);
+    std::vector<DmaMapping> mappings;
+    mappings.reserve(pages);
+    std::vector<PhysAddr> op_frames;
+    op_frames.reserve(pages);
+    for (std::uint32_t i = 0; i < pages; ++i) {
+      const PhysAddr f = frames_->AllocFrame();
+      DmaApi::MapResult mr = tenant->domain->dma().MapPage(0, f);
+      t += mr.cpu_ns;
+      if (mr.mappings.empty()) {
+        frames_->FreeFrame(f);
+        continue;
+      }
+      op_frames.push_back(f);
+      mappings.push_back(mr.mappings.front());
+    }
+    for (const DmaMapping& m : mappings) {
+      segments.push_back(DmaSegment{m.iova, static_cast<std::uint32_t>(kPageSize), did});
+    }
+    if (!segments.empty()) {
+      const DmaTiming w = root_complex_->DmaWrite(t, segments);
+      if (tenant->config.latency_critical) {
+        // Synchronous RPC: latency covers the DMA completion.
+        if (w.commit_done > t) {
+          t = w.commit_done;
+        }
+      } else {
+        // Fire-and-forget churn: the clock advances only past the CPU work;
+        // the walks stay queued on the shared walker where the victim's
+        // next translation will find them.
+        tenant->busy_until = w.commit_done;
+      }
+    }
+    Desc desc;
+    desc.mappings = std::move(mappings);
+    desc.frames = std::move(op_frames);
+    tenant->in_flight.push_back(std::move(desc));
+  }
+
+  tenant->latency.Record(static_cast<std::uint64_t>(t - start));
+  ++tenant->op_seq;
+  now_ = t;
+}
+
+void TenantSystem::RunRounds(std::uint64_t rounds) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (Tenant& tenant : tenants_) {
+      // Async tenants whose last DMA is still in flight skip the round:
+      // outstanding device work stays bounded near the clock instead of
+      // queueing unboundedly far ahead of it.
+      if (!tenant.crashed &&
+          (tenant.config.latency_critical || tenant.busy_until <= now_)) {
+        tenant.function->EnqueueJobs(tenant.config.weight);
+      }
+    }
+    while (NicFunction* fn = arbiter_.Next()) {
+      fn->PopJob();
+      for (Tenant& tenant : tenants_) {
+        if (tenant.function.get() == fn) {
+          if (!tenant.crashed) {
+            RunOp(&tenant);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void TenantSystem::CrashTenant(std::size_t idx) {
+  // The tenant stops cold: its in-flight descriptor stays mapped and the
+  // shared caches keep whatever they hold for the domain. That state is the
+  // recovery hazard.
+  tenants_[idx].crashed = true;
+}
+
+void TenantSystem::RecoverTenant(std::size_t idx) {
+  Tenant& tenant = tenants_[idx];
+  now_ = tenant.domain->Rebuild(now_);
+  // The stranded descriptors' frames go back to the shared pool; the rebuilt
+  // driver has no record of them.
+  for (const Desc& d : tenant.in_flight) {
+    for (PhysAddr f : d.frames) {
+      frames_->FreeFrame(f);
+    }
+  }
+  tenant.in_flight.clear();
+  tenant.off_pool.clear();
+  tenant.crashed = false;
+}
+
+TenantReport TenantSystem::Report(std::size_t idx) const {
+  const Tenant& tenant = tenants_[idx];
+  TenantReport report;
+  report.ops = tenant.latency.count();
+  report.p50_ns = tenant.latency.Percentile(50.0);
+  report.p99_ns = tenant.latency.Percentile(99.0);
+  report.p999_ns = tenant.latency.Percentile(99.9);
+  report.violations = tenant.domain->oracle().total_violations();
+  report.cross_domain =
+      tenant.domain->oracle().count(SafetyViolationKind::kCrossDomainHit);
+  return report;
+}
+
+}  // namespace fsio

@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): a protection-domain identity carried as a
+// bare integer can be silently swapped with a weight, a count, or a tag —
+// the raw-domain-id rule must flag both declarations below.
+#include <cstdint>
+
+#include "src/tenant/domain.h"
+
+namespace fsio {
+
+std::uint32_t LookupOwner(std::uint32_t domain_id) {  // raw-domain-id
+  return domain_id;
+}
+
+struct BadCrashRecord {
+  std::uint32_t crashed_domain = 0;  // raw-domain-id
+  std::uint32_t weight = 1;          // fine: unrelated integer
+};
+
+}  // namespace fsio

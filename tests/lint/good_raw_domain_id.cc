@@ -1,0 +1,30 @@
+// Lint fixture (never compiled): DomainId-typed identities, plural counts
+// (a number of domains is an integer, not an identity), and deliberate
+// widening at cast/template boundaries are all clean under the full rule
+// set.
+#include <cstdint>
+#include <vector>
+
+#include "src/tenant/domain.h"
+
+namespace fsio {
+
+DomainId LookupOwner(DomainId domain) { return domain; }
+
+struct GoodTenantCounts {
+  std::uint32_t num_domains = 1;  // plural: a count, not an id
+  std::uint32_t weight = 1;
+};
+
+std::uint32_t WidenForSerialization(DomainId domain) {
+  return static_cast<std::uint32_t>(domain.value);  // cast context: deliberate
+}
+
+void CollectValues(const std::vector<std::uint32_t>& raw_values,
+                   std::vector<DomainId>* domains) {
+  for (std::uint32_t v : raw_values) {
+    domains->push_back(DomainId{v});
+  }
+}
+
+}  // namespace fsio

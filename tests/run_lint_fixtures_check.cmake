@@ -50,6 +50,7 @@ check_fixture(bad_pragma_once.h       1 include-guard   "")
 check_fixture(bad_include_hygiene.cc  3 include-hygiene "")
 check_fixture(bad_discarded_fault_decision.cc 2 discarded-fault-decision "")
 check_fixture(bad_std_function_event.cc 2 std-function-event src)
+check_fixture(bad_raw_domain_id.cc    2 raw-domain-id   "")
 
 # Scoping is real: wall-clock only applies to src/, so the same fixture is
 # clean when linted under its natural tests/ scope.
@@ -65,5 +66,6 @@ check_fixture(good_dma_pairing.cc     clean "" tests)
 check_fixture(good_include_guard.h    clean "" "")
 check_fixture(good_fault_decision.cc  clean "" "")
 check_fixture(good_std_function_event.cc clean "" src)
+check_fixture(good_raw_domain_id.cc   clean "" "")
 
 message(STATUS "fsio_lint fixture matrix passed")

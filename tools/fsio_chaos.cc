@@ -50,6 +50,8 @@
 #include "src/faults/invariant_registry.h"
 #include "src/faults/safety_oracle.h"
 #include "src/simcore/time.h"
+#include "src/tenant/domain.h"
+#include "src/tenant/tenant_system.h"
 
 namespace fsio {
 namespace {
@@ -61,6 +63,7 @@ struct ChaosOptions {
   bool verbose = false;
   bool break_recovery = false;
   bool expect_violation = false;
+  bool tenant_crash = false;
   std::string repro_out;
   std::string replay;
 };
@@ -464,6 +467,108 @@ int RunSuite(const ChaosOptions& opt, std::string* output) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-tenant crash scenario (tenant_crash): one protection domain crashes
+// mid-flight on a shared IOMMU and is recovered with a domain-selective
+// invalidation. Run for every protection mode; in each cell:
+//
+//   * the co-resident tenant keeps making progress while the victim is dead;
+//   * the crashed tenant's stranded in-flight descriptor is still device-
+//     visible before recovery (we replay a device access to prove it) and
+//     faults cleanly after;
+//   * recovery clears ONLY the crashed domain's IOTLB entries — the
+//     co-tenant's resident entries are counted before and after;
+//   * the recovered tenant resumes, and the safety oracles of both domains
+//     end at zero violations, including zero dma_cross_domain_hit.
+int RunTenantCrash(const ChaosOptions& opt, std::string* output) {
+  std::ostringstream all;
+  int failures = 0;
+  auto expect = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures;
+      all << "EXPECTATION FAILED: " << what << "\n";
+    }
+  };
+
+  for (const ModeEntry& entry : kModes) {
+    const std::string tag = std::string("tenant-crash / ") + entry.key;
+    TenantSystemConfig config;
+    TenantConfig victim;
+    victim.mode = entry.mode;
+    victim.latency_critical = true;
+    victim.weight = 1;
+    config.tenants.push_back(victim);
+    TenantConfig co;
+    co.mode = entry.mode;
+    co.latency_critical = true;  // closed-loop, so `ops` measures progress
+    co.weight = 2;
+    config.tenants.push_back(co);
+    config.churn_pages = 8;  // keep both working sets resident in the IOTLB
+    TenantSystem system(config);
+
+    system.RunRounds(100);
+    system.CrashTenant(0);
+    const std::uint64_t co_ops_at_crash = system.Report(1).ops;
+    const std::uint64_t victim_ops_at_crash = system.Report(0).ops;
+    system.RunRounds(50);
+    const std::uint64_t co_ops_during = system.Report(1).ops;
+    expect(co_ops_during > co_ops_at_crash,
+           tag + ": co-resident tenant keeps running while the victim is down");
+
+    // The stranded in-flight descriptor is the recovery hazard: the device
+    // can still use it (legally — the driver never unmapped it).
+    const std::vector<Iova> stranded = system.StrandedIovas(0);
+    const DomainId crashed_id = system.domain(0).id();
+    const DomainId co_id = system.domain(1).id();
+    if (entry.mode != ProtectionMode::kOff) {
+      expect(!stranded.empty(), tag + ": crash strands an in-flight descriptor");
+    }
+    if (!stranded.empty()) {
+      const TranslationResult pre =
+          system.iommu().Translate(crashed_id, stranded.front(), system.now());
+      expect(!pre.fault, tag + ": stranded descriptor still device-visible pre-recovery");
+    }
+    const SetAssocCache& iotlb = system.iommu().iotlb();
+    const std::uint64_t co_resident_before =
+        iotlb.CountMatching(kDomainFieldMask, DomainTagBits(co_id));
+    expect(co_resident_before > 0, tag + ": co-tenant holds resident IOTLB entries");
+
+    system.RecoverTenant(0);
+    expect(iotlb.CountMatching(kDomainFieldMask, DomainTagBits(crashed_id)) == 0,
+           tag + ": recovery clears every crashed-domain IOTLB entry");
+    expect(iotlb.CountMatching(kDomainFieldMask, DomainTagBits(co_id)) == co_resident_before,
+           tag + ": domain-selective invalidation leaves the co-tenant resident");
+    if (!stranded.empty()) {
+      const TranslationResult post =
+          system.iommu().Translate(crashed_id, stranded.front(), system.now());
+      expect(post.fault, tag + ": stranded descriptor faults after recovery");
+      expect(!post.stale_use, tag + ": post-recovery fault carries no stale state");
+    }
+
+    system.RunRounds(50);
+    const TenantReport victim_final = system.Report(0);
+    const TenantReport co_final = system.Report(1);
+    expect(victim_final.ops > victim_ops_at_crash,
+           tag + ": recovered tenant resumes making progress");
+    expect(victim_final.violations == 0 && co_final.violations == 0,
+           tag + ": zero safety-oracle violations in both domains");
+    expect(victim_final.cross_domain == 0 && co_final.cross_domain == 0,
+           tag + ": zero cross-domain hits");
+    expect(system.stats().Value("iommu.cross_domain_hits") == 0,
+           tag + ": IOMMU-wide cross-domain hit counter stays zero");
+
+    all << "=== scenario=tenant-crash mode=" << entry.key << " ===\n";
+    all << "victim_ops=" << victim_final.ops << " co_ops=" << co_final.ops
+        << " stranded=" << stranded.size()
+        << " co_resident=" << co_resident_before
+        << " violations=" << victim_final.violations + co_final.violations
+        << " cross_domain=" << victim_final.cross_domain + co_final.cross_domain << "\n";
+  }
+  all << (failures == 0 ? "TENANT CRASH MATRIX OK\n" : "TENANT CRASH MATRIX FAILED\n");
+  *output = all.str();
+  return failures;
+}
+
+// ---------------------------------------------------------------------------
 // Broken-recovery demonstration: repro files, shrinking, replay.
 
 bool KindFromName(const std::string& name, FaultKind* out) {
@@ -719,6 +824,8 @@ int Main(int argc, char** argv) {
       opt.verbose = true;
     } else if (std::strcmp(argv[i], "--break-recovery") == 0) {
       opt.break_recovery = true;
+    } else if (std::strcmp(argv[i], "--tenant-crash") == 0) {
+      opt.tenant_crash = true;
     } else if (std::strcmp(argv[i], "--expect-violation") == 0) {
       opt.expect_violation = true;
     } else if (std::strcmp(argv[i], "--repro-out") == 0 && i + 1 < argc) {
@@ -731,7 +838,7 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--window NS] [--seed S] [--jobs N] [--verbose]\n"
                    "          [--break-recovery [--expect-violation] [--repro-out F]]\n"
-                   "          [--replay F] [--selftest-determinism]\n",
+                   "          [--tenant-crash] [--replay F] [--selftest-determinism]\n",
                    argv[0]);
       return 2;
     }
@@ -741,6 +848,8 @@ int Main(int argc, char** argv) {
   int failures;
   if (!opt.replay.empty()) {
     failures = RunReplay(opt.replay, opt, &output);
+  } else if (opt.tenant_crash) {
+    failures = RunTenantCrash(opt, &output);
   } else if (opt.break_recovery) {
     failures = RunBrokenRecovery(opt, &output);
   } else {

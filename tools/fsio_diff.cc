@@ -41,6 +41,7 @@ struct Options {
   std::string rcache = "both";   // "both" | "on" | "off"
   std::uint32_t pages_per_chunk = 64;
   std::uint32_t num_cores = 4;
+  std::uint32_t domains = 1;
   InjectedBug bug = InjectedBug::kNone;
   bool expect_divergence = false;
   std::size_t max_repro_ops = 20;
@@ -61,8 +62,10 @@ void Usage() {
                "  --rcache both|on|off  IOVA allocator cache configurations\n"
                "  --pages-per-chunk N   Rx descriptor size in pages (default 64)\n"
                "  --num-cores N         driver cores (default 4)\n"
-               "  --bug TOKEN           inject a driver bug (none use-after-unmap\n"
-               "                        skip-invalidation early-reclaim)\n"
+               "  --domains N           protection domains sharing the IOMMU (default 1;\n"
+               "                        >=2 checks per-tenant semantics + isolation)\n"
+               "  --bug TOKEN           inject a driver/hardware bug (none use-after-unmap\n"
+               "                        skip-invalidation early-reclaim untagged-iotlb)\n"
                "  --expect-divergence   require every run to diverge (oracle self-test)\n"
                "  --max-repro-ops N     shrunken repro size budget (default 20)\n"
                "  --repro-out FILE      write the shrunken repro here on divergence\n"
@@ -88,6 +91,12 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       opt->pages_per_chunk = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (a == "--num-cores" && need(i)) {
       opt->num_cores = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--domains" && need(i)) {
+      opt->domains = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (opt->domains == 0) {
+        std::fprintf(stderr, "fsio_diff: --domains must be positive\n");
+        return false;
+      }
     } else if (a == "--bug" && need(i)) {
       if (!ParseBugToken(argv[++i], &opt->bug)) {
         std::fprintf(stderr, "fsio_diff: unknown bug token '%s'\n", argv[i]);
@@ -257,6 +266,7 @@ int Main(int argc, char** argv) {
         config.num_ops = opt.ops;
         config.pages_per_chunk = opt.pages_per_chunk;
         config.num_cores = opt.num_cores;
+        config.num_domains = opt.domains;
         config.bug = opt.bug;
         const std::vector<DiffOp> ops = DifferentialHarness::GenerateOps(config);
         const DiffResult result = DifferentialHarness::Run(config, ops);

@@ -16,6 +16,7 @@
 //   wall-clock       sleep/wall-clock time in src/ (breaks determinism)
 //   dma-pairing      gtest bodies that Map* DMA pages but never Unmap/Release
 //   discarded-fault-decision  FaultInjector::Sample() result dropped on the floor
+//   raw-domain-id    domain ids flow as fsio::DomainId, never bare uint32_t
 //   include-guard    headers must carry FASTSAFE_<PATH>_H_ guards
 //   include-hygiene  quoted includes repo-root-relative; never include a .cc
 //
@@ -673,6 +674,65 @@ void CheckStdFunctionEvent(const SourceFile& file, std::vector<Diagnostic>* diag
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-domain-id — protection-domain identities flow as fsio::DomainId
+// (src/tenant/domain.h), never as a bare uint32_t. The wrapper is what keeps
+// a domain id from being silently mixed with weights, counts, or tags — the
+// exact confusion the multi-tenant isolation invariant depends on never
+// happening. Flags a `uint32_t` (or `std::uint32_t`) declaration whose
+// declared name contains "domain" but not the plural "domains" (a count of
+// domains is an integer, not an identity). Template-argument and cast
+// contexts (`static_cast<std::uint32_t>(...)`, `Vector<std::uint32_t>`) are
+// out of scope: widening an id at a serialization boundary is deliberate.
+
+void CheckRawDomainId(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (file.path == "src/tenant/domain.h") {
+    return;  // the DomainId wrapper itself stores the raw value
+  }
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    std::size_t pos = line.find("uint32_t");
+    while (pos != std::string::npos) {
+      const bool lead_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+      std::size_t after = pos + std::strlen("uint32_t");
+      const bool tail_ok = after >= line.size() || !IsIdentChar(line[after]);
+      if (!lead_ok || !tail_ok) {
+        pos = line.find("uint32_t", pos + 1);
+        continue;
+      }
+      // Skip declarator punctuation to the declared name; a non-identifier
+      // next token means a template argument, cast, or functional-cast
+      // context, which the rule leaves alone.
+      while (after < line.size() &&
+             (std::isspace(static_cast<unsigned char>(line[after])) != 0 ||
+              line[after] == '&' || line[after] == '*')) {
+        ++after;
+      }
+      if (after >= line.size() || !IsIdentChar(line[after])) {
+        pos = line.find("uint32_t", after);
+        continue;
+      }
+      std::string ident;
+      std::size_t end = after;
+      while (end < line.size() && IsIdentChar(line[end])) {
+        ident.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(line[end]))));
+        ++end;
+      }
+      if (ident.find("domain") != std::string::npos &&
+          ident.find("domains") == std::string::npos &&
+          !Suppressed(file, li + 1, "raw-domain-id")) {
+        diags->push_back({file.path, li + 1, "raw-domain-id",
+                          "'" + ident +
+                              "' holds a domain id as bare uint32_t; use "
+                              "fsio::DomainId (src/tenant/domain.h) so ids "
+                              "cannot be mixed with other integers"});
+      }
+      pos = line.find("uint32_t", end);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 struct RuleInfo {
@@ -694,6 +754,9 @@ const RuleInfo kRules[] = {
     {"std-function-event",
      "src/ hot paths schedule concrete callables, never std::function",
      &CheckStdFunctionEvent},
+    {"raw-domain-id",
+     "protection-domain ids flow as fsio::DomainId, never bare uint32_t",
+     &CheckRawDomainId},
     {"include-guard", "headers carry FASTSAFE_<PATH>_H_ guards", &CheckIncludeGuard},
     {"include-hygiene", "repo-root-relative quoted includes; never include .cc",
      &CheckIncludeHygiene},

@@ -28,6 +28,7 @@
 #include "src/core/cluster.h"
 #include "src/core/sweep_runner.h"
 #include "src/stats/table.h"
+#include "src/tenant/tenant_system.h"
 #include "src/trace/chrome_trace.h"
 #include "src/trace/time_series.h"
 #include "src/trace/tracer.h"
@@ -54,6 +55,13 @@ struct Options {
   bool per_host = false;   // one row per host instead of the measured host
   std::vector<std::uint32_t> sweep_flows;  // empty: single run at --flows
   std::uint32_t jobs = 0;  // sweep threads; 0 = FSIO_SWEEP_THREADS/hardware
+  // Multi-tenant mode (--tenants >= 1): run N protection domains on one
+  // shared IOMMU instead of the cluster workload. Tenant 0 is the
+  // latency-critical RPC domain; the rest are noisy neighbors.
+  std::uint32_t tenants = 0;
+  std::vector<fsio::ProtectionMode> tenant_modes;  // per-tenant; padded with --mode
+  std::string iotlb_partition = "none";            // none | per_domain
+  std::uint64_t tenant_rounds = 2000;
   // Observability.
   std::string trace_path;           // --trace=FILE: Chrome trace-event JSON
   std::string trace_filter;         // --trace-filter=PREFIX: category prefix
@@ -106,6 +114,16 @@ void PrintUsage() {
       "  --switches=N         leaf switches; host h attaches to switch h%N (default 1)\n"
       "  --incast             N-1 -> 1 fan-in into host 0 (default: host 0 -> host 1 iperf)\n"
       "  --per-host           report a row for every host, not just the measured one\n"
+      "\nmulti-tenant (replaces the cluster workload):\n"
+      "  --tenants=N          N protection domains sharing one IOMMU; tenant 0 is\n"
+      "                       latency-critical, tenants 1..N-1 are churn neighbors.\n"
+      "                       Reports one row per tenant (per-domain tail latency).\n"
+      "  --tenant-modes=LIST  comma-separated per-tenant modes (same tokens as\n"
+      "                       --mode); shorter lists are padded with --mode\n"
+      "  --iotlb-partition=none|per_domain\n"
+      "                       per_domain confines IOTLB insertion victims to the\n"
+      "                       inserting domain's ways (IOTLB-SC defense)\n"
+      "  --tenant-rounds=N    arbitration rounds to run (default 2000)\n"
       "\nsweeps:\n"
       "  --sweep-flows=LIST   comma-separated flow counts; one sweep point each\n"
       "  --jobs=N             sweep worker threads. An explicit --jobs overrides the\n"
@@ -169,12 +187,33 @@ bool ParseU32List(const char* arg, const char* prefix, std::vector<std::uint32_t
   return true;
 }
 
+std::vector<fsio::ProtectionMode> ParseModeList(const char* list) {
+  std::vector<fsio::ProtectionMode> modes;
+  std::string token;
+  for (const char* p = list;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        modes.push_back(ParseMode(token));
+      }
+      token.clear();
+      if (*p == '\0') {
+        break;
+      }
+    } else {
+      token.push_back(*p);
+    }
+  }
+  return modes;
+}
+
 Options Parse(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--mode=", 7) == 0) {
       options.mode = ParseMode(arg + 7);
+    } else if (std::strncmp(arg, "--tenant-modes=", 15) == 0) {
+      options.tenant_modes = ParseModeList(arg + 15);
     } else if (ParseU32(arg, "--flows=", &options.flows) ||
                ParseU32(arg, "--cores=", &options.cores) ||
                ParseU32(arg, "--ring=", &options.ring) ||
@@ -184,6 +223,9 @@ Options Parse(int argc, char** argv) {
                ParseU32(arg, "--hosts=", &options.hosts) ||
                ParseU32(arg, "--switches=", &options.switches) ||
                ParseU32(arg, "--jobs=", &options.jobs) ||
+               ParseU32(arg, "--tenants=", &options.tenants) ||
+               ParseU64(arg, "--tenant-rounds=", &options.tenant_rounds) ||
+               ParseString(arg, "--iotlb-partition=", &options.iotlb_partition) ||
                ParseU64(arg, "--warmup-ms=", &options.warmup_ms) ||
                ParseU64(arg, "--window-ms=", &options.window_ms) ||
                ParseU64(arg, "--metrics-interval=", &options.metrics_interval_us) ||
@@ -298,10 +340,78 @@ void AddResultRow(fsio::Table* table, const Options& options, std::uint32_t flow
   table->AddInteger(static_cast<long long>(r.safety_violations));
 }
 
+// Multi-tenant run: N protection domains on one shared IOMMU, one row per
+// tenant with per-domain tail latency and oracle verdicts. Replaces the
+// cluster workload entirely — topology/flow flags are ignored.
+int RunTenants(const Options& options) {
+  if (options.iotlb_partition != "none" && options.iotlb_partition != "per_domain") {
+    std::fprintf(stderr, "--iotlb-partition must be none|per_domain\n");
+    return 2;
+  }
+  if (options.tenant_modes.size() > options.tenants) {
+    std::fprintf(stderr, "--tenant-modes lists %zu modes for %u tenants\n",
+                 options.tenant_modes.size(), options.tenants);
+    return 2;
+  }
+
+  fsio::TenantSystemConfig config;
+  config.iommu.num_walkers = options.walkers;
+  config.iommu.iotlb_ways = 4;
+  config.iommu.iotlb_sets =
+      options.iotlb_entries >= 4 ? options.iotlb_entries / 4 : 1;
+  if (options.iotlb_partition == "per_domain") {
+    config.iommu.iotlb_partitions = options.tenants < 2 ? 2 : options.tenants;
+  }
+  for (std::uint32_t i = 0; i < options.tenants; ++i) {
+    fsio::TenantConfig tenant;
+    tenant.mode = i < options.tenant_modes.size() ? options.tenant_modes[i]
+                                                  : options.mode;
+    tenant.latency_critical = i == 0;
+    tenant.weight = i == 0 ? 1 : 2;
+    tenant.pipeline_depth = i == 0 ? 1 : 128;
+    config.tenants.push_back(tenant);
+  }
+
+  fsio::TenantSystem system(config);
+  system.RunRounds(options.tenant_rounds);
+
+  fsio::Table table({"tenant", "mode", "role", "ops", "p50_ns", "p99_ns",
+                     "p999_ns", "violations", "cross_dom"});
+  for (std::uint32_t i = 0; i < options.tenants; ++i) {
+    const fsio::TenantReport r = system.Report(i);
+    table.BeginRow();
+    table.AddInteger(i);
+    table.AddCell(fsio::ProtectionModeName(config.tenants[i].mode));
+    table.AddCell(i == 0 ? "latency" : "churn");
+    table.AddInteger(static_cast<long long>(r.ops));
+    table.AddInteger(static_cast<long long>(r.p50_ns));
+    table.AddInteger(static_cast<long long>(r.p99_ns));
+    table.AddInteger(static_cast<long long>(r.p999_ns));
+    table.AddInteger(static_cast<long long>(r.violations));
+    table.AddInteger(static_cast<long long>(r.cross_domain));
+  }
+  fsio::EmitTable(std::cout, table,
+                  options.csv ? fsio::TableFormat::kCsv : fsio::TableFormat::kHuman);
+
+  if (options.dump_counters) {
+    std::cout << "\nper-domain counters (tenant.<id>.*):\n";
+    for (const auto& [name, value] : system.stats().Snapshot()) {
+      if (name.rfind("tenant.", 0) == 0) {
+        std::printf("  %-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options options = Parse(argc, argv);
+  if (options.tenants > 0) {
+    return RunTenants(options);
+  }
   if (options.hosts < 2 || options.switches < 1 || options.switches > options.hosts) {
     std::fprintf(stderr, "need --hosts>=2 and 1 <= --switches <= --hosts\n");
     return 2;
