@@ -21,13 +21,17 @@ int main() {
     bool huge;
     const char* safety;
   };
-  const Cfg cfgs[] = {
+  std::vector<Cfg> cfgs = {
       {"iommu-off", ProtectionMode::kOff, false, "none"},
       {"linux-strict", ProtectionMode::kStrict, false, "strict"},
       {"fast-and-safe", ProtectionMode::kFastSafe, false, "strict"},
       {"fast-and-safe+huge", ProtectionMode::kFastSafe, true, "strict"},
       {"hugepage-persistent", ProtectionMode::kHugepagePersistent, false, "weak"},
   };
+  if (!bench::SmokeMode()) {
+    // Full runs add the kernel-bypass design (IOMMU off, table-checked).
+    cfgs.push_back({"capability", ProtectionMode::kCapability, false, "strict"});
+  }
 
   struct Point {
     Cfg cfg;

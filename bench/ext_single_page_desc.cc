@@ -19,8 +19,8 @@ int main() {
     std::uint32_t pages;
   };
   std::vector<Point> points;
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : bench::WithCapability(
+           {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe})) {
     for (std::uint32_t pages : bench::Sweep({1u, 8u, 64u})) {
       points.push_back(Point{mode, pages});
     }

@@ -75,10 +75,10 @@ PointResult RunPoint(const Point& point, std::uint64_t rounds) {
 }
 
 int Main() {
-  const std::vector<ProtectionMode> modes = bench::Sweep({
+  const std::vector<ProtectionMode> modes = bench::WithCapability(bench::Sweep({
       ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kDeferred,
       ProtectionMode::kStrictPreserve, ProtectionMode::kStrictContig,
-      ProtectionMode::kFastSafe, ProtectionMode::kHugepagePersistent});
+      ProtectionMode::kFastSafe, ProtectionMode::kHugepagePersistent}));
   const std::uint64_t rounds = bench::SmokeMode() ? 300 : 4000;
 
   std::vector<Point> points;

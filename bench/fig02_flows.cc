@@ -11,7 +11,7 @@ int main() {
   bench::RunIperfFigure<std::uint32_t>(
       "Figure 2: memory protection overheads vs number of flows\n"
       "(iperf, 4KB MTU, ring 256, 5 cores; paper: 80->35 Gbps for strict)\n\n",
-      "flows", {ProtectionMode::kOff, ProtectionMode::kStrict},
+      "flows", bench::WithCapability({ProtectionMode::kOff, ProtectionMode::kStrict}),
       bench::Sweep({5u, 10u, 20u, 40u}), /*flows_or_zero=*/0,
       [](TestbedConfig* config, std::uint32_t flows, std::uint32_t* out_flows) {
         config->cores = 5;

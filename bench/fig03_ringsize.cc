@@ -11,7 +11,7 @@ int main() {
   bench::RunIperfFigure<std::uint32_t>(
       "Figure 3: memory protection overheads vs ring buffer size\n"
       "(iperf, 5 flows, 4KB MTU; paper: L3 misses grow with the working set)\n\n",
-      "ring", {ProtectionMode::kOff, ProtectionMode::kStrict},
+      "ring", bench::WithCapability({ProtectionMode::kOff, ProtectionMode::kStrict}),
       bench::Sweep({256u, 512u, 1024u, 2048u}), /*flows_or_zero=*/5,
       [](TestbedConfig* config, std::uint32_t ring, std::uint32_t*) {
         config->cores = 5;

@@ -12,7 +12,8 @@ int main() {
       "Figure 7: F&S near-completely eliminates protection overheads vs flows\n"
       "(expected: fast-and-safe == iommu-off, l1/l2/l3 misses ~ 0)\n\n",
       "flows",
-      {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe},
+      bench::WithCapability(
+          {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}),
       bench::Sweep({5u, 10u, 20u, 40u}), /*flows_or_zero=*/0,
       [](TestbedConfig* config, std::uint32_t flows, std::uint32_t* out_flows) {
         config->cores = 5;

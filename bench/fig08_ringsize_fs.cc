@@ -11,7 +11,8 @@ int main() {
       "Figure 8: F&S maintains locality as the IO working set grows\n"
       "(expected: fast-and-safe ~ iommu-off at every ring size)\n\n",
       "ring",
-      {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe},
+      bench::WithCapability(
+          {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}),
       bench::Sweep({256u, 512u, 1024u, 2048u}), /*flows_or_zero=*/5,
       [](TestbedConfig* config, std::uint32_t ring, std::uint32_t*) {
         config->cores = 5;

@@ -21,8 +21,8 @@ int main() {
     std::uint64_t size;
   };
   std::vector<Point> points;
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : bench::WithCapability(
+           {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe})) {
     for (std::uint64_t size : bench::Sweep({128ull, 1024ull, 4096ull, 16384ull, 32768ull})) {
       points.push_back(Point{mode, size});
     }

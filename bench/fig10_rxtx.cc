@@ -18,8 +18,8 @@ int main() {
     std::uint32_t dir_cores;
   };
   std::vector<Point> points;
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : bench::WithCapability(
+           {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe})) {
     for (std::uint32_t dir_cores : bench::Sweep({1u, 2u, 3u, 4u})) {
       points.push_back(Point{mode, dir_cores});
     }

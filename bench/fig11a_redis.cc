@@ -18,8 +18,8 @@ int main() {
     std::uint64_t value_kb;
   };
   std::vector<Point> points;
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : bench::WithCapability(
+           {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe})) {
     for (std::uint64_t value_kb : bench::Sweep({4ull, 8ull, 16ull, 32ull, 64ull, 128ull})) {
       points.push_back(Point{mode, value_kb});
     }

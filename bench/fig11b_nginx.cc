@@ -18,8 +18,8 @@ int main() {
     std::uint64_t page_kb;
   };
   std::vector<Point> points;
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : bench::WithCapability(
+           {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe})) {
     for (std::uint64_t page_kb : bench::Sweep({128ull, 256ull, 512ull, 1024ull, 2048ull})) {
       points.push_back(Point{mode, page_kb});
     }

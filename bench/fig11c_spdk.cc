@@ -18,8 +18,8 @@ int main() {
     std::uint64_t block_kb;
   };
   std::vector<Point> points;
-  for (ProtectionMode mode :
-       {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe}) {
+  for (ProtectionMode mode : bench::WithCapability(
+           {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe})) {
     for (std::uint64_t block_kb : bench::Sweep({32ull, 64ull, 128ull, 256ull})) {
       points.push_back(Point{mode, block_kb});
     }

@@ -15,10 +15,10 @@
 int main() {
   using namespace fsio;
 
-  const std::vector<ProtectionMode> configs =
+  const std::vector<ProtectionMode> configs = bench::WithCapability(
       bench::Sweep({ProtectionMode::kStrict, ProtectionMode::kStrictPreserve,
                     ProtectionMode::kStrictContig, ProtectionMode::kFastSafe,
-                    ProtectionMode::kOff});
+                    ProtectionMode::kOff}));
   const auto runs = bench::ParallelSweep<bench::AppsRun>(configs.size(), [&](std::size_t i) {
     TestbedConfig config;
     config.mode = configs[i];

@@ -49,6 +49,17 @@ inline std::vector<T> Sweep(std::initializer_list<T> values) {
   return out;
 }
 
+// Appends the kernel-bypass capability mode to a figure's mode axis in full
+// runs only. The CI smoke/golden baselines keep their original row set (the
+// capability design has its own golden, bench/ext_capability), while every
+// full figure run compares it head-to-head against the figure's IOMMU modes.
+inline std::vector<ProtectionMode> WithCapability(std::vector<ProtectionMode> modes) {
+  if (!SmokeMode()) {
+    modes.push_back(ProtectionMode::kCapability);
+  }
+  return modes;
+}
+
 // Runs fn(i) for every sweep point on the shared thread pool and returns the
 // results in point order. Result must be default-constructible.
 template <typename Result, typename Fn>

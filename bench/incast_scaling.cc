@@ -17,8 +17,8 @@
 int main() {
   using namespace fsio;
 
-  const std::vector<ProtectionMode> modes = {ProtectionMode::kOff, ProtectionMode::kStrict,
-                                             ProtectionMode::kFastSafe};
+  const std::vector<ProtectionMode> modes = bench::WithCapability(
+      {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe});
   const std::vector<std::uint32_t> senders_axis = bench::Sweep({1u, 3u, 7u, 15u});
 
   struct Point {

@@ -15,8 +15,8 @@
 int main() {
   using namespace fsio;
 
-  const std::vector<ProtectionMode> modes = {ProtectionMode::kOff, ProtectionMode::kStrict,
-                                             ProtectionMode::kFastSafe};
+  const std::vector<ProtectionMode> modes = bench::WithCapability(
+      {ProtectionMode::kOff, ProtectionMode::kStrict, ProtectionMode::kFastSafe});
   const int total_ms = bench::SmokeMode() ? 6 : 30;
 
   struct Sample {

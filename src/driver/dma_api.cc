@@ -24,13 +24,36 @@ DmaApi::DmaApi(const DmaApiConfig& config, IovaAllocator* iova, IoPageTable* pag
       fault_masked_(stats->Get("dma.fault_masked")),
       double_unmap_(stats->Get("dma.double_unmap")),
       alloc_failures_(stats->Get("dma.alloc_failures")),
-      deferred_flush_delays_(stats->Get("dma.deferred_flush_delays")) {}
+      deferred_flush_delays_(stats->Get("dma.deferred_flush_delays")) {
+  if (config_.mode == ProtectionMode::kCapability) {
+    captable_ = std::make_unique<CapabilityTable>(config_.capability, stats);
+  }
+}
 
 void DmaApi::RegisterInvariants(InvariantRegistry* registry) {
   invariants_ = registry;
   if (registry != nullptr) {
     registry->Register("dma.chunk_accounting",
                        [this](std::string* detail) { return CheckChunkAccounting(detail); });
+    if (captable_ != nullptr) {
+      registry->Register("capability.table_consistency", [this](std::string* detail) {
+        return captable_->CheckConsistency(detail);
+      });
+      // The capability mode's safety contract: once a capability is revoked,
+      // no device access may land through it. Any use-after-unmap the oracle
+      // records in this mode is exactly such a DMA-after-revoke.
+      registry->Register("capability.dma_after_revoke", [this](std::string* detail) {
+        if (oracle_ != nullptr &&
+            oracle_->count(SafetyViolationKind::kUseAfterUnmap) != 0) {
+          std::ostringstream os;
+          os << oracle_->count(SafetyViolationKind::kUseAfterUnmap)
+             << " device access(es) through a revoked capability";
+          *detail = os.str();
+          return false;
+        }
+        return true;
+      });
+    }
   }
 }
 
@@ -207,6 +230,24 @@ DmaApi::MapResult DmaApi::MapPages(std::uint32_t core, const std::vector<PhysAdd
     }
     return out;
   }
+  if (config_.mode == ProtectionMode::kCapability) {
+    // Kernel bypass: no IOMMU programming — device addresses are physical.
+    // One capability covers the whole descriptor buffer; its slot rides in
+    // chunk_id so completions can name the entry they retire.
+    const CapabilityTable::GrantResult g = captable_->Grant(frames);
+    out.cpu_ns += g.cpu_ns;
+    for (PhysAddr frame : frames) {
+      out.mappings.push_back(DmaMapping{frame, frame, g.id.slot});
+      if (oracle_ != nullptr) {
+        oracle_->OnMap(frame, 1);
+        oracle_->OnMapBacking(frame, 1, frame);
+      }
+    }
+    map_ops_->Add();
+    cpu_ns_total_->Add(out.cpu_ns);
+    map_cpu_ns_->Add(out.cpu_ns);
+    return out;
+  }
   if (UsesContiguousIovas(config_.mode)) {
     // One fresh chunk per Rx descriptor (Fig. 4b): the descriptor's pages
     // occupy consecutive 4 KB slices of one contiguous IOVA range.
@@ -282,6 +323,19 @@ DmaApi::MapResult DmaApi::MapPage(std::uint32_t core, PhysAddr frame) {
     out.mappings.push_back(DmaMapping{frame, frame, 0});
     return out;
   }
+  if (config_.mode == ProtectionMode::kCapability) {
+    const CapabilityTable::GrantResult g = captable_->GrantRange(frame, 1);
+    out.cpu_ns += g.cpu_ns;
+    out.mappings.push_back(DmaMapping{frame, frame, g.id.slot});
+    if (oracle_ != nullptr) {
+      oracle_->OnMap(frame, 1);
+      oracle_->OnMapBacking(frame, 1, frame);
+    }
+    map_ops_->Add();
+    cpu_ns_total_->Add(out.cpu_ns);
+    map_cpu_ns_->Add(out.cpu_ns);
+    return out;
+  }
   if (config_.mode == ProtectionMode::kHugepagePersistent) {
     // Tx pages also come from a permanently-mapped pool: the IOVA keeps
     // pointing at the recycled buffer page forever (weaker safety).
@@ -316,6 +370,22 @@ DmaApi::MapResult DmaApi::MapPage(std::uint32_t core, PhysAddr frame) {
 Iova DmaApi::MapPersistent(std::uint32_t core, const std::vector<PhysAddr>& frames) {
   if (config_.mode == ProtectionMode::kOff) {
     return frames.empty() ? 0 : frames.front();
+  }
+  if (config_.mode == ProtectionMode::kCapability) {
+    // Descriptor rings get a never-revoked capability over the region the
+    // device fetches from (identity-addressed, like the kOff ring region).
+    if (frames.empty()) {
+      return 0;
+    }
+    captable_->GrantRange(frames.front(), frames.size());
+    if (oracle_ != nullptr) {
+      oracle_->OnMap(frames.front(), frames.size());
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        oracle_->OnMapBacking(frames.front() + static_cast<Iova>(i) * kPageSize, 1,
+                              frames.front() + static_cast<PhysAddr>(i) * kPageSize);
+      }
+    }
+    return frames.front();
   }
   TimeNs cpu_ns = 0;
   const Iova base = AllocIova(core, frames.size(), &cpu_ns);
@@ -398,6 +468,37 @@ void DmaApi::ReleasePersistentDescriptor(std::uint32_t core,
   persistent_pool_[core].push_back(mappings);
 }
 
+DmaApi::DeviceCheckResult DmaApi::DeviceCheckCapability(Iova base, std::uint64_t pages,
+                                                        TimeNs now, bool enforce) {
+  DeviceCheckResult out;
+  if (captable_ == nullptr) {
+    out.allowed = true;  // non-capability modes: the IOMMU is the gate
+    out.granted = true;
+    return out;
+  }
+  out.granted = true;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const CapabilityTable::CheckResult c = captable_->Check(base + i * kPageSize);
+    out.check_ns += c.check_ns;
+    if (!c.granted) {
+      out.granted = false;
+    }
+  }
+  out.allowed = out.granted || !enforce;
+  if (out.allowed && oracle_ != nullptr) {
+    // The access proceeds: report it so a skipped check on a revoked buffer
+    // records the use-after-unmap the dma_after_revoke invariant rejects.
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      DeviceAccess access;
+      access.translated = true;
+      access.phys = base + i * kPageSize;  // pass-through: the address is physical
+      access.phys_valid = true;
+      oracle_->OnDeviceAccess(base + i * kPageSize, now, access);
+    }
+  }
+  return out;
+}
+
 void DmaApi::HandleReclamation(const UnmapResult& result) {
   if (!result.reclaimed_any() || iommu_ == nullptr) {
     return;
@@ -436,6 +537,55 @@ DmaApi::UnmapResultInfo DmaApi::UnmapDescriptor(std::uint32_t core,
                                                 TimeNs at) {
   UnmapResultInfo out;
   if (config_.mode == ProtectionMode::kOff || mappings.empty()) {
+    return out;
+  }
+  if (config_.mode == ProtectionMode::kCapability) {
+    // Revoke each owning capability once. The revoke is synchronous: an
+    // armed entry (one the device checked) charges the bounded in-flight
+    // quiesce, so by the time this call returns no descriptor can pass a
+    // check against the dying entry — the strict property without any
+    // IOMMU invalidation.
+    TimeNs t = at;
+    std::vector<CapabilityId> ids;
+    for (const DmaMapping& m : mappings) {
+      const CapabilityId id = captable_->Lookup(m.iova);
+      if (id.slot == 0) {
+        // No live owner: a duplicate completion already retired this page.
+        double_unmap_->Add();
+        if (invariants_ != nullptr) {
+          std::ostringstream os;
+          os << "addr=0x" << std::hex << m.iova << std::dec << " has no live capability";
+          invariants_->ReportFailure("dma.double_unmap", os.str(), at);
+        }
+        continue;
+      }
+      if (oracle_ != nullptr) {
+        oracle_->OnUnmap(m.iova, 1);
+      }
+      bool seen = false;
+      for (const CapabilityId& k : ids) {
+        if (k.slot == id.slot) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        ids.push_back(id);
+      }
+    }
+    for (const CapabilityId& id : ids) {
+      const CapabilityTable::RevokeResult r = captable_->Revoke(id);
+      t += r.cpu_ns;
+      unmap_ops_->Add();
+    }
+    out.cpu_ns = t - at;
+    out.hw_done = t;
+    cpu_ns_total_->Add(out.cpu_ns);
+    if (trace_.enabled() && t > at) {
+      trace_.Complete("driver", "cap_revoke", at, t, "pages",
+                      static_cast<double>(mappings.size()), "caps",
+                      static_cast<double>(ids.size()));
+    }
     return out;
   }
   if (config_.mode == ProtectionMode::kHugepagePersistent) {

@@ -13,11 +13,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/capability/capability_table.h"
 #include "src/driver/protection.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/invariant_registry.h"
@@ -69,6 +71,10 @@ struct DmaApiConfig {
   // IOVA / frame allocation failures are retried this many times before the
   // map call gives up and returns an empty result.
   std::uint32_t iova_alloc_max_retries = 8;
+  // kCapability mode: cost model for the capability table (grant and revoke
+  // are driver-CPU costs like map/unmap above; the check cost is the
+  // device-side lookup the NIC pays at descriptor fetch).
+  CapabilityConfig capability;
   // Protection domain this driver instance maps/invalidates on behalf of.
   // Default (host domain 0) preserves single-tenant behavior; tenant drivers
   // scope every invalidation to their own domain, and the retry path's
@@ -124,6 +130,24 @@ class DmaApi {
   // this is exactly the weaker-safety trade the related work makes.
   void ReleasePersistentDescriptor(std::uint32_t core,
                                    const std::vector<DmaMapping>& mappings);
+
+  struct DeviceCheckResult {
+    bool allowed = false;  // the access proceeds (granted, or check skipped)
+    bool granted = false;  // every page is covered by a live capability
+    TimeNs check_ns = 0;   // device-side lookup cost
+  };
+  // kCapability device-side validation of `pages` device addresses starting
+  // at `base` (descriptor fetch, Tx enqueue, or a harness's synthetic DMA).
+  // `enforce = false` models the skip_capability_check bug: the verdict is
+  // ignored and the access proceeds anyway. Every access that proceeds is
+  // reported to the safety oracle, so a post-revoke access records a
+  // use-after-unmap the "capability.dma_after_revoke" invariant rejects.
+  // In non-capability modes the IOMMU is the gate and this always allows.
+  DeviceCheckResult DeviceCheckCapability(Iova base, std::uint64_t pages, TimeNs now,
+                                          bool enforce = true);
+
+  // The capability table backing kCapability mode (null in other modes).
+  CapabilityTable* capability_table() { return captable_.get(); }
 
   // Attaches a tracker recording the PTcache-L3 tag of every page mapped on
   // the Rx/Tx datapaths, in allocation order (Figures 2e/3e/7e/8e).
@@ -186,6 +210,7 @@ class DmaApi {
   IovaAllocator* iova_;
   IoPageTable* page_table_;
   Iommu* iommu_;
+  std::unique_ptr<CapabilityTable> captable_;  // kCapability mode only
   ReuseDistanceTracker* l3_tracker_ = nullptr;
   FaultInjector* fault_injector_ = nullptr;
   SafetyOracle* oracle_ = nullptr;

@@ -22,6 +22,13 @@ enum class ProtectionMode {
   // Near-zero protection overhead, but the device retains access to the
   // buffers forever: a weaker safety property than strict.
   kHugepagePersistent,
+  // Related-work alternative (CAPIO-style kernel bypass): the IOMMU stays in
+  // pass-through (device addresses are physical), and protection moves to
+  // epoch-tagged capability checks at descriptor-enqueue time. Map grants a
+  // capability, unmap revokes it synchronously (quiescing in-flight
+  // descriptors), so the strict safety property holds without any per-op
+  // IOMMU walk or invalidation work.
+  kCapability,
 };
 
 constexpr const char* ProtectionModeName(ProtectionMode mode) {
@@ -40,15 +47,26 @@ constexpr const char* ProtectionModeName(ProtectionMode mode) {
       return "fast-and-safe";
     case ProtectionMode::kHugepagePersistent:
       return "hugepage-persistent";
+    case ProtectionMode::kCapability:
+      return "capability";
   }
   return "?";
 }
 
 // True if the mode guarantees the strict safety property: a device can never
-// access memory through an IOVA after that IOVA's unmap returns.
+// access memory through an IOVA after that IOVA's unmap returns. kCapability
+// qualifies — revocation fails the device's capability check in the same
+// op-window the unmap returns in — even though it does no IOMMU work.
 constexpr bool IsStrictlySafe(ProtectionMode mode) {
   return mode != ProtectionMode::kOff && mode != ProtectionMode::kDeferred &&
          mode != ProtectionMode::kHugepagePersistent;
+}
+
+// True if the mode programs the IOMMU at all. kOff disables it outright;
+// kCapability leaves it in pass-through and enforces safety at the NIC's
+// descriptor-enqueue capability check instead.
+constexpr bool UsesIommu(ProtectionMode mode) {
+  return mode != ProtectionMode::kOff && mode != ProtectionMode::kCapability;
 }
 
 // True if IOVAs for a descriptor are allocated as one contiguous chunk.

@@ -23,7 +23,7 @@ Host::Host(const HostConfig& config, EventQueue* ev)
 
   memory_ = std::make_unique<MemorySystem>(config_.memory, &stats_);
   page_table_ = std::make_unique<IoPageTable>();
-  if (config_.mode != ProtectionMode::kOff) {
+  if (UsesIommu(config_.mode)) {
     iommu_ = std::make_unique<Iommu>(config_.iommu, memory_.get(), page_table_.get(), &stats_);
   }
   iova_ = std::make_unique<IovaAllocator>(config_.iova, &stats_);
@@ -35,6 +35,24 @@ Host::Host(const HostConfig& config, EventQueue* ev)
   rc_ = std::make_unique<RootComplex>(config_.pcie, iommu_.get(), memory_.get(), &stats_);
   config_.nic.mtu_bytes = config_.mtu_bytes;
   nic_ = std::make_unique<Nic>(config_.nic, config_.cores, ev_, rc_.get(), &stats_);
+  if (config_.mode == ProtectionMode::kCapability) {
+    // Captures `this`, not `dma_`, so the check follows the driver-stack swap
+    // across crash recovery (the rebuilt DmaApi carries a fresh, empty
+    // capability table — descriptors from before the crash fail the check).
+    nic_->SetCapabilityCheck(
+        [this](const std::vector<DmaMapping>& mappings, TimeNs now, bool enforce) {
+          Nic::CapCheckResult out;
+          for (const DmaMapping& m : mappings) {
+            const DmaApi::DeviceCheckResult r =
+                dma_->DeviceCheckCapability(m.iova, 1, now, enforce);
+            out.check_ns += r.check_ns;
+            if (!r.allowed) {
+              out.allowed = false;
+            }
+          }
+          return out;
+        });
+  }
 
   pages_per_packet_ =
       static_cast<std::uint32_t>((config_.mtu_bytes + kPageSize - 1) / kPageSize);

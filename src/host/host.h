@@ -184,7 +184,7 @@ class Host {
   std::unique_ptr<MemorySystem> memory_;
   FrameAllocator frames_;
   std::unique_ptr<IoPageTable> page_table_;
-  std::unique_ptr<Iommu> iommu_;  // null when mode == kOff
+  std::unique_ptr<Iommu> iommu_;  // null when the mode bypasses the IOMMU (kOff, kCapability)
   std::unique_ptr<IovaAllocator> iova_;
   std::unique_ptr<DmaApi> dma_;
   std::unique_ptr<RootComplex> rc_;

@@ -83,7 +83,29 @@ void Nic::SetRingIova(std::uint32_t core, Iova base, std::uint64_t pages) {
   ring.ring_pages = pages;
 }
 
+bool Nic::GateOnCapability(const std::vector<DmaMapping>& mappings, TimeNs* engine_free) {
+  if (!cap_check_) {
+    return true;  // not in capability mode: the IOMMU is the gate
+  }
+  const TimeNs now = ev_->now();
+  const CapCheckResult c = cap_check_(mappings, now, !config_.skip_capability_check);
+  // The validating engine stalls for the table lookup(s).
+  *engine_free = (*engine_free > now ? *engine_free : now) + c.check_ns;
+  if (!c.allowed) {
+    // The device refuses the descriptor: its capability is missing or
+    // revoked. The mappings are abandoned (driver error path), which is
+    // exactly the fail-closed behavior the safety contract wants.
+    LazyCounter(&cap_enqueue_rejects_, "nic.cap_enqueue_rejects")->Add();
+    trace_.Instant("nic", "cap_reject", now);
+    return false;
+  }
+  return true;
+}
+
 void Nic::PostRxDescriptor(std::uint32_t core, std::vector<DmaMapping> mappings) {
+  if (!GateOnCapability(mappings, &rx_engine_free_)) {
+    return;
+  }
   RxRing& ring = rings_[core % rings_.size()];
   auto desc = std::make_shared<RxDesc>();
   desc->mappings = std::move(mappings);
@@ -349,6 +371,9 @@ bool Nic::EnqueueTx(const Packet& packet, std::vector<DmaMapping> mappings, std:
   if (quiesced_) {
     LazyCounter(&tx_quiesced_drops_, "nic.tx_quiesced_drops")->Add();
     return false;
+  }
+  if (!GateOnCapability(mappings, &tx_engine_free_)) {
+    return false;  // refused enqueue: qdisc-style loss, transport recovers
   }
   TxQueue& q = tx_queues_[core % tx_queues_.size()];
   if (q.bytes + packet.wire_size() > config_.tx_queue_limit_bytes) {

@@ -48,6 +48,11 @@ struct NicConfig {
   // bounded. Queues are served round-robin (one hardware TX queue per core,
   // XPS-style), so a latency-sensitive core is not stuck behind bulk cores.
   std::uint64_t tx_queue_limit_bytes = 1ull << 20;
+  // kCapability injected device bug: the capability check still runs (and is
+  // observed by the safety oracle) but its verdict is ignored — descriptors
+  // whose capability was revoked enqueue anyway. The dma_after_revoke
+  // invariant must catch the resulting accesses.
+  bool skip_capability_check = false;
 };
 
 class Nic {
@@ -64,6 +69,20 @@ class Nic {
 
   Nic(const NicConfig& config, std::uint32_t cores, EventQueue* ev, RootComplex* rc,
       StatsRegistry* stats);
+
+  // kCapability protection: validation the device runs when a descriptor's
+  // buffer enters its queues (Rx post/fetch, Tx enqueue). `enforce` is false
+  // when the skip_capability_check bug knob is set — the checker still
+  // observes the access (so the oracle sees it) but the verdict is ignored.
+  // Returns whether the enqueue may proceed plus the device-side lookup
+  // cost, which the NIC charges to the owning engine.
+  struct CapCheckResult {
+    bool allowed = true;
+    TimeNs check_ns = 0;
+  };
+  using CapCheckFn =
+      std::function<CapCheckResult(const std::vector<DmaMapping>&, TimeNs now, bool enforce)>;
+  void SetCapabilityCheck(CapCheckFn fn) { cap_check_ = std::move(fn); }
 
   // Optional fault injection: kDescCompletionReorder delays a descriptor
   // completion, kDescCompletionDuplicate delivers the same completion twice
@@ -196,10 +215,16 @@ class Nic {
   std::uint64_t quiesce_epoch_ = 0;  // invalidates pre-quiesce callbacks
   TimeNs last_commit_done_ = 0;      // latest in-flight DMA commit time
 
+  // Runs the capability check for one descriptor's mappings and charges the
+  // lookup cost to `*engine_free`. Returns false when the enqueue must be
+  // refused.
+  bool GateOnCapability(const std::vector<DmaMapping>& mappings, TimeNs* engine_free);
+
   DeliverFn deliver_;
   DescCompleteFn desc_complete_;
   TxCompleteFn tx_complete_;
   WireTxFn wire_tx_;
+  CapCheckFn cap_check_;
 
   std::vector<RxRing> rings_;
   std::deque<Packet> rx_queue_;
@@ -237,6 +262,7 @@ class Nic {
   Counter* rx_quiesced_drops_ = nullptr;   // lazy: quiesce-path only
   Counter* tx_quiesced_drops_ = nullptr;
   Counter* dma_while_quiesced_ = nullptr;
+  Counter* cap_enqueue_rejects_ = nullptr;  // lazy: capability-mode only
 };
 
 }  // namespace fsio

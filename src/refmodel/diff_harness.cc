@@ -22,11 +22,11 @@ constexpr ProtectionMode kModeByToken[] = {
     ProtectionMode::kOff,           ProtectionMode::kStrict,
     ProtectionMode::kDeferred,      ProtectionMode::kStrictPreserve,
     ProtectionMode::kStrictContig,  ProtectionMode::kFastSafe,
-    ProtectionMode::kHugepagePersistent,
+    ProtectionMode::kHugepagePersistent, ProtectionMode::kCapability,
 };
 constexpr const char* kModeTokens[] = {
     "off", "strict", "deferred", "strict-preserve", "strict-contig", "fast-safe",
-    "hugepage-persistent",
+    "hugepage-persistent", "capability",
 };
 
 // Descriptors still owned by the (simulated) NIC.
@@ -60,7 +60,7 @@ bool ParseModeToken(const std::string& token, ProtectionMode* mode) {
 bool ParseBugToken(const std::string& token, InjectedBug* bug) {
   for (InjectedBug b : {InjectedBug::kNone, InjectedBug::kUseAfterUnmap,
                         InjectedBug::kSkipInvalidation, InjectedBug::kEarlyReclaim,
-                        InjectedBug::kUntaggedIotlb}) {
+                        InjectedBug::kUntaggedIotlb, InjectedBug::kSkipCapabilityCheck}) {
     if (token == InjectedBugName(b)) {
       *bug = b;
       return true;
@@ -165,6 +165,7 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
 
   const bool off = config.mode == ProtectionMode::kOff;
   const bool persistent = config.mode == ProtectionMode::kHugepagePersistent;
+  const bool capability = config.mode == ProtectionMode::kCapability;
   const bool real_unmaps = !off && !persistent;
 
   TimeNs t = 0;
@@ -188,7 +189,9 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
       if (multi) {
         tag = "domain " + std::to_string(di) + ": ";
       }
-      if (!off && s.pt->mapped_pages() != s.model->mapped_pages()) {
+      // Capability mode never touches the IO page table (IOMMU pass-through);
+      // the model's mapped set tracks the capability grants instead.
+      if (!off && !capability && s.pt->mapped_pages() != s.model->mapped_pages()) {
         std::ostringstream os;
         os << tag << "page table holds " << s.pt->mapped_pages()
            << " pages but the model expects " << s.model->mapped_pages();
@@ -235,6 +238,21 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
       ++out.stale_uses;
     }
     if (auto err = s.model->CheckTranslation(iova_addr, res); err.has_value()) {
+      diverge(index, *err);
+    }
+  };
+
+  // Capability mode: device access goes through the capability check instead
+  // of the (pass-through) IOMMU. A buggy device ignores the verdict, so the
+  // access proceeds and the safety oracle sees it land in revoked memory.
+  auto do_cap_check = [&](DomainStack& s, std::size_t index, Iova iova_addr) {
+    ++out.dmas;
+    const bool enforce = config.bug != InjectedBug::kSkipCapabilityCheck;
+    const DmaApi::DeviceCheckResult r = s.dma->DeviceCheckCapability(iova_addr, 1, t, enforce);
+    if (!r.allowed) {
+      ++out.faults;
+    }
+    if (auto err = s.model->CheckCapability(iova_addr, r.allowed); err.has_value()) {
       diverge(index, *err);
     }
   };
@@ -397,14 +415,23 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
         const LiveDesc& d = live[static_cast<std::size_t>(op.arg % live.size())];
         const DmaMapping& m =
             d.mappings[static_cast<std::size_t>((op.arg >> 20) % d.mappings.size())];
-        do_translate(s, i, m.iova);
+        if (capability) {
+          do_cap_check(s, i, m.iova);
+        } else {
+          do_translate(s, i, m.iova);
+        }
         break;
       }
       case OpKind::kDmaRetired: {
         if (off || retired.empty()) {
           break;
         }
-        do_translate(s, i, retired[static_cast<std::size_t>(op.arg % retired.size())]);
+        const Iova target = retired[static_cast<std::size_t>(op.arg % retired.size())];
+        if (capability) {
+          do_cap_check(s, i, target);
+        } else {
+          do_translate(s, i, target);
+        }
         break;
       }
     }

@@ -24,6 +24,11 @@
 //                           (IommuConfig::inject_untagged_iotlb): one
 //                           tenant's lookups can hit another tenant's
 //                           entries. Meaningful only with num_domains >= 2.
+//   * kSkipCapabilityCheck — the device fetches descriptors without
+//                           honoring the capability check verdict
+//                           (capability mode's one protection point): a
+//                           revoked buffer is accessed anyway. Meaningful
+//                           only with mode == kCapability.
 //
 // Multi-domain runs (num_domains >= 2) drive one shared IOMMU with a full
 // per-domain stack (page table, IOVA allocator, DmaApi, oracle, RefModel)
@@ -48,6 +53,7 @@ enum class InjectedBug : int {
   kSkipInvalidation,
   kEarlyReclaim,
   kUntaggedIotlb,
+  kSkipCapabilityCheck,
 };
 
 constexpr const char* InjectedBugName(InjectedBug bug) {
@@ -62,6 +68,8 @@ constexpr const char* InjectedBugName(InjectedBug bug) {
       return "early-reclaim";
     case InjectedBug::kUntaggedIotlb:
       return "untagged-iotlb";
+    case InjectedBug::kSkipCapabilityCheck:
+      return "skip-capability-check";
   }
   return "?";
 }

@@ -105,4 +105,35 @@ std::optional<std::string> RefModel::CheckTranslation(Iova iova, const Translati
   return std::nullopt;
 }
 
+std::optional<std::string> RefModel::CheckCapability(Iova iova, bool allowed) {
+  const std::uint64_t page = PageNumber(iova);
+  auto diverge = [&](const std::string& why) {
+    std::ostringstream os;
+    os << "capability check for iova=0x" << std::hex << iova << std::dec << ": " << why
+       << " (allowed=" << allowed << "; model: mapped=" << IsMapped(page)
+       << " owned=" << IsOwned(page) << ")";
+    return std::optional<std::string>(os.str());
+  };
+
+  if (mapped_.contains(page)) {
+    if (!allowed) {
+      return diverge("check refused a granted page");
+    }
+    if (!owned_.contains(page)) {
+      // Released-but-still-granted buffer (persistent-style reuse): legal
+      // check outcome, but the landing access is a use-after-unmap.
+      ++predicted_use_after_unmap_;
+    }
+    return std::nullopt;
+  }
+
+  // Revoked (or never granted) page: the unmap revoked synchronously, so the
+  // device must be refused in this very op-window — a pass here means the
+  // check was skipped or the revocation protocol is broken.
+  if (allowed) {
+    return diverge("check passed for a revoked page");
+  }
+  return std::nullopt;
+}
+
 }  // namespace fsio

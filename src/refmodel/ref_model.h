@@ -64,6 +64,15 @@ class RefModel {
   // safety oracle must record exactly these).
   std::optional<std::string> CheckTranslation(Iova iova, const TranslationResult& result);
 
+  // Capability-mode contract (no IOMMU: the check at descriptor enqueue is
+  // the only protection). A mapped page must pass the check; a page whose
+  // capability was revoked must fail it in the same op-window the driver's
+  // unmap returned — there is no deferred stale window in this mode. When a
+  // buggy device proceeds despite a failed check (`allowed` true for an
+  // unmapped page), the access lands in revoked memory and the safety oracle
+  // must count a use-after-unmap.
+  std::optional<std::string> CheckCapability(Iova iova, bool allowed);
+
   std::uint64_t predicted_use_after_unmap() const { return predicted_use_after_unmap_; }
 
  private:

@@ -1,0 +1,18 @@
+// Lint fixture (never compiled): a driver layer that feeds descriptors to
+// the NIC without ever wiring the capability gate violates the
+// unchecked-descriptor-enqueue rule (linted with --scope=src). In
+// kCapability mode the IOMMU is bypassed, so this NIC would run with no
+// safety check at all.
+#include "src/nic/nic.h"
+
+namespace fsio {
+
+void BadPostRx(Nic* nic, std::vector<DmaMapping> mappings) {
+  nic->PostRxDescriptor(0, std::move(mappings));  // never gated
+}
+
+void BadEnqueueTx(Nic* nic, const TxPacket& packet, std::vector<DmaMapping> mappings) {
+  nic->EnqueueTx(packet, std::move(mappings), 0);  // never gated
+}
+
+}  // namespace fsio

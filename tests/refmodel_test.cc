@@ -97,6 +97,32 @@ TEST(RefModelTest, PersistentReleaseKeepsMappingButCountsUse) {
   EXPECT_EQ(m.predicted_use_after_unmap(), 1u);
 }
 
+TEST(RefModelTest, CapabilityCheckContract) {
+  RefModel m(ProtectionMode::kCapability);
+  m.Map(5, 5 * kPageSize);  // capability mode is pass-through: identity phys
+  // A granted page must pass the check; refusing it is a divergence.
+  EXPECT_FALSE(m.CheckCapability(5 * kPageSize, /*allowed=*/true).has_value());
+  EXPECT_TRUE(m.CheckCapability(5 * kPageSize, /*allowed=*/false).has_value());
+  EXPECT_EQ(m.predicted_use_after_unmap(), 0u);
+  // Revocation is synchronous: the very next check must refuse.
+  m.Unmap(5);
+  EXPECT_FALSE(m.CheckCapability(5 * kPageSize, /*allowed=*/false).has_value());
+  EXPECT_TRUE(m.CheckCapability(5 * kPageSize, /*allowed=*/true).has_value());
+  // A never-granted page must also be refused.
+  EXPECT_FALSE(m.CheckCapability(9 * kPageSize, /*allowed=*/false).has_value());
+  EXPECT_TRUE(m.CheckCapability(9 * kPageSize, /*allowed=*/true).has_value());
+}
+
+TEST(RefModelTest, CapabilityReleasedPageCountsUse) {
+  RefModel m(ProtectionMode::kCapability);
+  m.Map(5, 5 * kPageSize);
+  m.Release(5);
+  // Still granted, so the check passes — but the access lands in released
+  // memory and must be matched by a use-after-unmap oracle record.
+  EXPECT_FALSE(m.CheckCapability(5 * kPageSize, /*allowed=*/true).has_value());
+  EXPECT_EQ(m.predicted_use_after_unmap(), 1u);
+}
+
 TEST(RefModelTest, StalePtcacheIsAlwaysADivergence) {
   RefModel m(ProtectionMode::kFastSafe);
   m.Map(5, 0x4000);
@@ -235,6 +261,15 @@ TEST(BugDetectionTest, EarlyReclaimIsCaught) {
   config.pages_per_chunk = 512;  // hugepage chunks so table pages reclaim
   config.enable_rcache = true;   // LIFO reuse re-walks the reclaimed path
   config.bug = InjectedBug::kEarlyReclaim;
+  ExpectBugCaughtAndShrinkable(config);
+}
+
+TEST(BugDetectionTest, SkipCapabilityCheckIsCaught) {
+  DiffConfig config;
+  config.mode = ProtectionMode::kCapability;
+  config.seed = 3;
+  config.num_ops = 600;
+  config.bug = InjectedBug::kSkipCapabilityCheck;
   ExpectBugCaughtAndShrinkable(config);
 }
 

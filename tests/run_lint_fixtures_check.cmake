@@ -51,11 +51,13 @@ check_fixture(bad_include_hygiene.cc  3 include-hygiene "")
 check_fixture(bad_discarded_fault_decision.cc 2 discarded-fault-decision "")
 check_fixture(bad_std_function_event.cc 2 std-function-event src)
 check_fixture(bad_raw_domain_id.cc    2 raw-domain-id   "")
+check_fixture(bad_unchecked_descriptor_enqueue.cc 2 unchecked-descriptor-enqueue src)
 
 # Scoping is real: wall-clock only applies to src/, so the same fixture is
 # clean when linted under its natural tests/ scope.
 check_fixture(bad_wall_clock.cc       clean wall-clock  "")
 check_fixture(bad_std_function_event.cc clean std-function-event "")
+check_fixture(bad_unchecked_descriptor_enqueue.cc clean unchecked-descriptor-enqueue "")
 
 # Negative cases: good fixtures pass the FULL rule set in their rule's scope
 # (comments/strings mentioning forbidden tokens, MapPersistent exemption,
@@ -67,5 +69,6 @@ check_fixture(good_include_guard.h    clean "" "")
 check_fixture(good_fault_decision.cc  clean "" "")
 check_fixture(good_std_function_event.cc clean "" src)
 check_fixture(good_raw_domain_id.cc   clean "" "")
+check_fixture(good_unchecked_descriptor_enqueue.cc clean "" src)
 
 message(STATUS "fsio_lint fixture matrix passed")

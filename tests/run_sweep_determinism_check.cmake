@@ -59,3 +59,25 @@ endforeach()
 math(EXPR serial_s "${t1} - ${t0}")
 math(EXPR parallel_s "${t2} - ${t1}")
 message(STATUS "sweep determinism OK (serial ${serial_s}s, 4 threads ${parallel_s}s)")
+
+# Same contract for the capability (kernel-bypass) mode: the NIC-side
+# capability checks run inside the sweep points and must not perturb
+# cross-point determinism under the thread pool.
+set(cap_args --mode=capability --sweep-flows=1,3,5 --warmup-ms=2 --window-ms=3 --per-host)
+execute_process(COMMAND ${SIM} ${cap_args} --jobs=1
+                OUTPUT_VARIABLE cap_serial RESULT_VARIABLE rc_cap_serial)
+if(NOT rc_cap_serial EQUAL 0)
+  message(FATAL_ERROR "capability serial sweep failed with exit code ${rc_cap_serial}:\n"
+                      "${cap_serial}")
+endif()
+execute_process(COMMAND ${SIM} ${cap_args} --jobs=4
+                OUTPUT_VARIABLE cap_parallel RESULT_VARIABLE rc_cap_parallel)
+if(NOT rc_cap_parallel EQUAL 0)
+  message(FATAL_ERROR "capability parallel sweep failed with exit code ${rc_cap_parallel}:\n"
+                      "${cap_parallel}")
+endif()
+if(NOT cap_serial STREQUAL cap_parallel)
+  message(FATAL_ERROR "capability parallel sweep output differs from serial:\n"
+                      "--- jobs=1 ---\n${cap_serial}\n--- jobs=4 ---\n${cap_parallel}")
+endif()
+message(STATUS "capability sweep determinism OK")

@@ -22,7 +22,7 @@ inline constexpr ProtectionMode kAllModes[] = {
     ProtectionMode::kOff,           ProtectionMode::kStrict,
     ProtectionMode::kDeferred,      ProtectionMode::kStrictPreserve,
     ProtectionMode::kStrictContig,  ProtectionMode::kFastSafe,
-    ProtectionMode::kHugepagePersistent,
+    ProtectionMode::kHugepagePersistent, ProtectionMode::kCapability,
 };
 
 // Modes that tear mappings down on descriptor completion and do so with the

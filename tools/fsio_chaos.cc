@@ -82,6 +82,7 @@ constexpr ModeEntry kModes[] = {
     {ProtectionMode::kStrictContig, "strict-contig"},
     {ProtectionMode::kFastSafe, "fastsafe"},
     {ProtectionMode::kHugepagePersistent, "hugepage-persistent"},
+    {ProtectionMode::kCapability, "capability"},
 };
 constexpr std::size_t kNumModes = sizeof(kModes) / sizeof(kModes[0]);
 
@@ -519,18 +520,31 @@ int RunTenantCrash(const ChaosOptions& opt, std::string* output) {
     const std::vector<Iova> stranded = system.StrandedIovas(0);
     const DomainId crashed_id = system.domain(0).id();
     const DomainId co_id = system.domain(1).id();
+    // Capability mode never populates the IOMMU (pass-through); device
+    // visibility is judged by the capability check instead of Translate.
+    const bool cap = entry.mode == ProtectionMode::kCapability;
     if (entry.mode != ProtectionMode::kOff) {
       expect(!stranded.empty(), tag + ": crash strands an in-flight descriptor");
     }
     if (!stranded.empty()) {
-      const TranslationResult pre =
-          system.iommu().Translate(crashed_id, stranded.front(), system.now());
-      expect(!pre.fault, tag + ": stranded descriptor still device-visible pre-recovery");
+      if (cap) {
+        expect(system.domain(0)
+                   .dma()
+                   .DeviceCheckCapability(stranded.front(), 1, system.now())
+                   .allowed,
+               tag + ": stranded capability still passes the check pre-recovery");
+      } else {
+        const TranslationResult pre =
+            system.iommu().Translate(crashed_id, stranded.front(), system.now());
+        expect(!pre.fault, tag + ": stranded descriptor still device-visible pre-recovery");
+      }
     }
     const SetAssocCache& iotlb = system.iommu().iotlb();
     const std::uint64_t co_resident_before =
         iotlb.CountMatching(kDomainFieldMask, DomainTagBits(co_id));
-    expect(co_resident_before > 0, tag + ": co-tenant holds resident IOTLB entries");
+    if (!cap) {
+      expect(co_resident_before > 0, tag + ": co-tenant holds resident IOTLB entries");
+    }
 
     system.RecoverTenant(0);
     expect(iotlb.CountMatching(kDomainFieldMask, DomainTagBits(crashed_id)) == 0,
@@ -538,10 +552,18 @@ int RunTenantCrash(const ChaosOptions& opt, std::string* output) {
     expect(iotlb.CountMatching(kDomainFieldMask, DomainTagBits(co_id)) == co_resident_before,
            tag + ": domain-selective invalidation leaves the co-tenant resident");
     if (!stranded.empty()) {
-      const TranslationResult post =
-          system.iommu().Translate(crashed_id, stranded.front(), system.now());
-      expect(post.fault, tag + ": stranded descriptor faults after recovery");
-      expect(!post.stale_use, tag + ": post-recovery fault carries no stale state");
+      if (cap) {
+        expect(!system.domain(0)
+                    .dma()
+                    .DeviceCheckCapability(stranded.front(), 1, system.now())
+                    .allowed,
+               tag + ": stranded capability is refused after recovery");
+      } else {
+        const TranslationResult post =
+            system.iommu().Translate(crashed_id, stranded.front(), system.now());
+        expect(post.fault, tag + ": stranded descriptor faults after recovery");
+        expect(!post.stale_use, tag + ": post-recovery fault carries no stale state");
+      }
     }
 
     system.RunRounds(50);

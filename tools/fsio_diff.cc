@@ -58,14 +58,16 @@ void Usage() {
                "  --ops N               operations per run (default 1500)\n"
                "  --mode all|TOKEN      protection mode sweep or a single mode\n"
                "                        (off strict deferred strict-preserve\n"
-               "                         strict-contig fast-safe hugepage-persistent)\n"
+               "                         strict-contig fast-safe hugepage-persistent\n"
+               "                         capability)\n"
                "  --rcache both|on|off  IOVA allocator cache configurations\n"
                "  --pages-per-chunk N   Rx descriptor size in pages (default 64)\n"
                "  --num-cores N         driver cores (default 4)\n"
                "  --domains N           protection domains sharing the IOMMU (default 1;\n"
                "                        >=2 checks per-tenant semantics + isolation)\n"
                "  --bug TOKEN           inject a driver/hardware bug (none use-after-unmap\n"
-               "                        skip-invalidation early-reclaim untagged-iotlb)\n"
+               "                        skip-invalidation early-reclaim untagged-iotlb\n"
+               "                        skip-capability-check)\n"
                "  --expect-divergence   require every run to diverge (oracle self-test)\n"
                "  --max-repro-ops N     shrunken repro size budget (default 20)\n"
                "  --repro-out FILE      write the shrunken repro here on divergence\n"
@@ -130,7 +132,7 @@ std::vector<ProtectionMode> ModesFor(const Options& opt, bool* ok) {
     return {ProtectionMode::kOff,           ProtectionMode::kStrict,
             ProtectionMode::kDeferred,      ProtectionMode::kStrictPreserve,
             ProtectionMode::kStrictContig,  ProtectionMode::kFastSafe,
-            ProtectionMode::kHugepagePersistent};
+            ProtectionMode::kHugepagePersistent, ProtectionMode::kCapability};
   }
   ProtectionMode m;
   if (!ParseModeToken(opt.mode, &m)) {

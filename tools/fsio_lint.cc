@@ -17,6 +17,7 @@
 //   dma-pairing      gtest bodies that Map* DMA pages but never Unmap/Release
 //   discarded-fault-decision  FaultInjector::Sample() result dropped on the floor
 //   raw-domain-id    domain ids flow as fsio::DomainId, never bare uint32_t
+//   unchecked-descriptor-enqueue  NIC feeders in src/ wire the capability gate
 //   include-guard    headers must carry FASTSAFE_<PATH>_H_ guards
 //   include-hygiene  quoted includes repo-root-relative; never include a .cc
 //
@@ -733,6 +734,50 @@ void CheckRawDomainId(const SourceFile& file, std::vector<Diagnostic>* diags) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: unchecked-descriptor-enqueue — src/ code that feeds descriptors to
+// the NIC (PostRxDescriptor/EnqueueTx member calls) must also wire or
+// perform the capability gate in the same file: SetCapabilityCheck() on the
+// NIC, or an explicit GateOnCapability()/DeviceCheckCapability() on the
+// descriptor path. In kCapability mode the IOMMU is bypassed, so a NIC fed
+// descriptors without the gate silently loses the only safety check the
+// mode has — exactly the skip_capability_check bug, introduced structurally
+// instead of via the knob. The NIC implementation is exempt: it IS the gate.
+
+void CheckUncheckedDescriptorEnqueue(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (file.scope != "src") {
+    return;
+  }
+  if (file.path == "src/nic/nic.h" || file.path == "src/nic/nic.cc") {
+    return;  // the gate's own declaration and implementation
+  }
+  bool gated = false;
+  for (const std::string& line : file.code) {
+    if (FindMemberCall(line, "SetCapabilityCheck(") ||
+        FindMemberCall(line, "GateOnCapability(") ||
+        FindMemberCall(line, "DeviceCheckCapability(")) {
+      gated = true;
+      break;
+    }
+  }
+  if (gated) {
+    return;
+  }
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    if (!FindMemberCall(line, "PostRxDescriptor(") && !FindMemberCall(line, "EnqueueTx(")) {
+      continue;
+    }
+    if (!Suppressed(file, li + 1, "unchecked-descriptor-enqueue")) {
+      diags->push_back({file.path, li + 1, "unchecked-descriptor-enqueue",
+                        "descriptors enqueued to a NIC that is never wired for "
+                        "capability mode: call SetCapabilityCheck() (or gate the "
+                        "path with DeviceCheckCapability()) so kCapability keeps "
+                        "its only safety check"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 struct RuleInfo {
@@ -757,6 +802,9 @@ const RuleInfo kRules[] = {
     {"raw-domain-id",
      "protection-domain ids flow as fsio::DomainId, never bare uint32_t",
      &CheckRawDomainId},
+    {"unchecked-descriptor-enqueue",
+     "src/ NIC descriptor feeders must wire the capability gate (SetCapabilityCheck)",
+     &CheckUncheckedDescriptorEnqueue},
     {"include-guard", "headers carry FASTSAFE_<PATH>_H_ guards", &CheckIncludeGuard},
     {"include-hygiene", "repo-root-relative quoted includes; never include .cc",
      &CheckIncludeHygiene},

@@ -92,6 +92,9 @@ fsio::ProtectionMode ParseMode(const std::string& name) {
   if (name == "hugepersist") {
     return ProtectionMode::kHugepagePersistent;
   }
+  if (name == "capability" || name == "cap") {
+    return ProtectionMode::kCapability;
+  }
   std::fprintf(stderr, "unknown mode '%s'\n", name.c_str());
   std::exit(2);
 }
@@ -99,7 +102,7 @@ fsio::ProtectionMode ParseMode(const std::string& name) {
 void PrintUsage() {
   std::puts(
       "usage: fsio_sim [options]\n"
-      "  --mode=off|strict|deferred|preserve|contig|fastsafe|hugepersist\n"
+      "  --mode=off|strict|deferred|preserve|contig|fastsafe|hugepersist|capability\n"
       "  --flows=N            iperf flows (default 5); with --incast, flows per sender\n"
       "  --cores=N            cores per host (default 5)\n"
       "  --ring=N             Rx ring size in MTU packets (default 256)\n"

@@ -10,8 +10,9 @@
 // use-after-release replays).
 //
 // The run then asserts the paper's safety matrix:
-//   * strictly-safe modes (strict, strict+preserve, strict+contig, F&S) and
-//     iommu-off produce ZERO oracle violations under EVERY plan;
+//   * strictly-safe modes (strict, strict+preserve, strict+contig, F&S,
+//     capability) and iommu-off produce ZERO oracle violations under EVERY
+//     plan;
 //   * linux-deferred produces use-after-unmap violations under the
 //     delayed-flush plan (the window the paper's design closes);
 //   * hugepage-persistent produces use-after-unmap violations under the
@@ -181,7 +182,7 @@ constexpr ProtectionMode kAllModes[] = {
     ProtectionMode::kOff,           ProtectionMode::kStrict,
     ProtectionMode::kDeferred,      ProtectionMode::kStrictPreserve,
     ProtectionMode::kStrictContig,  ProtectionMode::kFastSafe,
-    ProtectionMode::kHugepagePersistent,
+    ProtectionMode::kHugepagePersistent, ProtectionMode::kCapability,
 };
 
 // Appends at most `limit` lines of `trace`, with a deterministic elision
@@ -234,8 +235,7 @@ RunResult RunOne(ProtectionMode mode, const FaultPlan& plan, const FuzzOptions& 
   dma.SetSafetyOracle(&oracle);
   dma.RegisterInvariants(&invariants);
 
-  RootComplex rc(PcieConfig{}, mode == ProtectionMode::kOff ? nullptr : &iommu, &memory,
-                 &stats);
+  RootComplex rc(PcieConfig{}, UsesIommu(mode) ? &iommu : nullptr, &memory, &stats);
   rc.SetFaultInjector(&injector);
 
   invariants.Register("pagetable.consistency",
@@ -251,6 +251,7 @@ RunResult RunOne(ProtectionMode mode, const FaultPlan& plan, const FuzzOptions& 
   // Workload state. Descriptors are 64-page in normal modes and 512-page
   // (one hugepage) in persistent mode.
   const bool persistent = mode == ProtectionMode::kHugepagePersistent;
+  const bool capability = mode == ProtectionMode::kCapability;
   struct Desc {
     std::vector<DmaMapping> mappings;
   };
@@ -286,6 +287,9 @@ RunResult RunOne(ProtectionMode mode, const FaultPlan& plan, const FuzzOptions& 
       return;
     }
     const DmaMapping& m = desc.mappings[page % desc.mappings.size()];
+    if (capability && !dma.DeviceCheckCapability(m.iova, 1, now).allowed) {
+      return;  // the device refuses the descriptor: no DMA is issued
+    }
     rc.DmaWrite(now, {DmaSegment{m.iova, len}});
   };
 
@@ -363,7 +367,10 @@ RunResult RunOne(ProtectionMode mode, const FaultPlan& plan, const FuzzOptions& 
         ++skipped_maps;
         continue;
       }
-      rc.DmaRead(now, {DmaSegment{result.mappings[0].iova, 1024}});
+      if (!capability ||
+          dma.DeviceCheckCapability(result.mappings[0].iova, 1, now).allowed) {
+        rc.DmaRead(now, {DmaSegment{result.mappings[0].iova, 1024}});
+      }
       dma.UnmapDescriptor(core, result.mappings, now);
     } else {
       // Replay: the device touches a recently retired descriptor. Strictly
