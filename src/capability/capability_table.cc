@@ -82,7 +82,7 @@ CapabilityTable::RevokeResult CapabilityTable::Revoke(CapabilityId id) {
     return out;
   }
   Entry& e = entries_[id.slot];
-  if (!e.live || e.epoch != id.epoch) {
+  if (!CapabilityCheckPasses(e.live, e.epoch, id.epoch)) {
     // Stale or duplicate revoke (e.g. a duplicated completion): idempotent.
     if (double_revokes_ != nullptr) {
       double_revokes_->Add();
@@ -144,7 +144,7 @@ bool CapabilityTable::CheckHandle(CapabilityId id) const {
     return false;
   }
   const Entry& e = entries_[id.slot];
-  return e.live && e.epoch == id.epoch;
+  return CapabilityCheckPasses(e.live, e.epoch, id.epoch);
 }
 
 CapabilityId CapabilityTable::Lookup(Iova addr) const {

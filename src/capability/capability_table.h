@@ -54,6 +54,21 @@ struct CapabilityId {
   std::uint64_t epoch = 0;
 };
 
+// The capability admission rule, extracted pure so the table implementation
+// and the model checker's capability actor (src/check/) decide device access
+// from the same predicate: a handle is honored iff its slot is live AND the
+// epochs match — revocation bumps the slot epoch, so every handle minted
+// before the revoke fails even after the slot is re-granted.
+constexpr bool CapabilityCheckPasses(bool slot_live, std::uint64_t slot_epoch,
+                                     std::uint64_t handle_epoch) {
+  return slot_live && slot_epoch == handle_epoch;
+}
+
+static_assert(CapabilityCheckPasses(true, 3, 3), "live entry, matching epoch: pass");
+static_assert(!CapabilityCheckPasses(false, 3, 3), "revoked entry never passes");
+static_assert(!CapabilityCheckPasses(true, 4, 3),
+              "re-granted slot rejects handles minted before the revoke");
+
 class CapabilityTable {
  public:
   // `stats` may be null; when provided, grant/revoke/check/reject counters

@@ -1,0 +1,277 @@
+#include "src/check/checker.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "src/refmodel/shrink.h"
+
+namespace fsio {
+namespace check {
+
+namespace {
+
+struct Node {
+  ModelState state;
+  std::int64_t parent = -1;  // index into the node arena; -1 = initial state
+  ModelStep step;            // edge from parent to this node
+  std::uint32_t depth = 0;
+};
+
+std::vector<ModelStep> ReconstructTrace(const std::vector<Node>& nodes,
+                                        std::int64_t leaf, const ModelStep& last) {
+  std::vector<ModelStep> trace;
+  for (std::int64_t i = leaf; i >= 0; i = nodes[static_cast<std::size_t>(i)].parent) {
+    trace.push_back(nodes[static_cast<std::size_t>(i)].step);
+  }
+  // The initial node carries no edge; everything else reverses into order.
+  if (!trace.empty()) {
+    trace.pop_back();
+  }
+  std::vector<ModelStep> ordered(trace.rbegin(), trace.rend());
+  ordered.push_back(last);
+  return ordered;
+}
+
+}  // namespace
+
+CheckOutcome RunModelCheck(const CheckConfig& config) {
+  CheckOutcome out;
+  std::vector<Node> nodes;
+  std::deque<std::size_t> frontier;
+  std::unordered_set<std::string> visited;
+
+  nodes.push_back(Node{});  // the empty initial state
+  visited.insert(CanonicalEncodeState(nodes[0].state, config.model));
+  frontier.push_back(0);
+  out.stats.states = 1;
+
+  std::vector<ModelStep> enabled;
+  std::vector<ModelStep> kept;
+  while (!frontier.empty()) {
+    const std::size_t node_index = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t depth = nodes[node_index].depth;
+    if (depth > out.stats.depth_reached) {
+      out.stats.depth_reached = depth;
+    }
+
+    enabled.clear();
+    EnumerateSteps(nodes[node_index].state, config.model, &enabled);
+    if (depth >= config.depth) {
+      if (!enabled.empty()) {
+        out.stats.depth_bound_hit = true;
+      }
+      continue;
+    }
+
+    kept.clear();
+    for (const ModelStep& step : enabled) {
+      if (config.por) {
+        bool pruned = false;
+        for (const ModelStep& earlier : kept) {
+          if (StepsIndependent(config.model, earlier, step)) {
+            pruned = true;
+            break;
+          }
+        }
+        if (pruned) {
+          ++out.stats.por_pruned;
+          continue;
+        }
+      }
+      kept.push_back(step);
+
+      ModelState next = nodes[node_index].state;
+      const StepOutcome result = ApplyStep(&next, config.model, step);
+      ++out.stats.transitions;
+      if (result.violation != ModelViolation::kNone) {
+        out.violation = result.violation;
+        out.trace =
+            ReconstructTrace(nodes, static_cast<std::int64_t>(node_index), step);
+        return out;
+      }
+      if (!result.changed) {
+        continue;  // self-loop (legal device access): nothing new to explore
+      }
+      std::string key = CanonicalEncodeState(next, config.model);
+      if (!visited.insert(std::move(key)).second) {
+        continue;
+      }
+      ++out.stats.states;
+      nodes.push_back(Node{next, static_cast<std::int64_t>(node_index), step,
+                           depth + 1});
+      frontier.push_back(nodes.size() - 1);
+    }
+  }
+  return out;
+}
+
+ReplayOutcome ReplayTrace(const CheckModelConfig& config,
+                          const std::vector<ModelStep>& steps) {
+  ReplayOutcome out;
+  ModelState state;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const StepOutcome result = ApplyStep(&state, config, steps[i]);
+    if (result.changed || result.violation != ModelViolation::kNone) {
+      ++out.steps_applied;
+    }
+    if (result.violation != ModelViolation::kNone) {
+      out.violation = result.violation;
+      out.fail_index = i;
+      return out;
+    }
+  }
+  return out;
+}
+
+ShrunkTrace ShrinkTrace(const CheckModelConfig& config, std::vector<ModelStep> steps,
+                        const ReplayOutcome& first) {
+  const ModelViolation kind = first.violation;
+  ShrunkSequence<ModelStep, ReplayOutcome> shrunk = ShrinkSequence(
+      std::move(steps), first.fail_index, first,
+      [&](const std::vector<ModelStep>& candidate) {
+        return ReplayTrace(config, candidate);
+      },
+      [kind](const ReplayOutcome& r) { return r.violation == kind; });
+  ShrunkTrace out;
+  out.steps = std::move(shrunk.ops);
+  out.result = shrunk.result;
+  out.runs = shrunk.runs;
+  return out;
+}
+
+std::string SerializeTrace(const CheckModelConfig& config, ModelViolation violation,
+                           const std::vector<ModelStep>& steps) {
+  std::ostringstream os;
+  os << "fsio-model-trace v1\n";
+  os << "mode " << ModeToken(config.mode) << "\n";
+  os << "bug " << InjectedBugName(config.bug) << "\n";
+  os << "domains " << config.domains << "\n";
+  os << "pages " << config.pages << "\n";
+  os << "violation " << ModelViolationName(violation) << "\n";
+  os << "steps " << steps.size() << "\n";
+  for (const ModelStep& step : steps) {
+    os << "step " << StepKindName(step.kind) << " " << static_cast<int>(step.domain)
+       << " " << static_cast<int>(step.page) << " " << static_cast<int>(step.aux)
+       << "\n";
+  }
+  os << "end fsio-model-trace\n";
+  return os.str();
+}
+
+bool ParseTrace(const std::string& text, CheckModelConfig* config,
+                ModelViolation* violation, std::vector<ModelStep>* steps,
+                std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "fsio-model-trace v1") {
+    return fail("missing 'fsio-model-trace v1' header");
+  }
+  *config = CheckModelConfig{};
+  *violation = ModelViolation::kNone;
+  steps->clear();
+  std::size_t expected_steps = 0;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "mode") {
+      std::string token;
+      ls >> token;
+      if (!ParseModeToken(token, &config->mode)) {
+        return fail("unknown mode token: " + token);
+      }
+    } else if (key == "bug") {
+      std::string token;
+      ls >> token;
+      if (!ParseBugToken(token, &config->bug)) {
+        return fail("unknown bug token: " + token);
+      }
+    } else if (key == "domains") {
+      ls >> config->domains;
+      if (ls.fail() || config->domains == 0 || config->domains > kMaxDomains) {
+        return fail("domains out of range");
+      }
+    } else if (key == "pages") {
+      ls >> config->pages;
+      if (ls.fail() || config->pages == 0 || config->pages > kMaxPages) {
+        return fail("pages out of range");
+      }
+    } else if (key == "violation") {
+      std::string token;
+      ls >> token;
+      bool known = false;
+      for (int i = 0; i <= static_cast<int>(ModelViolation::kDmaAfterRevoke); ++i) {
+        const ModelViolation v = static_cast<ModelViolation>(i);
+        if (token == ModelViolationName(v)) {
+          *violation = v;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return fail("unknown violation token: " + token);
+      }
+    } else if (key == "steps") {
+      ls >> expected_steps;
+      if (ls.fail()) {
+        return fail("bad steps count");
+      }
+    } else if (key == "step") {
+      std::string token;
+      int domain = 0;
+      int page = 0;
+      int aux = 0;
+      ls >> token >> domain >> page >> aux;
+      ModelStep step;
+      if (ls.fail() || !ParseStepKind(token, &step.kind)) {
+        return fail("bad step line: " + line);
+      }
+      if (domain < 0 || domain >= static_cast<int>(kMaxDomains) || page < 0 ||
+          page >= static_cast<int>(kMaxPages) || aux < 0 ||
+          aux >= static_cast<int>(kMaxDomains)) {
+        return fail("step operand out of range: " + line);
+      }
+      step.domain = static_cast<std::uint8_t>(domain);
+      step.page = static_cast<std::uint8_t>(page);
+      step.aux = static_cast<std::uint8_t>(aux);
+      steps->push_back(step);
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  if (!saw_end) {
+    return fail("missing 'end fsio-model-trace' trailer");
+  }
+  if (steps->size() != expected_steps) {
+    return fail("step count mismatch");
+  }
+  // Keys may arrive in any order, so step coordinates are checked against
+  // the PARSED configuration only once the whole file is in (the in-loop
+  // check only enforces the hard kMaxDomains/kMaxPages ceilings).
+  for (const ModelStep& step : *steps) {
+    if (step.domain >= config->domains || step.page >= config->pages ||
+        step.aux >= config->domains) {
+      return fail("step operand out of range for the configuration");
+    }
+  }
+  return true;
+}
+
+}  // namespace check
+}  // namespace fsio

@@ -479,7 +479,12 @@ void Host::Recover() {
   }
   state_ = HostState::kRecovering;
   const TimeNs now = ev_->now();
+  // Steps 1–2 of the recovery ladder: stop descriptor fetch, then wait out
+  // accesses the NIC already validated (they land in still-live frames).
+  recovery_step_ = NextRecoveryStep(recovery_step_);  // kQuiesceDevice
+  host_trace_.Instant("host", RecoveryStepName(recovery_step_), now);
   Nic::QuiesceResult q = nic_->Quiesce(now);
+  recovery_step_ = NextRecoveryStep(recovery_step_);  // kDrainInflight
   host_trace_.Complete("host", "recovery_drain", now, q.drain_done);
   ev_->ScheduleAt(q.drain_done, [this, mappings = std::move(q.mappings)]() mutable {
     FinishRecovery(std::move(mappings));
@@ -490,9 +495,12 @@ void Host::FinishRecovery(std::vector<DmaMapping> device_mappings) {
   const TimeNs now = ev_->now();
   (void)device_mappings;  // ownership returned by the quiesce; torn down below
 
-  // Every frame the allocator ever handed out goes back to the (reset)
-  // allocator: DMA landing in any of them before a fresh mapping re-hands
+  // Step 3 of the ladder: every frame the allocator ever handed out goes
+  // back to the (reset) allocator. Safe only because the quiesce/drain steps
+  // completed — DMA landing in any of them before a fresh mapping re-hands
   // the frame out is a cross-host safety violation.
+  recovery_step_ = NextRecoveryStep(recovery_step_);  // kReclaimFrames
+  host_trace_.Instant("host", RecoveryStepName(recovery_step_), now);
   if (oracle_ != nullptr) {
     const std::uint64_t high_water = frames_.high_water_frame();
     if (high_water > 1) {
@@ -527,10 +535,11 @@ void Host::FinishRecovery(std::vector<DmaMapping> device_mappings) {
     dma_->RegisterInvariants(invariants_);
   }
 
-  // The recovery step that makes reclaim safe: flush every cached
-  // translation the IOMMU accumulated before the crash. Skipping it (the
-  // injected bug) leaves stale IOTLB/PT-cache entries that the oracle must
-  // catch once IOVAs are re-used.
+  // Step 4: flush every cached translation the IOMMU accumulated before the
+  // crash. Skipping it (the injected bug) leaves stale IOTLB/PT-cache
+  // entries that the oracle must catch once IOVAs are re-used.
+  recovery_step_ = NextRecoveryStep(recovery_step_);  // kInvalidateCaches
+  host_trace_.Instant("host", RecoveryStepName(recovery_step_), now);
   if (iommu_ != nullptr && !config_.skip_recovery_invalidation) {
     iommu_->InvalidateAll(now);
   }
@@ -541,6 +550,7 @@ void Host::FinishRecovery(std::vector<DmaMapping> device_mappings) {
 
   nic_->Resume();
   state_ = HostState::kRunning;
+  recovery_step_ = RecoveryStep::kIdle;  // ladder complete; armed for next crash
   LazyCounter(&recoveries_, "host.recoveries")->Add();
   host_trace_.Instant("host", "recovered", now);
   SetupRings();

@@ -23,6 +23,7 @@
 #include "src/driver/protection.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/invariant_registry.h"
+#include "src/faults/recovery_protocol.h"
 #include "src/faults/safety_oracle.h"
 #include "src/iommu/iommu.h"
 #include "src/iova/iova_allocator.h"
@@ -212,6 +213,10 @@ class Host {
   TraceScope driver_trace_;  // kDriver: map spans (driver calls lack a clock)
 
   HostState state_ = HostState::kRunning;
+  // Where in the crash-recovery ladder (src/faults/recovery_protocol.h) the
+  // host currently is. Advanced strictly via NextRecoveryStep so the traced
+  // sequence always matches the protocol the model checker verifies.
+  RecoveryStep recovery_step_ = RecoveryStep::kIdle;
   SafetyOracle* oracle_ = nullptr;
   InvariantRegistry* invariants_ = nullptr;
   FaultInjector* injector_ = nullptr;

@@ -12,6 +12,7 @@
 #include "src/mem/frame_allocator.h"
 #include "src/mem/memory_system.h"
 #include "src/pagetable/io_page_table.h"
+#include "src/refmodel/shrink.h"
 #include "src/simcore/rng.h"
 #include "src/stats/counters.h"
 
@@ -457,69 +458,17 @@ DiffResult DifferentialHarness::Run(const DiffConfig& config, const std::vector<
 DifferentialHarness::ShrinkOutcome DifferentialHarness::Shrink(const DiffConfig& config,
                                                                std::vector<DiffOp> ops,
                                                                const DiffResult& first) {
+  // Ops are self-contained (targets are reduced modulo the live pools), so
+  // any subsequence still executes and divergence is monotone in the prefix
+  // length — exactly the contract the shared shrinker requires.
+  ShrunkSequence<DiffOp, DiffResult> shrunk = ShrinkSequence(
+      std::move(ops), first.fail_index, first,
+      [&](const std::vector<DiffOp>& candidate) { return Run(config, candidate); },
+      [](const DiffResult& r) { return r.diverged; });
   ShrinkOutcome out;
-  // Everything after the failing op is irrelevant by construction.
-  ops.resize(first.fail_index + 1);
-  out.result = first;
-
-  // Binary-search the shortest failing prefix. Divergence is monotone in
-  // the prefix length: a prefix that diverges at index i keeps diverging at
-  // i for every longer prefix, since execution up to i is identical.
-  std::size_t lo = 1;
-  std::size_t hi = ops.size();
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    std::vector<DiffOp> prefix(ops.begin(), ops.begin() + static_cast<std::ptrdiff_t>(mid));
-    const DiffResult r = Run(config, prefix);
-    ++out.runs;
-    if (r.diverged) {
-      hi = mid;
-      out.result = r;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  ops.resize(lo);
-
-  // Chunked + single-op removal to a fixpoint (ddmin-style). Ops are
-  // self-contained (targets are reduced modulo the live pools), so any
-  // subsequence still executes — but removal shifts later modular
-  // selections, so large-chunk passes are what actually escape the local
-  // minima a pure one-op pass gets stuck in.
-  auto attempt = [&](std::size_t start, std::size_t len) {
-    std::vector<DiffOp> candidate;
-    candidate.reserve(ops.size() - len);
-    for (std::size_t j = 0; j < ops.size(); ++j) {
-      if (j < start || j >= start + len) {
-        candidate.push_back(ops[j]);
-      }
-    }
-    const DiffResult r = Run(config, candidate);
-    ++out.runs;
-    if (r.diverged) {
-      ops = std::move(candidate);
-      out.result = r;
-      return true;
-    }
-    return false;
-  };
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t chunk = ops.size() / 2; chunk >= 1; chunk /= 2) {
-      for (std::size_t start = ops.size(); start-- > 0;) {
-        if (start + chunk > ops.size()) {
-          continue;
-        }
-        if (attempt(start, chunk)) {
-          changed = true;
-          // Stay at the same start: the window now covers fresh ops.
-          ++start;
-        }
-      }
-    }
-  }
-  out.ops = std::move(ops);
+  out.ops = std::move(shrunk.ops);
+  out.result = std::move(shrunk.result);
+  out.runs = shrunk.runs;
   return out;
 }
 

@@ -1,0 +1,116 @@
+// Pure per-mode protocol semantics, extracted from RefModel so every
+// verification layer keys off ONE table instead of re-deriving what each
+// ProtectionMode promises:
+//
+//   * RefModel (src/refmodel/ref_model.cc) applies these transitions to its
+//     flat contract state while the differential harness drives the real
+//     stack in lockstep.
+//   * The bounded model checker (src/check/) uses UnmapSemanticsFor() to pick
+//     the unmap/invalidate/reclaim protocol template it exhaustively
+//     interleaves against device DMA.
+//
+// Everything here is a pure function of (mode, state): no clocks, no
+// counters, no hardware handles. That is what makes the transitions reusable
+// as model-checker actions — applying one is side-effect-free and cheap
+// enough to run millions of times during state-space exploration.
+#ifndef FASTSAFE_SRC_REFMODEL_MODE_SEMANTICS_H_
+#define FASTSAFE_SRC_REFMODEL_MODE_SEMANTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "src/driver/protection.h"
+#include "src/mem/address.h"
+
+namespace fsio {
+
+// What a driver unmap means for device visibility, per mode. The five
+// classes below are exhaustive over ProtectionMode: adding a mode without
+// classifying it fails the switch in UnmapSemanticsFor at compile time.
+enum class UnmapSemantics : int {
+  // kOff: there is no translation state to tear down; unmap only ends the
+  // driver's ownership of the buffer.
+  kNoProtection = 0,
+  // Strictly-safe IOMMU modes (strict, strict-preserve, strict-contig,
+  // fast-safe): the unmap call invalidates before returning, so visibility
+  // is revoked in the same op-window. Batching/preservation change the COST
+  // of that invalidation, never the contract.
+  kSyncInvalidate,
+  // Deferred: the unmap returns with the page still device-visible; a later
+  // batched flush collapses visibility to the mapped set.
+  kDeferredInvalidate,
+  // Persistent pools: the mapping is never torn down — unmap is a pure
+  // ownership release, and the device retains the translation forever.
+  kReleaseOnly,
+  // Capability kernel bypass: no IOMMU state exists; unmap synchronously
+  // revokes the page's capability (quiescing armed descriptors), so the
+  // device's next check refuses in the same op-window.
+  kRevokeCapability,
+};
+
+constexpr UnmapSemantics UnmapSemanticsFor(ProtectionMode mode) {
+  switch (mode) {
+    case ProtectionMode::kOff:
+      return UnmapSemantics::kNoProtection;
+    case ProtectionMode::kStrict:
+    case ProtectionMode::kStrictPreserve:
+    case ProtectionMode::kStrictContig:
+    case ProtectionMode::kFastSafe:
+      return UnmapSemantics::kSyncInvalidate;
+    case ProtectionMode::kDeferred:
+      return UnmapSemantics::kDeferredInvalidate;
+    case ProtectionMode::kHugepagePersistent:
+      return UnmapSemantics::kReleaseOnly;
+    case ProtectionMode::kCapability:
+      return UnmapSemantics::kRevokeCapability;
+  }
+  return UnmapSemantics::kNoProtection;
+}
+
+// The flat contract state RefModel reasons over (see ref_model.h for the
+// container meanings). A plain value type so transitions can be applied to
+// copies during exploration.
+struct ContractState {
+  std::map<std::uint64_t, PhysAddr> mapped;   // page -> phys in the IO page table
+  std::map<std::uint64_t, PhysAddr> visible;  // mapped + mode-legal stale windows
+  std::set<std::uint64_t> owned;              // driver-owned (DMA-active) pages
+};
+
+// Driver maps `page` to `phys`: table entry, immediate visibility, ownership.
+inline void ContractMap(ContractState* s, std::uint64_t page, PhysAddr phys) {
+  s->mapped[page] = phys;
+  s->visible[page] = phys;
+  s->owned.insert(page);
+}
+
+// Persistent-pool reacquire: ownership returns, translations untouched.
+inline void ContractReacquire(ContractState* s, std::uint64_t page) {
+  s->owned.insert(page);
+}
+
+// Driver unmap returns. Whether visibility survives the call is exactly the
+// mode's UnmapSemantics: synchronous revocation drops it now, deferred mode
+// leaves the page visible until ContractFlushAll, release-only never revokes.
+inline void ContractUnmap(ContractState* s, UnmapSemantics semantics, std::uint64_t page) {
+  s->mapped.erase(page);
+  s->owned.erase(page);
+  if (semantics != UnmapSemantics::kDeferredInvalidate) {
+    s->visible.erase(page);
+  }
+}
+
+// Persistent-pool release: ownership ends, mapping and visibility stay.
+inline void ContractRelease(ContractState* s, std::uint64_t page) {
+  s->owned.erase(page);
+}
+
+// Deferred-mode batched flush: visibility collapses to the mapped set.
+inline void ContractFlushAll(ContractState* s) {
+  s->visible.clear();
+  s->visible.insert(s->mapped.begin(), s->mapped.end());
+}
+
+}  // namespace fsio
+
+#endif  // FASTSAFE_SRC_REFMODEL_MODE_SEMANTICS_H_

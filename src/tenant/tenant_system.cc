@@ -1,5 +1,7 @@
 #include "src/tenant/tenant_system.h"
 
+#include "src/faults/recovery_protocol.h"
+
 namespace fsio {
 
 TenantSystem::TenantSystem(const TenantSystemConfig& config) : config_(config) {
@@ -154,9 +156,23 @@ void TenantSystem::CrashTenant(std::size_t idx) {
 
 void TenantSystem::RecoverTenant(std::size_t idx) {
   Tenant& tenant = tenants_[idx];
-  now_ = tenant.domain->Rebuild(now_);
-  // The stranded descriptors' frames go back to the shared pool; the rebuilt
-  // driver has no record of them.
+  // Per-tenant recovery walks the same ladder as whole-host recovery
+  // (src/faults/recovery_protocol.h); the model checker interleaves these
+  // exact steps against the other tenants' live DMA.
+  RecoveryStep step = RecoveryStep::kIdle;
+
+  // kQuiesceDevice: the crash already parked the tenant (RunRounds skips
+  // crashed tenants), so no new jobs reach the arbiter for this function.
+  step = NextRecoveryStep(step);
+  // kDrainInflight: RunOp advances the clock past each DMA before the
+  // descriptor enters in_flight, so by the time recovery runs nothing this
+  // tenant posted is still moving through the root complex.
+  step = NextRecoveryStep(step);
+
+  // kReclaimFrames: the stranded descriptors' frames go back to the shared
+  // pool; the rebuilt driver has no record of them. Safe only because the
+  // two steps above already hold.
+  step = NextRecoveryStep(step);
   for (const Desc& d : tenant.in_flight) {
     for (PhysAddr f : d.frames) {
       frames_->FreeFrame(f);
@@ -164,7 +180,15 @@ void TenantSystem::RecoverTenant(std::size_t idx) {
   }
   tenant.in_flight.clear();
   tenant.off_pool.clear();
-  tenant.crashed = false;
+
+  // kInvalidateCaches: Rebuild() ends in a domain-selective flush, evicting
+  // every translation the shared IOMMU cached for the dead stack before the
+  // rebuilt driver can re-use its IOVAs.
+  step = NextRecoveryStep(step);
+  now_ = tenant.domain->Rebuild(now_);
+
+  step = NextRecoveryStep(step);  // kDone: the tenant may map again.
+  tenant.crashed = step != RecoveryStep::kDone;
 }
 
 TenantReport TenantSystem::Report(std::size_t idx) const {

@@ -1,0 +1,27 @@
+// Lint fixture (never compiled): flow-sensitive dma-pairing violations. Both
+// bodies DO call UnmapDescriptor() eventually, so the lexical v1 rule (maps
+// without any unmap) sees balanced totals and stays silent — only the v2
+// branch-aware walk catches the early-return paths that skip the unmap.
+#include <gtest/gtest.h>
+
+#include "src/driver/dma_api.h"
+
+TEST(BadDmaFlowTest, EarlyReturnSkipsUnmap) {
+  fsio::DmaApi* dma = nullptr;
+  const auto result = dma->MapPages(0, {});
+  if (result.mappings.empty()) {
+    return;  // leaks the descriptor: the map above is never undone
+  }
+  dma->UnmapDescriptor(0, result.mappings, 0);
+}
+
+TEST(BadDmaFlowTest, ConditionalReturnInsideLoop) {
+  fsio::DmaApi* dma = nullptr;
+  const auto result = dma->MapPages(0, {});
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt == 2) {
+      return;  // leaks: bails out of the retry loop with the page still mapped
+    }
+  }
+  dma->UnmapDescriptor(0, result.mappings, 0);
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): hardcoded protection-mode counts go stale
+// the day a mode is added, and nothing fails. Both the prose form in a
+// comment and the count baked into a usage string violate stale-mode-count.
+#include "src/driver/protection.h"
+
+// The sweep below covers all 8 protection modes exhaustively.
+void SweepEveryMode() {}
+
+const char* kUsage = "fsio_tool --mode=all   sweep the 8 modes";

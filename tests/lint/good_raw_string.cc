@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): raw string literals must be blanked from
+// the code view so token rules never fire on their contents. Covers the
+// plain and encoding-prefixed spellings, multi-line bodies, delimited
+// openers, and the trap that used to leak: an identifier that merely ends
+// in 'R' followed by an ordinary string is NOT a raw-string opener, and its
+// contents must still be blanked as a normal literal.
+#include <string>
+
+#define FSIO_HDR "hdr: "
+
+const char* kMultiLine = R"(
+  forbidden tokens in raw strings are prose, not code:
+  std::mutex guard; usleep(10); std::condition_variable cv;
+)";
+
+const char* kTagged = u8R"tag(std::lock_guard inside a tagged raw string)tag";
+
+const wchar_t* kWide = LR"(std::recursive_mutex in a wide raw string)";
+
+// Identifier ending in R + string concatenation: an ordinary literal, so the
+// token below is quoted prose and must not trip raw-mutex.
+const std::string kLabel = FSIO_HDR"std::mutex";

@@ -14,10 +14,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/refmodel/diff_harness.h"
 #include "src/refmodel/ref_model.h"
+#include "src/refmodel/shrink.h"
 #include "tests/test_util.h"
 
 namespace fsio {
@@ -319,6 +321,99 @@ TEST(ReproFormatTest, RejectsMalformedInput) {
       "fsio-diff-repro v1\nops 0\n", &config, &ops, &error));  // missing end
   EXPECT_FALSE(DifferentialHarness::Parse(
       "fsio-diff-repro v1\nop 9 0 1\nops 1\nend\n", &config, &ops, &error));
+}
+
+// ---------------------------------------------------------------------------
+// ShrinkSequence edge cases, exercised with a synthetic harness so the
+// minimizer's own boundary behavior is pinned independently of any replay
+// machinery: a candidate "fails" iff it still contains every needed element.
+
+struct SynthResult {
+  bool failed = false;
+};
+
+struct SynthHarness {
+  std::vector<int> needed;
+
+  SynthResult Run(const std::vector<int>& candidate) const {
+    for (int n : needed) {
+      bool found = false;
+      for (int c : candidate) {
+        if (c == n) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return SynthResult{false};
+      }
+    }
+    return SynthResult{true};
+  }
+
+  ShrunkSequence<int, SynthResult> Shrink(std::vector<int> ops,
+                                          std::size_t fail_index) const {
+    return ShrinkSequence<int, SynthResult>(
+        std::move(ops), fail_index, SynthResult{true},
+        [this](const std::vector<int>& candidate) { return Run(candidate); },
+        [](const SynthResult& r) { return r.failed; });
+  }
+};
+
+TEST(ShrinkEdgeTest, DivergenceAtOpZero) {
+  // The very first op already fails: everything after it must be discarded
+  // up front and the result is the single-op sequence.
+  const SynthHarness harness{{7}};
+  const auto shrunk = harness.Shrink({7, 1, 2, 3, 4}, 0);
+  ASSERT_EQ(shrunk.ops.size(), 1u);
+  EXPECT_EQ(shrunk.ops[0], 7);
+  EXPECT_TRUE(shrunk.result.failed);
+}
+
+TEST(ShrinkEdgeTest, SingleOpSequenceIsStable) {
+  // A one-op failing sequence must survive shrinking untouched (the ddmin
+  // chunk loop starts at size/2 == 0 and must not underflow or drop the op).
+  const SynthHarness harness{{3}};
+  const auto shrunk = harness.Shrink({3}, 0);
+  ASSERT_EQ(shrunk.ops.size(), 1u);
+  EXPECT_EQ(shrunk.ops[0], 3);
+}
+
+TEST(ShrinkEdgeTest, AlreadyMinimalSequenceIsUnchanged) {
+  // Every op is needed: shrinking must return the same ops in the same
+  // order, proving removal never reorders and the fixpoint terminates.
+  const SynthHarness harness{{1, 2, 3}};
+  const auto shrunk = harness.Shrink({1, 2, 3}, 2);
+  ASSERT_EQ(shrunk.ops.size(), 3u);
+  EXPECT_EQ(shrunk.ops[0], 1);
+  EXPECT_EQ(shrunk.ops[1], 2);
+  EXPECT_EQ(shrunk.ops[2], 3);
+}
+
+TEST(ShrinkEdgeTest, DdminChunkBoundaries) {
+  // Non-power-of-two length with the needed ops pinned at the first and last
+  // positions: the chunked removal windows (which clamp at the tail rather
+  // than wrap) must still strip all eleven fillers and keep order.
+  std::vector<int> ops = {100, 0, 0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 300};
+  const SynthHarness harness{{100, 200, 300}};
+  const auto shrunk = harness.Shrink(std::move(ops), 12);
+  ASSERT_EQ(shrunk.ops.size(), 3u);
+  EXPECT_EQ(shrunk.ops[0], 100);
+  EXPECT_EQ(shrunk.ops[1], 200);
+  EXPECT_EQ(shrunk.ops[2], 300);
+  EXPECT_GT(shrunk.runs, 0u);
+}
+
+TEST(ShrinkEdgeTest, FailIndexTruncatesTail) {
+  // Ops after the failing index are irrelevant by construction and must be
+  // dropped before any replays are spent on them.
+  const SynthHarness harness{{5}};
+  const auto shrunk = harness.Shrink({5, 9, 9, 9, 9, 9, 9, 9}, 0);
+  ASSERT_EQ(shrunk.ops.size(), 1u);
+  EXPECT_EQ(shrunk.ops[0], 5);
+  // Binary search over a 1-op prefix is free and ddmin needs one pass over
+  // one op: far fewer runs than the 7 discarded tail ops would have cost.
+  EXPECT_LE(shrunk.runs, 4u);
 }
 
 }  // namespace

@@ -52,6 +52,12 @@ check_fixture(bad_discarded_fault_decision.cc 2 discarded-fault-decision "")
 check_fixture(bad_std_function_event.cc 2 std-function-event src)
 check_fixture(bad_raw_domain_id.cc    2 raw-domain-id   "")
 check_fixture(bad_unchecked_descriptor_enqueue.cc 2 unchecked-descriptor-enqueue src)
+check_fixture(bad_stale_mode_count.cc 2 stale-mode-count "")
+
+# Flow-sensitive dma-pairing: both bodies unmap eventually, so the lexical
+# whole-body count is balanced; only the branch-aware walk flags the leaky
+# early returns.
+check_fixture(bad_dma_flow.cc         2 dma-pairing     tests)
 
 # Scoping is real: wall-clock only applies to src/, so the same fixture is
 # clean when linted under its natural tests/ scope.
@@ -70,5 +76,8 @@ check_fixture(good_fault_decision.cc  clean "" "")
 check_fixture(good_std_function_event.cc clean "" src)
 check_fixture(good_raw_domain_id.cc   clean "" "")
 check_fixture(good_unchecked_descriptor_enqueue.cc clean "" src)
+check_fixture(good_dma_flow.cc        clean "" tests)
+check_fixture(good_raw_string.cc      clean "" "")
+check_fixture(good_stale_mode_count.cc clean "" "")
 
 message(STATUS "fsio_lint fixture matrix passed")

@@ -1,0 +1,48 @@
+# Nightly deep model-check sweep driver. PR runs use the shallow smoke
+# bounds; this test is a no-op unless FSIO_NIGHTLY is set (the scheduled CI
+# job exports it).
+if(NOT DEFINED ENV{FSIO_NIGHTLY})
+  message(STATUS "FSIO_NIGHTLY not set; skipping deep model-check sweep")
+  return()
+endif()
+
+# Deeper single-domain interleavings across every protection mode.
+execute_process(COMMAND ${MODEL} --mode all --depth 16 --quiet
+                RESULT_VARIABLE deep_result)
+if(NOT deep_result EQUAL 0)
+  message(FATAL_ERROR "nightly deep model check found a violation (exit ${deep_result})")
+endif()
+
+# Wider configurations: two domains sharing the IOTLB, and three pages so
+# the deferred batched-flush and symmetry reductions see non-trivial sets.
+execute_process(COMMAND ${MODEL} --mode all --depth 12 --domains 2 --quiet
+                RESULT_VARIABLE multi_result)
+if(NOT multi_result EQUAL 0)
+  message(FATAL_ERROR "nightly 2-domain model check found a violation (exit ${multi_result})")
+endif()
+
+execute_process(COMMAND ${MODEL} --mode all --depth 12 --pages 3 --quiet
+                RESULT_VARIABLE pages_result)
+if(NOT pages_result EQUAL 0)
+  message(FATAL_ERROR "nightly 3-page model check found a violation (exit ${pages_result})")
+endif()
+
+# Power at depth: every injected bug must still be found without the
+# partial-order reduction (full interleaving search).
+foreach(spec
+        "strict;use-after-unmap;1"
+        "strict;skip-invalidation;1"
+        "fast-safe;early-reclaim;1"
+        "strict;untagged-iotlb;2"
+        "capability;skip-capability-check;1")
+  list(GET spec 0 mode)
+  list(GET spec 1 bug)
+  list(GET spec 2 domains)
+  execute_process(COMMAND ${MODEL} --mode ${mode} --depth 10 --domains ${domains}
+                          --bug ${bug} --expect-violation --no-por --quiet
+                  RESULT_VARIABLE power_result)
+  if(NOT power_result EQUAL 0)
+    message(FATAL_ERROR
+            "nightly model-check power test missed ${bug} in ${mode} (exit ${power_result})")
+  endif()
+endforeach()

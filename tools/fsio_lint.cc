@@ -14,8 +14,10 @@
 // Rules (see DESIGN.md §9 for the rationale table):
 //   raw-mutex        std::mutex/lock_guard/... anywhere but src/simcore/sync.h
 //   wall-clock       sleep/wall-clock time in src/ (breaks determinism)
-//   dma-pairing      gtest bodies that Map* DMA pages but never Unmap/Release
+//   dma-pairing      gtest bodies that Map* DMA pages but never Unmap/Release,
+//                    plus flow-sensitive early-return leak detection
 //   discarded-fault-decision  FaultInjector::Sample() result dropped on the floor
+//   stale-mode-count hardcoded protection-mode counts outside the mode table
 //   raw-domain-id    domain ids flow as fsio::DomainId, never bare uint32_t
 //   unchecked-descriptor-enqueue  NIC feeders in src/ wire the capability gate
 //   include-guard    headers must carry FASTSAFE_<PATH>_H_ guards
@@ -85,6 +87,28 @@ std::vector<std::string> SplitLines(const std::string& text) {
   return lines;
 }
 
+// Returns the length of the raw-string prefix (R, uR, UR, LR, u8R) ending
+// immediately before the quote at `quote`, or 0 if the quote does not open a
+// raw string. An identifier that merely *ends* in one of those spellings
+// (`FSIO_HDR"text"`, macro/string concatenation) is not a prefix: the
+// character before the prefix must not be an identifier character.
+std::size_t RawStringPrefixLen(const std::string& line, std::size_t quote) {
+  if (quote == 0 || line[quote - 1] != 'R') {
+    return 0;
+  }
+  std::size_t start = quote - 1;  // index of the 'R'
+  if (start >= 2 && line[start - 2] == 'u' && line[start - 1] == '8') {
+    start -= 2;  // u8R"..."
+  } else if (start >= 1 && (line[start - 1] == 'u' || line[start - 1] == 'U' ||
+                            line[start - 1] == 'L')) {
+    start -= 1;  // uR"..." / UR"..." / LR"..."
+  }
+  if (start > 0 && IsIdentChar(line[start - 1])) {
+    return 0;
+  }
+  return quote - start;
+}
+
 // Builds the code view: comments and string/char literal *contents* become
 // spaces, everything else (including line structure) is preserved.
 std::vector<std::string> BuildCodeView(const std::vector<std::string>& raw) {
@@ -108,18 +132,26 @@ std::vector<std::string> BuildCodeView(const std::vector<std::string>& raw) {
             line[i + 1] = ' ';
             ++i;
             state = State::kBlockComment;
-          } else if (c == '"' && i + 1 < line.size() && i >= 1 && line[i - 1] == 'R') {
-            // Raw string literal R"delim( ... )delim"
-            std::size_t open = line.find('(', i + 1);
-            if (open == std::string::npos) {
-              break;  // malformed; leave as-is
+          } else if (c == '"' && RawStringPrefixLen(line, i) > 0) {
+            // Raw string literal R"delim( ... )delim" (also u8R/uR/UR/LR).
+            const std::size_t open = line.find('(', i + 1);
+            const std::string delim =
+                open == std::string::npos ? "" : line.substr(i + 1, open - i - 1);
+            // The d-char-seq is at most 16 chars and cannot contain spaces,
+            // quotes, backslashes, or parens. Anything else is not a valid
+            // raw-string opener: fall back to the ordinary-string state so
+            // the contents are still blanked instead of leaking as code.
+            if (open == std::string::npos || delim.size() > 16 ||
+                delim.find_first_of(" \t\"\\)") != std::string::npos) {
+              state = State::kString;
+            } else {
+              raw_delim = ")" + delim + "\"";
+              for (std::size_t j = i; j <= open; ++j) {
+                line[j] = ' ';
+              }
+              i = open;
+              state = State::kRawString;
             }
-            raw_delim = ")" + line.substr(i + 1, open - i - 1) + "\"";
-            for (std::size_t j = i; j < line.size() && j <= open; ++j) {
-              line[j] = ' ';
-            }
-            i = open;
-            state = State::kRawString;
           } else if (c == '"') {
             state = State::kString;
           } else if (c == '\'') {
@@ -339,6 +371,24 @@ bool FindMemberCall(const std::string& line, const std::string& token) {
   return false;
 }
 
+// The v2 rule is flow-sensitive: beyond the whole-body "maps but never
+// unmaps" check, it walks each test body statement-by-statement and flags a
+// `return` on a conditional path (inside an if/else/for/while/switch block,
+// or a braceless `if (...) return;`) taken while more descriptors have been
+// mapped/acquired than unmapped/released — the classic early-exit leak that
+// a purely lexical count can never see because a later Unmap keeps the
+// totals balanced. Returns inside lambdas defined in the body exit the
+// lambda, not the test, and are ignored.
+
+// True if the identifier `[begin, end)` in `line` is a DmaApi member call
+// (preceded by `.` or `->`, followed by `(`).
+bool IsMemberCallAt(const std::string& line, std::size_t begin, std::size_t end) {
+  const bool member =
+      (begin >= 1 && line[begin - 1] == '.') ||
+      (begin >= 2 && line[begin - 2] == '-' && line[begin - 1] == '>');
+  return member && end < line.size() && line[end] == '(';
+}
+
 void CheckDmaPairing(const SourceFile& file, std::vector<Diagnostic>* diags) {
   if (file.scope != "tests") {
     return;
@@ -355,11 +405,19 @@ void CheckDmaPairing(const SourceFile& file, std::vector<Diagnostic>* diags) {
     if (macro_col == std::string::npos) {
       continue;
     }
-    // Walk the test body by brace depth, counting paired DMA-API calls.
-    int depth = 0;
+    // Walk the test body in source order. `blocks` tags each open brace with
+    // what introduced it: 'c' for a control-flow header, 'l' for a lambda,
+    // 'o' for anything else (the body itself, plain scopes, initializers).
+    // `pending` is the tag the *next* `{` will receive; it also marks a
+    // braceless conditional so `if (x) return;` is caught without braces.
+    std::vector<char> blocks;
+    char pending = 'o';
+    char prev_nonspace = '\0';
+    int parens = 0;  // so `for (a; b; c)` semicolons don't clear `pending`
     bool entered = false;
     bool suppressed = false;
     std::size_t maps = 0, unmaps = 0, acquires = 0, releases = 0;
+    std::vector<std::size_t> leak_returns;  // 1-based lines of leaky returns
     std::size_t end = li;
     for (std::size_t bi = li; bi < file.code.size(); ++bi) {
       const std::string& body = file.code[bi];
@@ -367,20 +425,72 @@ void CheckDmaPairing(const SourceFile& file, std::vector<Diagnostic>* diags) {
           file.line_allows.at(bi + 1).count("dma-pairing") != 0) {
         suppressed = true;
       }
-      maps += FindMemberCall(body, "MapPages(") ? 1 : 0;
-      maps += FindMemberCall(body, "MapPage(") ? 1 : 0;
-      unmaps += FindMemberCall(body, "UnmapDescriptor(") ? 1 : 0;
-      acquires += FindMemberCall(body, "AcquirePersistentDescriptor(") ? 1 : 0;
-      releases += FindMemberCall(body, "ReleasePersistentDescriptor(") ? 1 : 0;
-      for (char c : body) {
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        const char c = body[i];
+        if (IsIdentChar(c) && (i == 0 || !IsIdentChar(body[i - 1]))) {
+          std::size_t w = i;
+          while (w < body.size() && IsIdentChar(body[w])) {
+            ++w;
+          }
+          const std::string word = body.substr(i, w - i);
+          if (word == "if" || word == "else" || word == "for" || word == "while" ||
+              word == "switch" || word == "do") {
+            pending = 'c';
+          } else if (word == "return") {
+            const bool in_lambda =
+                std::find(blocks.begin(), blocks.end(), 'l') != blocks.end();
+            const bool conditional =
+                pending == 'c' ||
+                std::find(blocks.begin(), blocks.end(), 'c') != blocks.end();
+            if (!in_lambda && conditional &&
+                (maps > unmaps || acquires > releases)) {
+              leak_returns.push_back(bi + 1);
+            }
+          } else if (IsMemberCallAt(body, i, w)) {
+            if (word == "MapPages" || word == "MapPage") {
+              ++maps;
+            } else if (word == "UnmapDescriptor") {
+              ++unmaps;
+            } else if (word == "AcquirePersistentDescriptor") {
+              ++acquires;
+            } else if (word == "ReleasePersistentDescriptor") {
+              ++releases;
+            }
+          }
+          prev_nonspace = body[w - 1];
+          i = w - 1;
+          continue;
+        }
         if (c == '{') {
-          ++depth;
+          blocks.push_back(pending);
+          pending = 'o';
           entered = true;
         } else if (c == '}') {
-          --depth;
+          if (!blocks.empty()) {
+            blocks.pop_back();
+          }
+          pending = 'o';
+        } else if (c == '(') {
+          ++parens;
+        } else if (c == ')') {
+          --parens;
+        } else if (c == ';') {
+          if (parens <= 0) {
+            pending = 'o';
+          }
+        } else if (c == '[') {
+          // Lambda introducer unless it reads as a subscript (preceded by an
+          // identifier, `]`, or `)`).
+          if (prev_nonspace != ']' && prev_nonspace != ')' &&
+              !IsIdentChar(prev_nonspace)) {
+            pending = 'l';
+          }
+        }
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          prev_nonspace = c;
         }
       }
-      if (entered && depth <= 0) {
+      if (entered && blocks.empty()) {
         end = bi;
         break;
       }
@@ -396,6 +506,12 @@ void CheckDmaPairing(const SourceFile& file, std::vector<Diagnostic>* diags) {
         diags->push_back({file.path, li + 1, "dma-pairing",
                           "test body calls AcquirePersistentDescriptor() but never "
                           "ReleasePersistentDescriptor()"});
+      }
+      for (std::size_t line : leak_returns) {
+        diags->push_back({file.path, line, "dma-pairing",
+                          "early return on a conditional path leaves mapped DMA "
+                          "descriptors unreleased; unmap before returning (or "
+                          "justify with a fsio-lint allow directive)"});
       }
     }
     li = end;
@@ -778,6 +894,85 @@ void CheckUncheckedDescriptorEnqueue(const SourceFile& file, std::vector<Diagnos
 }
 
 // ---------------------------------------------------------------------------
+// Rule: stale-mode-count — no hardcoded protection-mode counts. Prose like
+// "sweeps all N modes" or "the N IOMMU modes" (N a literal number) in
+// comments, help strings, or code goes stale the day a mode is added or
+// removed, and nothing ever fails: the sweep silently under-covers. The
+// canonical tables are ProtectionMode/kProtectionModeCount in
+// src/driver/protection.h and kAllModes in tests/test_util.h; reference
+// those (or spell the modes out) instead of a literal count. Scans RAW
+// lines: stale counts hide in comments and usage strings, exactly the text
+// the code view blanks.
+
+// Case-insensitively matches `word` at `*pos` in `line` (identifier-boundary
+// end); on success advances `*pos` past the word and any following spaces.
+bool SkipWordCI(const std::string& line, std::size_t* pos, const char* word) {
+  const std::size_t len = std::strlen(word);
+  if (*pos + len > line.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < len; ++k) {
+    if (std::tolower(static_cast<unsigned char>(line[*pos + k])) !=
+        std::tolower(static_cast<unsigned char>(word[k]))) {
+      return false;
+    }
+  }
+  const std::size_t end = *pos + len;
+  if (end < line.size() && IsIdentChar(line[end])) {
+    return false;
+  }
+  *pos = end;
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '-')) {
+    ++*pos;
+  }
+  return true;
+}
+
+void CheckStaleModeCount(const SourceFile& file, std::vector<Diagnostic>* diags) {
+  if (file.path == "src/driver/protection.h" || file.path == "tests/test_util.h") {
+    return;  // the canonical mode tables themselves
+  }
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& line = file.raw[li];
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(line[i])) == 0) {
+        continue;
+      }
+      if (i > 0 && (IsIdentChar(line[i - 1]) || line[i - 1] == '.')) {
+        while (i + 1 < line.size() && IsIdentChar(line[i + 1])) {
+          ++i;  // inside an identifier or a dotted number; skip the run
+        }
+        continue;
+      }
+      std::size_t j = i;
+      while (j < line.size() && std::isdigit(static_cast<unsigned char>(line[j])) != 0) {
+        ++j;
+      }
+      std::size_t k = j;
+      while (k < line.size() && (line[k] == ' ' || line[k] == '-')) {
+        ++k;
+      }
+      // Optional qualifier between the count and "modes".
+      if (!SkipWordCI(line, &k, "protection")) {
+        SkipWordCI(line, &k, "iommu");
+      }
+      if (!SkipWordCI(line, &k, "modes") && !SkipWordCI(line, &k, "mode")) {
+        i = j - 1;
+        continue;
+      }
+      if (!Suppressed(file, li + 1, "stale-mode-count")) {
+        diags->push_back({file.path, li + 1, "stale-mode-count",
+                          "hardcoded protection-mode count; reference the "
+                          "canonical mode table (ProtectionMode in "
+                          "src/driver/protection.h, kAllModes in "
+                          "tests/test_util.h) or spell the modes out"});
+      }
+      break;  // one diagnostic per line is enough
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 struct RuleInfo {
@@ -805,6 +1000,9 @@ const RuleInfo kRules[] = {
     {"unchecked-descriptor-enqueue",
      "src/ NIC descriptor feeders must wire the capability gate (SetCapabilityCheck)",
      &CheckUncheckedDescriptorEnqueue},
+    {"stale-mode-count",
+     "no hardcoded protection-mode counts; reference the canonical mode table",
+     &CheckStaleModeCount},
     {"include-guard", "headers carry FASTSAFE_<PATH>_H_ guards", &CheckIncludeGuard},
     {"include-hygiene", "repo-root-relative quoted includes; never include .cc",
      &CheckIncludeHygiene},
